@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments figures cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper on the default corpus.
+experiments:
+	$(GO) run ./cmd/experiments -scale default
+
+figures:
+	mkdir -p out
+	$(GO) run ./cmd/experiments -scale default -exp figure3 -svgdir out > out/figure3.txt
+	$(GO) run ./cmd/experiments -scale default -exp figure4 -svgdir out > out/figure4.txt
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	rm -rf out

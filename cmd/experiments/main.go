@@ -1,0 +1,174 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section on the synthetic corpus.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|figure3|figure4|gridtheta|gridapriori|funnel|overlap|casestudy|stats]
+//	            [-scale small|default] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/core"
+	"github.com/wikistale/wikistale/internal/dataset"
+	"github.com/wikistale/wikistale/internal/eval"
+	"github.com/wikistale/wikistale/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: all, table1, figure3, figure4, gridtheta, gridapriori, funnel, overlap, casestudy, extension, bytemplate, stats")
+		scale   = flag.String("scale", "default", "corpus scale: small or default")
+		seed    = flag.Int64("seed", 1, "corpus generation seed")
+		svgDir  = flag.String("svgdir", "", "when set, also write figure3.svg and figure4.svg here")
+		jsonOut = flag.String("json", "", "when set, write the machine-readable results here")
+	)
+	flag.Parse()
+
+	var cfg dataset.Config
+	switch *scale {
+	case "small":
+		cfg = dataset.Small()
+	case "default":
+		cfg = dataset.Default()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	cfg.Seed = *seed
+
+	start := time.Now()
+	corpus, err := experiments.Prepare(cfg, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "corpus generated and detector trained in %v (%d raw changes, %d fields)\n",
+		time.Since(start).Round(time.Millisecond), corpus.Cube.NumChanges(), corpus.Filtered.Len())
+
+	needReport := map[string]bool{"all": true, "table1": true, "figure4": true, "overlap": true, "stats": true}
+	var report *eval.Report
+	if needReport[*exp] {
+		start = time.Now()
+		report, err = corpus.EvaluateTest()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "test-year evaluation in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	run("funnel", func() error {
+		fmt.Print(experiments.FunnelReport(corpus))
+		return nil
+	})
+	if *jsonOut != "" && report != nil {
+		data, err := experiments.ExportJSON(corpus, report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	run("stats", func() error {
+		fmt.Print(experiments.StatsReport(corpus, report))
+		return nil
+	})
+	run("table1", func() error {
+		fmt.Print(experiments.Table1(report))
+		return nil
+	})
+	run("figure3", func() error {
+		_, text := experiments.Figure3(corpus)
+		fmt.Print(text)
+		if *svgDir != "" {
+			svg, err := experiments.Figure3SVG(corpus)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*svgDir, "figure3.svg")
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		return nil
+	})
+	run("figure4", func() error {
+		fmt.Print(experiments.Figure4(report))
+		if *svgDir != "" {
+			svg, err := experiments.Figure4SVG(report)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*svgDir, "figure4.svg")
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		return nil
+	})
+	run("overlap", func() error {
+		fmt.Print(experiments.OverlapReport(report))
+		return nil
+	})
+	run("gridtheta", func() error {
+		thetas := []float64{0.01, 0.02, 0.05, 0.075, 0.1, 0.125, 0.15}
+		_, text, err := experiments.GridTheta(corpus, thetas)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	})
+	run("gridapriori", func() error {
+		_, text, err := experiments.GridApriori(corpus,
+			[]float64{0.001, 0.0025, 0.01, 0.05},
+			[]float64{0.5, 0.6, 0.75},
+			[]float64{0.05, 0.1, 0.2})
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	})
+	run("casestudy", func() error {
+		_, text := experiments.CaseStudy(corpus)
+		fmt.Print(text)
+		return nil
+	})
+	run("bytemplate", func() error {
+		_, text, err := experiments.ByTemplate(corpus)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	})
+	run("extension", func() error {
+		_, text, err := experiments.Extension(corpus)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	})
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadRevisions(t *testing.T) {
+	input := `{"page":"A","time":100,"text":"{{Infobox x|k=1}}"}
+{"page":"B","time":50,"text":"{{Infobox y|k=2}}","bot":true}
+
+{"page":"A","time":200,"text":"{{Infobox x|k=3}}"}
+`
+	pages, order, err := readRevisions(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "A" || order[1] != "B" {
+		t.Fatalf("order = %v", order)
+	}
+	if len(pages["A"]) != 2 || len(pages["B"]) != 1 {
+		t.Fatalf("pages = %v", pages)
+	}
+	if !pages["B"][0].Bot {
+		t.Fatal("bot flag lost")
+	}
+	if pages["A"][1].Time != 200 {
+		t.Fatalf("revision order/time wrong: %+v", pages["A"])
+	}
+}
+
+func TestReadRevisionsErrors(t *testing.T) {
+	if _, _, err := readRevisions(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, _, err := readRevisions(strings.NewReader(`{"time":1,"text":"x"}` + "\n")); err == nil {
+		t.Fatal("missing page title accepted")
+	}
+}

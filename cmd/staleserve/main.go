@@ -1,0 +1,106 @@
+// Command staleserve trains the detector on a change cube and serves
+// stale-data findings over HTTP — the backend for the paper's Figure 1
+// marker and for editor dashboards.
+//
+// Endpoints:
+//
+//	GET /healthz                            liveness + field count
+//	GET /v1/stale?asof=2019-09-01&window=7  everything stale in the window
+//	GET /v1/field?page=P&property=X&...     marker lookup for one field
+//	GET /v1/stats                           corpus and rule statistics
+//
+// Usage:
+//
+//	staleserve -i corpus.wcc -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/core"
+	"github.com/wikistale/wikistale/internal/filter"
+	"github.com/wikistale/wikistale/internal/staleserve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("staleserve: ")
+	var (
+		in    = flag.String("i", "corpus.wcc", "input binary change cube")
+		model = flag.String("model", "", "model file: load it when it exists, train and write it when it does not")
+		addr  = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cube, err := changecube.ReadBinary(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("reading %s: %v", *in, err)
+	}
+
+	start := time.Now()
+	det, how, err := trainOrLoad(cube, *model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s on %d changes in %v; %d correlation rules, %d association rules\n",
+		how, cube.NumChanges(), time.Since(start).Round(time.Millisecond),
+		det.FieldCorrelations().NumRules(), det.AssociationRules().NumRules())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           staleserve.New(det).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+// trainOrLoad loads the model file when it exists; otherwise it trains,
+// and persists the result when a path was given.
+func trainOrLoad(cube *changecube.Cube, modelPath string) (*core.Detector, string, error) {
+	cfg := core.DefaultConfig()
+	if modelPath != "" {
+		if f, err := os.Open(modelPath); err == nil {
+			defer f.Close()
+			hs, stats, err := filter.Apply(cube, cfg.Filter)
+			if err != nil {
+				return nil, "", err
+			}
+			det, err := core.LoadModel(hs, stats, cfg, f)
+			if err != nil {
+				return nil, "", fmt.Errorf("loading %s: %w", modelPath, err)
+			}
+			return det, "loaded model", nil
+		}
+	}
+	det, err := core.Train(cube, cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	if modelPath != "" {
+		f, err := os.Create(modelPath)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := det.SaveModel(f); err != nil {
+			f.Close()
+			return nil, "", err
+		}
+		if err := f.Close(); err != nil {
+			return nil, "", err
+		}
+		fmt.Fprintf(os.Stderr, "wrote model to %s\n", modelPath)
+	}
+	return det, "trained", nil
+}

@@ -1,0 +1,112 @@
+// Wikitext demonstrates the ingest substrate end-to-end: raw MediaWiki
+// revision markup is parsed into infoboxes, diffed across revisions into
+// change-cube tuples, and pushed through the paper's noise filter — the
+// same path cmd/infoboxdump takes for dump files.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/filter"
+	"github.com/wikistale/wikistale/internal/revision"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	day := func(y, m, d int) int64 {
+		return timeline.Date(y, time.Month(m), d).Unix()
+	}
+
+	revisions := []revision.Revision{
+		{
+			Time: day(2019, 3, 1),
+			Text: `'''Premier League''' is the top tier of English football.
+{{Infobox football league
+| name = Premier League
+| champions = [[Manchester City F.C.|Manchester City]]
+| matches = 248
+| goals = 671 <ref name="stats"/>
+| season = 2018-19
+}}`,
+		},
+		{
+			// A normal match-day edit: matches and goals move together.
+			Time: day(2019, 3, 9),
+			Text: `'''Premier League''' is the top tier of English football.
+{{Infobox football league
+| name = Premier League
+| champions = [[Manchester City F.C.|Manchester City]]
+| matches = 258
+| goals = 694 <ref name="stats"/>
+| season = 2018-19
+}}`,
+		},
+		{
+			// Vandalism: the champions value is wrecked ...
+			Time: day(2019, 3, 10),
+			Text: `{{Infobox football league
+| name = Premier League
+| champions = NOBODY LOL
+| matches = 258
+| goals = 694
+| season = 2018-19
+}}`,
+			Bot: false,
+		},
+		{
+			// ... and promptly reverted by a bot.
+			Time: day(2019, 3, 10) + 600,
+			Text: `{{Infobox football league
+| name = Premier League
+| champions = [[Manchester City F.C.|Manchester City]]
+| matches = 258
+| goals = 694
+| season = 2018-19
+}}`,
+			Bot: true,
+		},
+		{
+			// The forgotten update: matches moves, goals does not.
+			Time: day(2019, 3, 16),
+			Text: `{{Infobox football league
+| name = Premier League
+| champions = [[Manchester City F.C.|Manchester City]]
+| matches = 268
+| goals = 694
+| season = 2018-19
+}}`,
+		},
+	}
+
+	cube := changecube.New()
+	extractor := revision.NewExtractor(cube)
+	if err := extractor.AddPage("Premier League", revisions); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("extracted %d changes from %d revisions:\n", cube.NumChanges(), len(revisions))
+	for _, ch := range cube.Changes() {
+		prop := cube.Properties.Name(int32(ch.Property))
+		fmt.Printf("  %s  %-10s %-9s %q\n",
+			timeline.DayOfUnix(ch.Time), prop, ch.Kind, ch.Value)
+	}
+
+	// The filter removes the creations and the bot-reverted vandalism.
+	cfg := filter.Default()
+	cfg.MinChanges = 1 // the demo history is short; keep every field
+	hs, stats, err := filter.Apply(cube, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfilter funnel:\n%s", stats)
+	fmt.Printf("surviving change days per field:\n")
+	for _, h := range hs.Histories() {
+		prop := cube.Properties.Name(int32(h.Field.Property))
+		fmt.Printf("  %-10s %v\n", prop, h.Days)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/wikistale/wikistale
+
+go 1.22

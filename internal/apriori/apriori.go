@@ -1,0 +1,355 @@
+// Package apriori implements the Apriori algorithm of Agrawal & Srikant
+// (VLDB 1994): level-wise frequent-itemset mining with candidate pruning,
+// followed by association-rule generation. Items are dense int32
+// identifiers; transactions are sorted, duplicate-free item slices. The
+// association-rule predictor uses it with itemsets of size two to obtain
+// the paper's unary rules, but the miner is general.
+package apriori
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is a dense item identifier.
+type Item = int32
+
+// Transaction is a sorted, duplicate-free set of items.
+type Transaction []Item
+
+// Itemset is a sorted, duplicate-free set of items.
+type Itemset []Item
+
+// key encodes an itemset as a map key.
+func (s Itemset) key() string {
+	b := make([]byte, 0, len(s)*4)
+	for _, it := range s {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+// Contains reports whether the sorted itemset contains item.
+func (s Itemset) Contains(it Item) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= it })
+	return i < len(s) && s[i] == it
+}
+
+// SubsetOf reports whether s ⊆ t for sorted itemsets.
+func (s Itemset) SubsetOf(t Transaction) bool {
+	j := 0
+	for _, it := range s {
+		for j < len(t) && t[j] < it {
+			j++
+		}
+		if j >= len(t) || t[j] != it {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Support pairs an itemset with its absolute transaction count.
+type Support struct {
+	Items Itemset
+	Count int
+}
+
+// Rule is an association rule Antecedent → Consequent.
+type Rule struct {
+	Antecedent Itemset
+	Consequent Itemset
+	// Support is the relative support of Antecedent ∪ Consequent.
+	Support float64
+	// Confidence is support(A ∪ C) / support(A).
+	Confidence float64
+}
+
+// String renders the rule as "A -> C (sup, conf)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%v -> %v (sup %.4f, conf %.2f)", r.Antecedent, r.Consequent, r.Support, r.Confidence)
+}
+
+// Config bundles the mining parameters.
+type Config struct {
+	// MinSupport is the minimum relative support, in (0, 1].
+	MinSupport float64
+	// MinConfidence is the minimum rule confidence, in (0, 1].
+	MinConfidence float64
+	// MaxLen caps the itemset size explored (2 yields unary rules).
+	MaxLen int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MinSupport <= 0 || c.MinSupport > 1 {
+		return fmt.Errorf("apriori: MinSupport %v out of (0,1]", c.MinSupport)
+	}
+	if c.MinConfidence <= 0 || c.MinConfidence > 1 {
+		return fmt.Errorf("apriori: MinConfidence %v out of (0,1]", c.MinConfidence)
+	}
+	if c.MaxLen < 1 {
+		return fmt.Errorf("apriori: MaxLen %d < 1", c.MaxLen)
+	}
+	return nil
+}
+
+// FrequentItemsets mines all itemsets with relative support >= minSupport
+// and size <= maxLen, level-wise with subset pruning. The result is sorted
+// by size, then lexicographically.
+func FrequentItemsets(txns []Transaction, minSupport float64, maxLen int) []Support {
+	if len(txns) == 0 || minSupport <= 0 {
+		return nil
+	}
+	minCount := int(minSupport * float64(len(txns)))
+	if float64(minCount) < minSupport*float64(len(txns)) {
+		minCount++
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// L1.
+	singles := make(map[Item]int)
+	for _, t := range txns {
+		for _, it := range t {
+			singles[it]++
+		}
+	}
+	var frequent []Support
+	level := make(map[string]int)
+	var levelSets []Itemset
+	for it, c := range singles {
+		if c >= minCount {
+			levelSets = append(levelSets, Itemset{it})
+			level[Itemset{it}.key()] = c
+		}
+	}
+	sortItemsets(levelSets)
+	for _, s := range levelSets {
+		frequent = append(frequent, Support{Items: s, Count: level[s.key()]})
+	}
+
+	prev := level
+	prevSets := levelSets
+	for k := 2; k <= maxLen && len(prevSets) >= 2; k++ {
+		candidates := generateCandidates(prevSets, prev)
+		if len(candidates) == 0 {
+			break
+		}
+		counts := countCandidates(txns, candidates, k)
+		level = make(map[string]int)
+		levelSets = levelSets[:0]
+		for i, c := range candidates {
+			if counts[i] >= minCount {
+				level[c.key()] = counts[i]
+				levelSets = append(levelSets, c)
+			}
+		}
+		sortItemsets(levelSets)
+		for _, s := range levelSets {
+			frequent = append(frequent, Support{Items: s, Count: level[s.key()]})
+		}
+		prev = level
+		prevSets = append([]Itemset(nil), levelSets...)
+	}
+	return frequent
+}
+
+// generateCandidates joins the (k-1)-itemsets that share their first k-2
+// items and prunes candidates having an infrequent (k-1)-subset.
+func generateCandidates(prevSets []Itemset, prev map[string]int) []Itemset {
+	var out []Itemset
+	for i := 0; i < len(prevSets); i++ {
+		for j := i + 1; j < len(prevSets); j++ {
+			a, b := prevSets[i], prevSets[j]
+			if !samePrefix(a, b) {
+				// prevSets is sorted lexicographically; once prefixes
+				// diverge, later j cannot match either.
+				break
+			}
+			cand := make(Itemset, len(a)+1)
+			copy(cand, a)
+			last := b[len(b)-1]
+			if last <= a[len(a)-1] {
+				continue
+			}
+			cand[len(a)] = last
+			if hasInfrequentSubset(cand, prev) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b Itemset) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasInfrequentSubset checks the Apriori pruning condition: every (k-1)-
+// subset of cand must be frequent.
+func hasInfrequentSubset(cand Itemset, prev map[string]int) bool {
+	sub := make(Itemset, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if _, ok := prev[sub.key()]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// countCandidates counts candidate occurrences by enumerating each
+// transaction's k-subsets against a candidate hash. Infobox-week
+// transactions are small, so the enumeration is cheap; k is typically 2.
+func countCandidates(txns []Transaction, candidates []Itemset, k int) []int {
+	index := make(map[string]int, len(candidates))
+	for i, c := range candidates {
+		index[c.key()] = i
+	}
+	counts := make([]int, len(candidates))
+	if k == 2 {
+		// Fast path for the common case.
+		pair := make(Itemset, 2)
+		for _, t := range txns {
+			for i := 0; i < len(t); i++ {
+				for j := i + 1; j < len(t); j++ {
+					pair[0], pair[1] = t[i], t[j]
+					if idx, ok := index[pair.key()]; ok {
+						counts[idx]++
+					}
+				}
+			}
+		}
+		return counts
+	}
+	comb := make(Itemset, k)
+	for _, t := range txns {
+		if len(t) < k {
+			continue
+		}
+		enumerate(t, comb, 0, 0, func(s Itemset) {
+			if idx, ok := index[s.key()]; ok {
+				counts[idx]++
+			}
+		})
+	}
+	return counts
+}
+
+// enumerate visits all |comb|-subsets of t.
+func enumerate(t Transaction, comb Itemset, start, depth int, visit func(Itemset)) {
+	if depth == len(comb) {
+		visit(comb)
+		return
+	}
+	for i := start; i <= len(t)-(len(comb)-depth); i++ {
+		comb[depth] = t[i]
+		enumerate(t, comb, i+1, depth+1, visit)
+	}
+}
+
+// Mine runs the full pipeline: frequent itemsets, then every rule A → C
+// with A ∪ C frequent, A and C a non-empty disjoint partition, and
+// confidence >= cfg.MinConfidence. Rules are sorted by descending
+// confidence, then support, then antecedent.
+func Mine(txns []Transaction, cfg Config) ([]Rule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	frequent := FrequentItemsets(txns, cfg.MinSupport, cfg.MaxLen)
+	counts := make(map[string]int, len(frequent))
+	for _, f := range frequent {
+		counts[f.Items.key()] = f.Count
+	}
+	n := float64(len(txns))
+	var rules []Rule
+	for _, f := range frequent {
+		if len(f.Items) < 2 {
+			continue
+		}
+		partitions(f.Items, func(ante, cons Itemset) {
+			anteCount, ok := counts[ante.key()]
+			if !ok || anteCount == 0 {
+				return
+			}
+			conf := float64(f.Count) / float64(anteCount)
+			if conf+1e-12 < cfg.MinConfidence {
+				return
+			}
+			rules = append(rules, Rule{
+				Antecedent: append(Itemset(nil), ante...),
+				Consequent: append(Itemset(nil), cons...),
+				Support:    float64(f.Count) / n,
+				Confidence: conf,
+			})
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return lessItemset(rules[i].Antecedent, rules[j].Antecedent)
+	})
+	return rules, nil
+}
+
+// partitions visits every split of items into non-empty antecedent and
+// consequent.
+func partitions(items Itemset, visit func(ante, cons Itemset)) {
+	n := len(items)
+	var ante, cons Itemset
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		ante, cons = ante[:0], cons[:0]
+		for i, it := range items {
+			if mask&(1<<i) != 0 {
+				ante = append(ante, it)
+			} else {
+				cons = append(cons, it)
+			}
+		}
+		visit(ante, cons)
+	}
+}
+
+func sortItemsets(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool { return lessItemset(sets[i], sets[j]) })
+}
+
+func lessItemset(a, b Itemset) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// NormalizeTransaction sorts and deduplicates items in place, returning the
+// canonical transaction.
+func NormalizeTransaction(items []Item) Transaction {
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	out := items[:0]
+	for i, it := range items {
+		if i == 0 || it != items[i-1] {
+			out = append(out, it)
+		}
+	}
+	return Transaction(out)
+}

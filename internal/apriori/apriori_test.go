@@ -1,0 +1,363 @@
+package apriori
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func txn(items ...Item) Transaction { return NormalizeTransaction(items) }
+
+// classicTxns is the textbook example: five transactions over items 1..5.
+var classicTxns = []Transaction{
+	txn(1, 3, 4),
+	txn(2, 3, 5),
+	txn(1, 2, 3, 5),
+	txn(2, 5),
+	txn(1, 3, 5),
+}
+
+func supportOf(frequent []Support, items ...Item) (int, bool) {
+	want := Itemset(txn(items...))
+	for _, f := range frequent {
+		if reflect.DeepEqual(f.Items, want) {
+			return f.Count, true
+		}
+	}
+	return 0, false
+}
+
+func TestFrequentItemsetsClassic(t *testing.T) {
+	// minSupport 0.4 => minCount 2.
+	frequent := FrequentItemsets(classicTxns, 0.4, 3)
+	cases := []struct {
+		items []Item
+		count int
+	}{
+		{[]Item{1}, 3}, {[]Item{2}, 3}, {[]Item{3}, 4}, {[]Item{5}, 4},
+		{[]Item{1, 3}, 3}, {[]Item{2, 5}, 3}, {[]Item{3, 5}, 3},
+		{[]Item{1, 5}, 2}, {[]Item{2, 3}, 2},
+		{[]Item{1, 3, 5}, 2}, {[]Item{2, 3, 5}, 2},
+	}
+	for _, c := range cases {
+		got, ok := supportOf(frequent, c.items...)
+		if !ok {
+			t.Errorf("itemset %v missing", c.items)
+			continue
+		}
+		if got != c.count {
+			t.Errorf("support(%v) = %d, want %d", c.items, got, c.count)
+		}
+	}
+	// Item 4 appears once (support 0.2) and must be absent.
+	if _, ok := supportOf(frequent, 4); ok {
+		t.Error("infrequent item 4 reported")
+	}
+	if _, ok := supportOf(frequent, 1, 2); ok {
+		t.Error("infrequent pair {1,2} reported")
+	}
+}
+
+func TestFrequentItemsetsRespectsMaxLen(t *testing.T) {
+	frequent := FrequentItemsets(classicTxns, 0.4, 1)
+	for _, f := range frequent {
+		if len(f.Items) > 1 {
+			t.Fatalf("MaxLen 1 violated: %v", f.Items)
+		}
+	}
+}
+
+func TestMineRulesClassic(t *testing.T) {
+	rules, err := Mine(classicTxns, Config{MinSupport: 0.4, MinConfidence: 0.7, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {2}->{5}: supp 3/5, conf 3/3 = 1.0 must be present and first-ranked
+	// together with {5}->{2}? conf({5}->{2}) = 3/4 = 0.75.
+	find := func(a, c Item) (Rule, bool) {
+		for _, r := range rules {
+			if len(r.Antecedent) == 1 && r.Antecedent[0] == a &&
+				len(r.Consequent) == 1 && r.Consequent[0] == c {
+				return r, true
+			}
+		}
+		return Rule{}, false
+	}
+	r25, ok := find(2, 5)
+	if !ok || r25.Confidence != 1.0 {
+		t.Fatalf("rule 2->5 = %+v, ok=%v", r25, ok)
+	}
+	if r52, ok := find(5, 2); !ok || r52.Confidence != 0.75 {
+		t.Fatalf("rule 5->2 = %+v, ok=%v", r52, ok)
+	}
+	if _, ok := find(3, 1); ok {
+		// conf(3->1) = 3/4 = 0.75 >= 0.7, should be present actually.
+		_ = ok
+	}
+	// Rules are sorted by descending confidence.
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence+1e-12 {
+			t.Fatalf("rules not sorted by confidence: %v before %v", rules[i-1], rules[i])
+		}
+	}
+	// Asymmetry: 1->3 has conf 3/3=1, 3->1 has conf 3/4.
+	r13, ok13 := find(1, 3)
+	r31, ok31 := find(3, 1)
+	if !ok13 || !ok31 || r13.Confidence <= r31.Confidence {
+		t.Fatalf("asymmetric confidences wrong: 1->3 %+v (%v), 3->1 %+v (%v)", r13, ok13, r31, ok31)
+	}
+}
+
+func TestMineValidatesConfig(t *testing.T) {
+	bad := []Config{
+		{MinSupport: 0, MinConfidence: 0.5, MaxLen: 2},
+		{MinSupport: 1.5, MinConfidence: 0.5, MaxLen: 2},
+		{MinSupport: 0.1, MinConfidence: 0, MaxLen: 2},
+		{MinSupport: 0.1, MinConfidence: 0.5, MaxLen: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := Mine(classicTxns, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestEmptyTransactions(t *testing.T) {
+	if got := FrequentItemsets(nil, 0.5, 2); got != nil {
+		t.Fatalf("frequent itemsets of nothing: %v", got)
+	}
+	rules, err := Mine([]Transaction{}, Config{MinSupport: 0.5, MinConfidence: 0.5, MaxLen: 2})
+	if err != nil || len(rules) != 0 {
+		t.Fatalf("rules of nothing: %v, %v", rules, err)
+	}
+}
+
+func TestNormalizeTransaction(t *testing.T) {
+	got := NormalizeTransaction([]Item{3, 1, 3, 2, 1})
+	want := Transaction{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NormalizeTransaction = %v, want %v", got, want)
+	}
+	if got := NormalizeTransaction(nil); len(got) != 0 {
+		t.Fatalf("nil transaction = %v", got)
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	tr := txn(1, 3, 5, 7)
+	cases := []struct {
+		s    Itemset
+		want bool
+	}{
+		{Itemset{}, true},
+		{Itemset{1}, true},
+		{Itemset{3, 7}, true},
+		{Itemset{1, 3, 5, 7}, true},
+		{Itemset{2}, false},
+		{Itemset{1, 2}, false},
+		{Itemset{7, 9}, false},
+	}
+	for _, c := range cases {
+		if got := c.s.SubsetOf(tr); got != c.want {
+			t.Errorf("%v ⊆ %v = %v, want %v", c.s, tr, got, c.want)
+		}
+	}
+}
+
+// bruteForceFrequent enumerates all itemsets up to maxLen by exhaustive
+// subset counting — the reference implementation for property tests.
+func bruteForceFrequent(txns []Transaction, minSupport float64, maxLen int) map[string]int {
+	minCount := int(minSupport * float64(len(txns)))
+	if float64(minCount) < minSupport*float64(len(txns)) {
+		minCount++
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+	universe := map[Item]bool{}
+	for _, t := range txns {
+		for _, it := range t {
+			universe[it] = true
+		}
+	}
+	items := make([]Item, 0, len(universe))
+	for it := range universe {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	out := map[string]int{}
+	n := len(items)
+	for mask := 1; mask < 1<<n; mask++ {
+		var set Itemset
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, items[i])
+			}
+		}
+		if len(set) > maxLen {
+			continue
+		}
+		count := 0
+		for _, t := range txns {
+			if set.SubsetOf(t) {
+				count++
+			}
+		}
+		if count >= minCount {
+			out[set.key()] = count
+		}
+	}
+	return out
+}
+
+// TestAprioriMatchesBruteForce cross-checks against exhaustive enumeration
+// on random small universes.
+func TestAprioriMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 40; iter++ {
+		nTxns := 1 + rng.Intn(25)
+		universe := 1 + rng.Intn(8)
+		txns := make([]Transaction, nTxns)
+		for i := range txns {
+			var items []Item
+			for it := 0; it < universe; it++ {
+				if rng.Intn(2) == 0 {
+					items = append(items, Item(it))
+				}
+			}
+			txns[i] = NormalizeTransaction(items)
+		}
+		minSup := []float64{0.1, 0.3, 0.5}[rng.Intn(3)]
+		maxLen := 1 + rng.Intn(4)
+		got := FrequentItemsets(txns, minSup, maxLen)
+		want := bruteForceFrequent(txns, minSup, maxLen)
+		gotMap := map[string]int{}
+		for _, f := range got {
+			gotMap[f.Items.key()] = f.Count
+		}
+		if !reflect.DeepEqual(gotMap, want) {
+			t.Fatalf("iter %d: apriori %v != brute force %v (txns=%v minSup=%v maxLen=%d)",
+				iter, gotMap, want, txns, minSup, maxLen)
+		}
+	}
+}
+
+// TestSupportAntiMonotone: support of any frequent itemset never exceeds
+// the support of its subsets.
+func TestSupportAntiMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	txns := make([]Transaction, 60)
+	for i := range txns {
+		var items []Item
+		for it := 0; it < 10; it++ {
+			if rng.Intn(3) == 0 {
+				items = append(items, Item(it))
+			}
+		}
+		txns[i] = NormalizeTransaction(items)
+	}
+	frequent := FrequentItemsets(txns, 0.05, 4)
+	counts := map[string]int{}
+	for _, f := range frequent {
+		counts[f.Items.key()] = f.Count
+	}
+	for _, f := range frequent {
+		if len(f.Items) < 2 {
+			continue
+		}
+		sub := make(Itemset, 0, len(f.Items)-1)
+		for skip := range f.Items {
+			sub = sub[:0]
+			for i, it := range f.Items {
+				if i != skip {
+					sub = append(sub, it)
+				}
+			}
+			subCount, ok := counts[sub.key()]
+			if !ok {
+				t.Fatalf("frequent %v has unreported subset %v", f.Items, sub)
+			}
+			if subCount < f.Count {
+				t.Fatalf("anti-monotonicity violated: %v=%d, subset %v=%d",
+					f.Items, f.Count, sub, subCount)
+			}
+		}
+	}
+}
+
+// TestRuleMetricsConsistent: every mined rule's confidence equals
+// support(A∪C)/support(A) recomputed from raw transactions.
+func TestRuleMetricsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		txns := make([]Transaction, 1+rng.Intn(30))
+		for i := range txns {
+			var items []Item
+			for it := 0; it < 6; it++ {
+				if rng.Intn(2) == 0 {
+					items = append(items, Item(it))
+				}
+			}
+			txns[i] = NormalizeTransaction(items)
+		}
+		rules, err := Mine(txns, Config{MinSupport: 0.2, MinConfidence: 0.5, MaxLen: 3})
+		if err != nil {
+			return false
+		}
+		count := func(s Itemset) int {
+			n := 0
+			for _, tr := range txns {
+				if s.SubsetOf(tr) {
+					n++
+				}
+			}
+			return n
+		}
+		for _, r := range rules {
+			union := NormalizeTransaction(append(append([]Item{}, r.Antecedent...), r.Consequent...))
+			wantConf := float64(count(Itemset(union))) / float64(count(r.Antecedent))
+			if abs(r.Confidence-wantConf) > 1e-9 {
+				return false
+			}
+			wantSup := float64(count(Itemset(union))) / float64(len(txns))
+			if abs(r.Support-wantSup) > 1e-9 {
+				return false
+			}
+			if r.Confidence < 0.5-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestItemsetContains(t *testing.T) {
+	s := Itemset{2, 4, 6}
+	for _, c := range []struct {
+		it   Item
+		want bool
+	}{{2, true}, {4, true}, {6, true}, {1, false}, {3, false}, {7, false}} {
+		if got := s.Contains(c.it); got != c.want {
+			t.Errorf("Contains(%d) = %v", c.it, got)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Antecedent: Itemset{1}, Consequent: Itemset{2}, Support: 0.5, Confidence: 0.75}
+	if r.String() == "" {
+		t.Fatal("empty rule string")
+	}
+}

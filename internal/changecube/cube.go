@@ -1,0 +1,278 @@
+// Package changecube implements the change-cube data model of Bleifuß et
+// al. (PVLDB 2018) as used by the stale-data detection paper: every change
+// to a Wikipedia infobox is a tuple of time, entity (infobox), property and
+// newly assigned value. Entities carry two pieces of schema metadata — the
+// infobox template they instantiate and the page they appear on — which the
+// two predictors use to scope their search for related fields.
+package changecube
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// EntityID identifies an infobox. Each entity belongs to exactly one
+// template and one page.
+type EntityID int32
+
+// PropertyID identifies an interned property (attribute) name.
+type PropertyID int32
+
+// TemplateID identifies an interned infobox template name.
+type TemplateID int32
+
+// PageID identifies an interned page title.
+type PageID int32
+
+// ChangeKind distinguishes the three change classes of the paper's §4:
+// value updates, property/infobox creations and deletions. Only updates
+// survive the filter pipeline.
+type ChangeKind uint8
+
+const (
+	// Update assigns a new value to an existing property.
+	Update ChangeKind = iota
+	// Create adds a property (or a whole infobox, one Create per property).
+	Create
+	// Delete removes a property (or a whole infobox).
+	Delete
+)
+
+// String returns the lower-case kind name.
+func (k ChangeKind) String() string {
+	switch k {
+	case Update:
+		return "update"
+	case Create:
+		return "create"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", uint8(k))
+	}
+}
+
+// Change is one tuple of the change cube.
+type Change struct {
+	// Time is the Unix timestamp (seconds, UTC) of the revision that
+	// introduced the change.
+	Time int64
+	// Entity is the infobox the change belongs to.
+	Entity EntityID
+	// Property is the changed attribute.
+	Property PropertyID
+	// Value is the newly assigned value (empty for Delete).
+	Value string
+	// Kind classifies the change.
+	Kind ChangeKind
+	// Bot marks changes performed by known Wikipedia bots; the filter
+	// pipeline uses it to drop bot-reverted edit pairs.
+	Bot bool
+}
+
+// Day returns the calendar day of the change.
+func (c Change) Day() timeline.Day { return timeline.DayOfUnix(c.Time) }
+
+// FieldKey identifies a field: the combination of entity and property, the
+// unit at which staleness predictions are made.
+type FieldKey struct {
+	Entity   EntityID
+	Property PropertyID
+}
+
+// EntityInfo is the per-entity schema metadata of the cube.
+type EntityInfo struct {
+	Template TemplateID
+	Page     PageID
+}
+
+// Cube is an in-memory change cube: dictionaries for the three string
+// dimensions, per-entity metadata, and the change list itself.
+type Cube struct {
+	Properties *Dict
+	Templates  *Dict
+	Pages      *Dict
+
+	entities []EntityInfo
+	changes  []Change
+	sorted   bool
+}
+
+// New returns an empty cube.
+func New() *Cube {
+	return &Cube{
+		Properties: NewDict(),
+		Templates:  NewDict(),
+		Pages:      NewDict(),
+		sorted:     true,
+	}
+}
+
+// AddEntity registers a new infobox on the given page instantiating the
+// given template and returns its id.
+func (c *Cube) AddEntity(template TemplateID, page PageID) EntityID {
+	if int(template) >= c.Templates.Len() || template < 0 {
+		panic(fmt.Sprintf("changecube: unknown template %d", template))
+	}
+	if int(page) >= c.Pages.Len() || page < 0 {
+		panic(fmt.Sprintf("changecube: unknown page %d", page))
+	}
+	id := EntityID(len(c.entities))
+	c.entities = append(c.entities, EntityInfo{Template: template, Page: page})
+	return id
+}
+
+// AddEntityNamed is AddEntity with string template and page names, interning
+// them as needed.
+func (c *Cube) AddEntityNamed(template, page string) EntityID {
+	t := TemplateID(c.Templates.Intern(template))
+	p := PageID(c.Pages.Intern(page))
+	return c.AddEntity(t, p)
+}
+
+// NumEntities returns the number of registered infoboxes.
+func (c *Cube) NumEntities() int { return len(c.entities) }
+
+// Entity returns the metadata of entity e.
+func (c *Cube) Entity(e EntityID) EntityInfo {
+	return c.entities[e]
+}
+
+// Template returns the template of entity e.
+func (c *Cube) Template(e EntityID) TemplateID { return c.entities[e].Template }
+
+// Page returns the page of entity e.
+func (c *Cube) Page(e EntityID) PageID { return c.entities[e].Page }
+
+// Add appends a change. Changes may be added in any order; Sort (or any
+// accessor that needs order) arranges them chronologically.
+func (c *Cube) Add(ch Change) {
+	if int(ch.Entity) >= len(c.entities) || ch.Entity < 0 {
+		panic(fmt.Sprintf("changecube: change references unknown entity %d", ch.Entity))
+	}
+	if int(ch.Property) >= c.Properties.Len() || ch.Property < 0 {
+		panic(fmt.Sprintf("changecube: change references unknown property %d", ch.Property))
+	}
+	if n := len(c.changes); n > 0 && c.sorted {
+		prev := c.changes[n-1]
+		if ch.Time < prev.Time || (ch.Time == prev.Time && !lessAt(prev, ch) && prev != ch) {
+			c.sorted = false
+		}
+	}
+	c.changes = append(c.changes, ch)
+}
+
+// lessAt is the tie-break order for changes with equal timestamps: by
+// entity, then property, so that per-field subsequences are contiguous
+// within a timestamp.
+func lessAt(a, b Change) bool {
+	if a.Entity != b.Entity {
+		return a.Entity < b.Entity
+	}
+	return a.Property < b.Property
+}
+
+// Less is the canonical change order: by time, then entity, then property.
+func Less(a, b Change) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return lessAt(a, b)
+}
+
+// Sort arranges the changes in canonical order. It is a no-op when the cube
+// is already sorted.
+func (c *Cube) Sort() {
+	if c.sorted {
+		return
+	}
+	sort.SliceStable(c.changes, func(i, j int) bool { return Less(c.changes[i], c.changes[j]) })
+	c.sorted = true
+}
+
+// Changes returns the change list in canonical order. The returned slice is
+// backing storage and must not be modified.
+func (c *Cube) Changes() []Change {
+	c.Sort()
+	return c.changes
+}
+
+// NumChanges returns the number of changes.
+func (c *Cube) NumChanges() int { return len(c.changes) }
+
+// Span returns the half-open day span covering all changes. An empty cube
+// yields an empty span at day 0.
+func (c *Cube) Span() timeline.Span {
+	if len(c.changes) == 0 {
+		return timeline.Span{}
+	}
+	c.Sort()
+	first := c.changes[0].Day()
+	last := c.changes[len(c.changes)-1].Day()
+	return timeline.Span{Start: first, End: last + 1}
+}
+
+// FieldChanges groups the changes by field, preserving chronological order
+// within each group. The map values alias the cube's storage.
+func (c *Cube) FieldChanges() map[FieldKey][]Change {
+	c.Sort()
+	out := make(map[FieldKey][]Change)
+	for _, ch := range c.changes {
+		k := FieldKey{Entity: ch.Entity, Property: ch.Property}
+		out[k] = append(out[k], ch)
+	}
+	return out
+}
+
+// EntitiesByPage groups entity ids by the page they appear on.
+func (c *Cube) EntitiesByPage() map[PageID][]EntityID {
+	out := make(map[PageID][]EntityID)
+	for i, info := range c.entities {
+		out[info.Page] = append(out[info.Page], EntityID(i))
+	}
+	return out
+}
+
+// EntitiesByTemplate groups entity ids by their template.
+func (c *Cube) EntitiesByTemplate() map[TemplateID][]EntityID {
+	out := make(map[TemplateID][]EntityID)
+	for i, info := range c.entities {
+		out[info.Template] = append(out[info.Template], EntityID(i))
+	}
+	return out
+}
+
+// Validate checks internal consistency: all referenced entities and
+// properties exist and, if the cube claims to be sorted, the change order is
+// canonical. It returns the first violation found.
+func (c *Cube) Validate() error {
+	for i, ch := range c.changes {
+		if int(ch.Entity) >= len(c.entities) || ch.Entity < 0 {
+			return fmt.Errorf("change %d: unknown entity %d", i, ch.Entity)
+		}
+		if int(ch.Property) >= c.Properties.Len() || ch.Property < 0 {
+			return fmt.Errorf("change %d: unknown property %d", i, ch.Property)
+		}
+		if ch.Kind > Delete {
+			return fmt.Errorf("change %d: invalid kind %d", i, ch.Kind)
+		}
+	}
+	for i, info := range c.entities {
+		if int(info.Template) >= c.Templates.Len() || info.Template < 0 {
+			return fmt.Errorf("entity %d: unknown template %d", i, info.Template)
+		}
+		if int(info.Page) >= c.Pages.Len() || info.Page < 0 {
+			return fmt.Errorf("entity %d: unknown page %d", i, info.Page)
+		}
+	}
+	if c.sorted {
+		for i := 1; i < len(c.changes); i++ {
+			if Less(c.changes[i], c.changes[i-1]) {
+				return fmt.Errorf("changes %d and %d out of canonical order", i-1, i)
+			}
+		}
+	}
+	return nil
+}

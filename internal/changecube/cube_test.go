@@ -1,0 +1,163 @@
+package changecube
+
+import (
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+func TestDictIntern(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("population")
+	b := d.Intern("area")
+	a2 := d.Intern("population")
+	if a != a2 {
+		t.Fatalf("re-interning returned %d, want %d", a2, a)
+	}
+	if a == b {
+		t.Fatal("distinct names share an id")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Name(a) != "population" || d.Name(b) != "area" {
+		t.Fatal("Name does not round-trip")
+	}
+	if id, ok := d.Lookup("area"); !ok || id != b {
+		t.Fatal("Lookup failed for known name")
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Fatal("Lookup succeeded for unknown name")
+	}
+}
+
+func TestDictNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name(99) did not panic")
+		}
+	}()
+	NewDict().Name(99)
+}
+
+// buildTestCube returns a small cube with two pages, two templates, three
+// entities and a handful of changes out of chronological order.
+func buildTestCube() (*Cube, []EntityID) {
+	c := New()
+	e1 := c.AddEntityNamed("infobox settlement", "London")
+	e2 := c.AddEntityNamed("infobox settlement", "Paris")
+	e3 := c.AddEntityNamed("infobox boxer", "London") // second infobox on the London page
+	pop := PropertyID(c.Properties.Intern("population"))
+	wins := PropertyID(c.Properties.Intern("wins"))
+	c.Add(Change{Time: 2000, Entity: e1, Property: pop, Value: "9m", Kind: Update})
+	c.Add(Change{Time: 1000, Entity: e2, Property: pop, Value: "2m", Kind: Update})
+	c.Add(Change{Time: 1500, Entity: e3, Property: wins, Value: "10", Kind: Update})
+	c.Add(Change{Time: 1000, Entity: e1, Property: pop, Value: "8m", Kind: Create})
+	return c, []EntityID{e1, e2, e3}
+}
+
+func TestCubeSortAndValidate(t *testing.T) {
+	c, _ := buildTestCube()
+	chs := c.Changes()
+	for i := 1; i < len(chs); i++ {
+		if Less(chs[i], chs[i-1]) {
+			t.Fatalf("changes not in canonical order at %d", i)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestCubeSortStableTieBreak(t *testing.T) {
+	c, es := buildTestCube()
+	chs := c.Changes()
+	// Two changes share Time=1000: entity e1 (Create) and e2. Canonical
+	// order puts the lower entity id first.
+	if chs[0].Entity != es[0] || chs[0].Kind != Create {
+		t.Fatalf("first change = %+v, want e1 create at t=1000", chs[0])
+	}
+	if chs[1].Entity != es[1] {
+		t.Fatalf("second change entity = %d, want %d", chs[1].Entity, es[1])
+	}
+}
+
+func TestCubeSpan(t *testing.T) {
+	c, _ := buildTestCube()
+	span := c.Span()
+	if span.Start != 0 || span.End != 1 {
+		t.Fatalf("span = %v, want [0,1) (all timestamps on epoch day)", span)
+	}
+	if (New()).Span() != (timeline.Span{}) {
+		t.Fatal("empty cube span not empty")
+	}
+}
+
+func TestCubeGroupings(t *testing.T) {
+	c, es := buildTestCube()
+	byPage := c.EntitiesByPage()
+	london, _ := c.Pages.Lookup("London")
+	if got := byPage[PageID(london)]; len(got) != 2 {
+		t.Fatalf("London page has %d entities, want 2", len(got))
+	}
+	byTemplate := c.EntitiesByTemplate()
+	settlement, _ := c.Templates.Lookup("infobox settlement")
+	if got := byTemplate[TemplateID(settlement)]; len(got) != 2 || got[0] != es[0] || got[1] != es[1] {
+		t.Fatalf("settlement template entities = %v", got)
+	}
+	fc := c.FieldChanges()
+	pop, _ := c.Properties.Lookup("population")
+	k := FieldKey{Entity: es[0], Property: PropertyID(pop)}
+	if got := fc[k]; len(got) != 2 || got[0].Time != 1000 || got[1].Time != 2000 {
+		t.Fatalf("field changes for e1.population = %+v", got)
+	}
+}
+
+func TestCubeAddPanicsOnUnknownEntity(t *testing.T) {
+	c := New()
+	c.Properties.Intern("p")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with unknown entity did not panic")
+		}
+	}()
+	c.Add(Change{Entity: 5, Property: 0})
+}
+
+func TestCubeAddPanicsOnUnknownProperty(t *testing.T) {
+	c := New()
+	c.AddEntityNamed("t", "p")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with unknown property did not panic")
+		}
+	}()
+	c.Add(Change{Entity: 0, Property: 3})
+}
+
+func TestAddEntityPanicsOnUnknownTemplate(t *testing.T) {
+	c := New()
+	c.Pages.Intern("page")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEntity with unknown template did not panic")
+		}
+	}()
+	c.AddEntity(7, 0)
+}
+
+func TestChangeKindString(t *testing.T) {
+	if Update.String() != "update" || Create.String() != "create" || Delete.String() != "delete" {
+		t.Fatal("kind names wrong")
+	}
+	if ChangeKind(9).String() != "ChangeKind(9)" {
+		t.Fatal("unknown kind formatting wrong")
+	}
+}
+
+func TestChangeDay(t *testing.T) {
+	ch := Change{Time: timeline.Date(2018, 9, 1).Unix() + 3600}
+	if ch.Day() != timeline.Date(2018, 9, 1) {
+		t.Fatalf("Day() = %v", ch.Day())
+	}
+}

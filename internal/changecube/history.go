@@ -1,0 +1,253 @@
+package changecube
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// History is a field's filtered change history at day resolution: the
+// strictly increasing list of days on which the field's representative
+// change happened. This is the only view of the data the change predictors
+// consume — the paper's predictors disregard the value dimension entirely.
+type History struct {
+	Field FieldKey
+	Days  []timeline.Day
+}
+
+// Len returns the number of change days.
+func (h History) Len() int { return len(h.Days) }
+
+// CountIn returns the number of change days inside the half-open span.
+func (h History) CountIn(span timeline.Span) int {
+	lo := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= span.Start })
+	hi := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= span.End })
+	return hi - lo
+}
+
+// ChangedIn reports whether the field changed at least once inside span.
+func (h History) ChangedIn(span timeline.Span) bool {
+	lo := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= span.Start })
+	return lo < len(h.Days) && h.Days[lo] < span.End
+}
+
+// Before returns the prefix of change days strictly before day. The result
+// aliases the history's storage.
+func (h History) Before(day timeline.Day) []timeline.Day {
+	hi := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= day })
+	return h.Days[:hi]
+}
+
+// In returns the change days inside the half-open span, aliasing storage.
+func (h History) In(span timeline.Span) []timeline.Day {
+	lo := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= span.Start })
+	hi := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= span.End })
+	return h.Days[lo:hi]
+}
+
+// LastBefore returns the most recent change day strictly before day.
+func (h History) LastBefore(day timeline.Day) (timeline.Day, bool) {
+	hi := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= day })
+	if hi == 0 {
+		return 0, false
+	}
+	return h.Days[hi-1], true
+}
+
+// Validate checks that the day list is strictly increasing.
+func (h History) Validate() error {
+	for i := 1; i < len(h.Days); i++ {
+		if h.Days[i] <= h.Days[i-1] {
+			return fmt.Errorf("history %v: days not strictly increasing at %d (%v, %v)",
+				h.Field, i, h.Days[i-1], h.Days[i])
+		}
+	}
+	return nil
+}
+
+// HistorySet is the filtered dataset: one History per surviving field, plus
+// the cube that supplies entity metadata (template, page). It is the input
+// to training and evaluation.
+type HistorySet struct {
+	cube      *Cube
+	histories []History
+	index     map[FieldKey]int
+}
+
+// NewHistorySet builds a set over the given cube. Histories are sorted by
+// field for determinism; each must be valid and non-empty, and fields must
+// be unique.
+func NewHistorySet(cube *Cube, histories []History) (*HistorySet, error) {
+	hs := &HistorySet{
+		cube:      cube,
+		histories: histories,
+		index:     make(map[FieldKey]int, len(histories)),
+	}
+	sort.Slice(hs.histories, func(i, j int) bool {
+		a, b := hs.histories[i].Field, hs.histories[j].Field
+		if a.Entity != b.Entity {
+			return a.Entity < b.Entity
+		}
+		return a.Property < b.Property
+	})
+	for i, h := range hs.histories {
+		if len(h.Days) == 0 {
+			return nil, fmt.Errorf("changecube: empty history for field %v", h.Field)
+		}
+		if err := h.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := hs.index[h.Field]; dup {
+			return nil, fmt.Errorf("changecube: duplicate history for field %v", h.Field)
+		}
+		if int(h.Field.Entity) >= cube.NumEntities() || h.Field.Entity < 0 {
+			return nil, fmt.Errorf("changecube: history references unknown entity %d", h.Field.Entity)
+		}
+		hs.index[h.Field] = i
+	}
+	return hs, nil
+}
+
+// Cube returns the underlying cube (entity metadata and dictionaries).
+func (hs *HistorySet) Cube() *Cube { return hs.cube }
+
+// Histories returns all histories in field order; the slice is backing
+// storage and must not be modified.
+func (hs *HistorySet) Histories() []History { return hs.histories }
+
+// Len returns the number of fields.
+func (hs *HistorySet) Len() int { return len(hs.histories) }
+
+// Get returns the history for field and whether it exists.
+func (hs *HistorySet) Get(field FieldKey) (History, bool) {
+	i, ok := hs.index[field]
+	if !ok {
+		return History{}, false
+	}
+	return hs.histories[i], true
+}
+
+// TotalChanges returns the total number of day-level changes across fields.
+func (hs *HistorySet) TotalChanges() int {
+	n := 0
+	for _, h := range hs.histories {
+		n += len(h.Days)
+	}
+	return n
+}
+
+// Span returns the day span covering all change days.
+func (hs *HistorySet) Span() timeline.Span {
+	if len(hs.histories) == 0 {
+		return timeline.Span{}
+	}
+	first := hs.histories[0].Days[0]
+	last := hs.histories[0].Days[0]
+	for _, h := range hs.histories {
+		if h.Days[0] < first {
+			first = h.Days[0]
+		}
+		if d := h.Days[len(h.Days)-1]; d > last {
+			last = d
+		}
+	}
+	return timeline.Span{Start: first, End: last + 1}
+}
+
+// ByPage groups history indices by the page of their entity, in field
+// order within each page.
+func (hs *HistorySet) ByPage() map[PageID][]int {
+	out := make(map[PageID][]int)
+	for i, h := range hs.histories {
+		p := hs.cube.Page(h.Field.Entity)
+		out[p] = append(out[p], i)
+	}
+	return out
+}
+
+// ByEntity groups history indices by entity.
+func (hs *HistorySet) ByEntity() map[EntityID][]int {
+	out := make(map[EntityID][]int)
+	for i, h := range hs.histories {
+		out[h.Field.Entity] = append(out[h.Field.Entity], i)
+	}
+	return out
+}
+
+// MergeDays returns a new set with additional change days folded in.
+// Existing fields get the union of their days; unknown fields are added
+// (their entities must exist in the cube). The receiver is unmodified.
+func (hs *HistorySet) MergeDays(updates map[FieldKey][]timeline.Day) (*HistorySet, error) {
+	histories := make([]History, 0, len(hs.histories)+len(updates))
+	for _, h := range hs.histories {
+		if extra, ok := updates[h.Field]; ok {
+			histories = append(histories, History{
+				Field: h.Field,
+				Days:  mergeSortedDays(h.Days, extra),
+			})
+			continue
+		}
+		histories = append(histories, h)
+	}
+	for field, days := range updates {
+		if _, ok := hs.index[field]; ok {
+			continue
+		}
+		if len(days) == 0 {
+			continue
+		}
+		histories = append(histories, History{Field: field, Days: mergeSortedDays(nil, days)})
+	}
+	return NewHistorySet(hs.cube, histories)
+}
+
+// mergeSortedDays unions two day lists into a fresh strictly-increasing
+// slice. a must already be sorted; b is sorted defensively.
+func mergeSortedDays(a, b []timeline.Day) []timeline.Day {
+	bs := append([]timeline.Day(nil), b...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	out := make([]timeline.Day, 0, len(a)+len(bs))
+	i, j := 0, 0
+	push := func(d timeline.Day) {
+		if len(out) == 0 || out[len(out)-1] != d {
+			out = append(out, d)
+		}
+	}
+	for i < len(a) && j < len(bs) {
+		if a[i] <= bs[j] {
+			push(a[i])
+			i++
+		} else {
+			push(bs[j])
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		push(a[i])
+	}
+	for ; j < len(bs); j++ {
+		push(bs[j])
+	}
+	return out
+}
+
+// Restrict returns a new set containing, for every field, only the change
+// days inside span — keeping fields with at least minChanges such days.
+// This implements the paper's per-split eligibility rule ("all fields that
+// have at least five changes within their timeframe").
+func (hs *HistorySet) Restrict(span timeline.Span, minChanges int) *HistorySet {
+	var kept []History
+	for _, h := range hs.histories {
+		days := h.In(span)
+		if len(days) >= minChanges && len(days) > 0 {
+			kept = append(kept, History{Field: h.Field, Days: days})
+		}
+	}
+	out, err := NewHistorySet(hs.cube, kept)
+	if err != nil {
+		// Restricting a valid set cannot produce an invalid one.
+		panic(fmt.Sprintf("changecube: Restrict produced invalid set: %v", err))
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package changecube
+
+import (
+	"sort"
+
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// Query is a fluent filter over the cube's changes — the slice/dice
+// operations of the change-cube model (Bleifuß et al., PVLDB 2018): any
+// combination of time span, template, page, entity, property and change
+// kind. Building a query allocates only filter sets; evaluation walks the
+// canonical change order once, binary-searching the time bounds.
+//
+// Filters of the same dimension OR together; different dimensions AND.
+// Filtering by a name the cube has never seen matches nothing.
+type Query struct {
+	cube *Cube
+
+	span       *timeline.Span
+	entities   map[EntityID]bool
+	templates  map[TemplateID]bool
+	pages      map[PageID]bool
+	properties map[PropertyID]bool
+	kinds      map[ChangeKind]bool
+	impossible bool // a name filter referenced an unknown name
+}
+
+// Query starts a new query over all changes.
+func (c *Cube) Query() *Query { return &Query{cube: c} }
+
+// Span restricts to changes whose day lies inside the half-open span.
+func (q *Query) Span(s timeline.Span) *Query {
+	q.span = &s
+	return q
+}
+
+// Entity restricts to the given entities.
+func (q *Query) Entity(ids ...EntityID) *Query {
+	if q.entities == nil {
+		q.entities = make(map[EntityID]bool, len(ids))
+	}
+	for _, id := range ids {
+		q.entities[id] = true
+	}
+	return q
+}
+
+// Template restricts to entities of the named templates.
+func (q *Query) Template(names ...string) *Query {
+	if q.templates == nil {
+		q.templates = make(map[TemplateID]bool, len(names))
+	}
+	for _, name := range names {
+		id, ok := q.cube.Templates.Lookup(name)
+		if !ok {
+			q.impossible = true
+			continue
+		}
+		q.templates[TemplateID(id)] = true
+	}
+	return q
+}
+
+// Page restricts to entities on the named pages.
+func (q *Query) Page(names ...string) *Query {
+	if q.pages == nil {
+		q.pages = make(map[PageID]bool, len(names))
+	}
+	for _, name := range names {
+		id, ok := q.cube.Pages.Lookup(name)
+		if !ok {
+			q.impossible = true
+			continue
+		}
+		q.pages[PageID(id)] = true
+	}
+	return q
+}
+
+// Property restricts to the named properties.
+func (q *Query) Property(names ...string) *Query {
+	if q.properties == nil {
+		q.properties = make(map[PropertyID]bool, len(names))
+	}
+	for _, name := range names {
+		id, ok := q.cube.Properties.Lookup(name)
+		if !ok {
+			q.impossible = true
+			continue
+		}
+		q.properties[PropertyID(id)] = true
+	}
+	return q
+}
+
+// Kind restricts to the given change kinds.
+func (q *Query) Kind(kinds ...ChangeKind) *Query {
+	if q.kinds == nil {
+		q.kinds = make(map[ChangeKind]bool, len(kinds))
+	}
+	for _, k := range kinds {
+		q.kinds[k] = true
+	}
+	return q
+}
+
+// matches applies every non-time filter.
+func (q *Query) matches(ch Change) bool {
+	if q.entities != nil && !q.entities[ch.Entity] {
+		return false
+	}
+	info := q.cube.entities[ch.Entity]
+	if q.templates != nil && !q.templates[info.Template] {
+		return false
+	}
+	if q.pages != nil && !q.pages[info.Page] {
+		return false
+	}
+	if q.properties != nil && !q.properties[ch.Property] {
+		return false
+	}
+	if q.kinds != nil && !q.kinds[ch.Kind] {
+		return false
+	}
+	return true
+}
+
+// emptyFilter reports whether a name dimension filtered everything away
+// (every supplied name was unknown, leaving an empty set).
+func (q *Query) emptyFilter() bool {
+	empty := func(n int, set bool) bool { return set && n == 0 }
+	return empty(len(q.entities), q.entities != nil) ||
+		empty(len(q.templates), q.templates != nil) ||
+		empty(len(q.pages), q.pages != nil) ||
+		empty(len(q.properties), q.properties != nil) ||
+		empty(len(q.kinds), q.kinds != nil)
+}
+
+// timeBounds returns the index range of the sorted change list covered by
+// the span filter.
+func (q *Query) timeBounds(changes []Change) (int, int) {
+	if q.span == nil {
+		return 0, len(changes)
+	}
+	lo := sort.Search(len(changes), func(i int) bool {
+		return changes[i].Time >= q.span.Start.Unix()
+	})
+	hi := sort.Search(len(changes), func(i int) bool {
+		return changes[i].Time >= q.span.End.Unix()
+	})
+	return lo, hi
+}
+
+// Each visits the matching changes in canonical order; returning false
+// from fn stops the iteration.
+func (q *Query) Each(fn func(Change) bool) {
+	if q.emptyFilter() {
+		return
+	}
+	changes := q.cube.Changes()
+	lo, hi := q.timeBounds(changes)
+	for _, ch := range changes[lo:hi] {
+		if !q.matches(ch) {
+			continue
+		}
+		if !fn(ch) {
+			return
+		}
+	}
+}
+
+// Count returns the number of matching changes.
+func (q *Query) Count() int {
+	n := 0
+	q.Each(func(Change) bool { n++; return true })
+	return n
+}
+
+// Changes materializes the matching changes.
+func (q *Query) Changes() []Change {
+	var out []Change
+	q.Each(func(ch Change) bool { out = append(out, ch); return true })
+	return out
+}
+
+// Values returns the matching changes' values in canonical order.
+func (q *Query) Values() []string {
+	var out []string
+	q.Each(func(ch Change) bool { out = append(out, ch.Value); return true })
+	return out
+}
+
+// Fields returns the distinct fields among the matching changes, in field
+// order.
+func (q *Query) Fields() []FieldKey {
+	seen := make(map[FieldKey]bool)
+	q.Each(func(ch Change) bool {
+		seen[FieldKey{Entity: ch.Entity, Property: ch.Property}] = true
+		return true
+	})
+	out := make([]FieldKey, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Entity != out[j].Entity {
+			return out[i].Entity < out[j].Entity
+		}
+		return out[i].Property < out[j].Property
+	})
+	return out
+}
+
+// CountByKind tallies the matching changes per kind.
+func (q *Query) CountByKind() map[ChangeKind]int {
+	out := make(map[ChangeKind]int)
+	q.Each(func(ch Change) bool { out[ch.Kind]++; return true })
+	return out
+}
+
+// CountByTemplate tallies the matching changes per template.
+func (q *Query) CountByTemplate() map[TemplateID]int {
+	out := make(map[TemplateID]int)
+	q.Each(func(ch Change) bool {
+		out[q.cube.entities[ch.Entity].Template]++
+		return true
+	})
+	return out
+}

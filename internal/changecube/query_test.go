@@ -1,0 +1,148 @@
+package changecube
+
+import (
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// queryCube builds a cube with two templates, three entities and changes
+// across several days.
+func queryCube(t *testing.T) *Cube {
+	t.Helper()
+	c := New()
+	london := c.AddEntityNamed("infobox settlement", "London")
+	paris := c.AddEntityNamed("infobox settlement", "Paris")
+	boxer := c.AddEntityNamed("infobox boxer", "Ali")
+	pop := PropertyID(c.Properties.Intern("population"))
+	wins := PropertyID(c.Properties.Intern("wins"))
+	day := func(d int) int64 { return timeline.Day(d).Unix() + 100 }
+	c.Add(Change{Time: day(0), Entity: london, Property: pop, Value: "1", Kind: Create})
+	c.Add(Change{Time: day(1), Entity: london, Property: pop, Value: "2", Kind: Update})
+	c.Add(Change{Time: day(2), Entity: paris, Property: pop, Value: "3", Kind: Update})
+	c.Add(Change{Time: day(3), Entity: boxer, Property: wins, Value: "10", Kind: Update})
+	c.Add(Change{Time: day(4), Entity: boxer, Property: wins, Value: "", Kind: Delete})
+	c.Add(Change{Time: day(5), Entity: london, Property: pop, Value: "4", Kind: Update})
+	return c
+}
+
+func TestQueryAll(t *testing.T) {
+	c := queryCube(t)
+	if got := c.Query().Count(); got != 6 {
+		t.Fatalf("Count() = %d, want 6", got)
+	}
+}
+
+func TestQuerySpan(t *testing.T) {
+	c := queryCube(t)
+	q := c.Query().Span(timeline.NewSpan(1, 4))
+	if got := q.Count(); got != 3 {
+		t.Fatalf("span count = %d, want 3", got)
+	}
+	chs := q.Changes()
+	if chs[0].Value != "2" || chs[2].Value != "10" {
+		t.Fatalf("span changes = %+v", chs)
+	}
+}
+
+func TestQueryTemplateAndKind(t *testing.T) {
+	c := queryCube(t)
+	if got := c.Query().Template("infobox settlement").Count(); got != 4 {
+		t.Fatalf("settlement count = %d, want 4", got)
+	}
+	if got := c.Query().Template("infobox settlement").Kind(Update).Count(); got != 3 {
+		t.Fatalf("settlement updates = %d, want 3", got)
+	}
+	if got := c.Query().Kind(Create, Delete).Count(); got != 2 {
+		t.Fatalf("create+delete = %d, want 2", got)
+	}
+}
+
+func TestQueryPageAndProperty(t *testing.T) {
+	c := queryCube(t)
+	if got := c.Query().Page("London").Count(); got != 3 {
+		t.Fatalf("London count = %d", got)
+	}
+	if got := c.Query().Property("wins").Count(); got != 2 {
+		t.Fatalf("wins count = %d", got)
+	}
+	vals := c.Query().Page("London").Property("population").Kind(Update).Values()
+	if len(vals) != 2 || vals[0] != "2" || vals[1] != "4" {
+		t.Fatalf("values = %v", vals)
+	}
+}
+
+func TestQueryEntity(t *testing.T) {
+	c := queryCube(t)
+	if got := c.Query().Entity(0, 1).Count(); got != 4 {
+		t.Fatalf("entity filter count = %d", got)
+	}
+}
+
+func TestQueryUnknownNamesMatchNothing(t *testing.T) {
+	c := queryCube(t)
+	if got := c.Query().Template("infobox nonexistent").Count(); got != 0 {
+		t.Fatalf("unknown template matched %d", got)
+	}
+	if got := c.Query().Page("Atlantis").Count(); got != 0 {
+		t.Fatalf("unknown page matched %d", got)
+	}
+	if got := c.Query().Property("ghost").Count(); got != 0 {
+		t.Fatalf("unknown property matched %d", got)
+	}
+	// An unknown name alongside a known one still matches the known one.
+	if got := c.Query().Page("Atlantis", "London").Count(); got != 3 {
+		t.Fatalf("mixed pages matched %d, want 3", got)
+	}
+}
+
+func TestQueryFields(t *testing.T) {
+	c := queryCube(t)
+	fields := c.Query().Fields()
+	if len(fields) != 3 {
+		t.Fatalf("fields = %v", fields)
+	}
+	for i := 1; i < len(fields); i++ {
+		if fields[i].Entity < fields[i-1].Entity {
+			t.Fatalf("fields unsorted: %v", fields)
+		}
+	}
+}
+
+func TestQueryCountBy(t *testing.T) {
+	c := queryCube(t)
+	byKind := c.Query().CountByKind()
+	if byKind[Update] != 4 || byKind[Create] != 1 || byKind[Delete] != 1 {
+		t.Fatalf("byKind = %v", byKind)
+	}
+	byTemplate := c.Query().CountByTemplate()
+	settlement, _ := c.Templates.Lookup("infobox settlement")
+	if byTemplate[TemplateID(settlement)] != 4 {
+		t.Fatalf("byTemplate = %v", byTemplate)
+	}
+}
+
+func TestQueryEachEarlyStop(t *testing.T) {
+	c := queryCube(t)
+	visited := 0
+	c.Query().Each(func(Change) bool {
+		visited++
+		return visited < 2
+	})
+	if visited != 2 {
+		t.Fatalf("visited = %d, want early stop at 2", visited)
+	}
+}
+
+func TestQueryComposition(t *testing.T) {
+	c := queryCube(t)
+	got := c.Query().
+		Span(timeline.NewSpan(0, 10)).
+		Template("infobox boxer").
+		Property("wins").
+		Kind(Update).
+		Count()
+	if got != 1 {
+		t.Fatalf("composed query = %d, want 1", got)
+	}
+}

@@ -1,0 +1,324 @@
+// Package core is the paper's contribution (1): a framework for predicting
+// out-of-date data in Wikipedia infoboxes at multiple time granularities.
+// It wires the substrate packages together — noise filtering, the two
+// change predictors, the baselines and the ensembles — behind a single
+// Detector type, and exposes the deployment-facing operation the paper
+// motivates: marking fields whose expected change did not happen.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wikistale/wikistale/internal/assocrules"
+	"github.com/wikistale/wikistale/internal/baseline"
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/correlation"
+	"github.com/wikistale/wikistale/internal/ensemble"
+	"github.com/wikistale/wikistale/internal/eval"
+	"github.com/wikistale/wikistale/internal/familycorr"
+	"github.com/wikistale/wikistale/internal/filter"
+	"github.com/wikistale/wikistale/internal/predict"
+	"github.com/wikistale/wikistale/internal/seasonal"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// Config assembles every tunable of the pipeline. DefaultConfig reproduces
+// the paper's deployed configuration.
+type Config struct {
+	Filter      filter.Config
+	Correlation correlation.Config
+	AssocRules  assocrules.Config
+	// Seasonal configures the extension predictor the paper's §6 proposes
+	// as future work; it is trained alongside the paper's predictors but
+	// participates only in the extended ensemble.
+	Seasonal seasonal.Config
+	// FamilyCorr configures the second §6 extension: correlations pooled
+	// across the yearly pages of annual events.
+	FamilyCorr familycorr.Config
+	// ThresholdFraction is the threshold baseline's window-share cut
+	// (0.85, the paper's precision target).
+	ThresholdFraction float64
+	// ValidationDays and TestDays are the spans of the last two splits of
+	// the time axis (365 days each in the paper).
+	ValidationDays int
+	TestDays       int
+}
+
+// DefaultConfig returns the paper's configuration: θ = 0.1, Apriori with
+// 0.25 % support / 60 % confidence / 10 % validation slice / 90 % rule
+// precision, the 5-change filter, and year-long validation and test sets.
+func DefaultConfig() Config {
+	return Config{
+		Filter:            filter.Default(),
+		Correlation:       correlation.Default(),
+		AssocRules:        assocrules.Default(),
+		Seasonal:          seasonal.Default(),
+		FamilyCorr:        familycorr.Default(),
+		ThresholdFraction: 0.85,
+		ValidationDays:    365,
+		TestDays:          365,
+	}
+}
+
+// Splits is the time-axis partition of §5.1.
+type Splits struct {
+	// Train covers everything before the validation set.
+	Train timeline.Span
+	// Validation is the year before the test set.
+	Validation timeline.Span
+	// Test is the final year.
+	Test timeline.Span
+	// TrainVal is Train ∪ Validation, the span final models are trained
+	// on.
+	TrainVal timeline.Span
+}
+
+// ComputeSplits partitions a data span. It fails when the span cannot hold
+// the validation and test sets plus at least one year of training data.
+func ComputeSplits(span timeline.Span, validationDays, testDays int) (Splits, error) {
+	if validationDays <= 0 || testDays <= 0 {
+		return Splits{}, fmt.Errorf("core: non-positive split sizes %d/%d", validationDays, testDays)
+	}
+	minTrain := 365
+	if span.Len() < validationDays+testDays+minTrain {
+		return Splits{}, fmt.Errorf("core: span %v too short for %d+%d day splits plus training data",
+			span, validationDays, testDays)
+	}
+	testStart := span.End - timeline.Day(testDays)
+	valStart := testStart - timeline.Day(validationDays)
+	return Splits{
+		Train:      timeline.NewSpan(span.Start, valStart),
+		Validation: timeline.NewSpan(valStart, testStart),
+		Test:       timeline.NewSpan(testStart, span.End),
+		TrainVal:   timeline.NewSpan(span.Start, testStart),
+	}, nil
+}
+
+// Detector is the trained stale-data detection system.
+type Detector struct {
+	cfg       Config
+	histories *changecube.HistorySet
+	splits    Splits
+
+	fieldCorr  *correlation.Predictor
+	assocRules *assocrules.Predictor
+	seasonalP  *seasonal.Predictor
+	familyCorr *familycorr.Predictor
+	meanBase   baseline.Mean
+	threshBase *baseline.Threshold
+	andEns     ensemble.And
+	orEns      ensemble.Or
+	extOrEns   ensemble.Or
+
+	filterStats filter.Stats
+}
+
+// Train runs the full pipeline on a raw change cube: noise filtering,
+// time-axis splitting, and final-model training on train+validation (the
+// paper's protocol after hyper-parameters are fixed; use the GridSearch
+// functions for the tuning step).
+func Train(cube *changecube.Cube, cfg Config) (*Detector, error) {
+	hs, stats, err := filter.Apply(cube, cfg.Filter)
+	if err != nil {
+		return nil, fmt.Errorf("core: filtering: %w", err)
+	}
+	return TrainFiltered(hs, stats, cfg)
+}
+
+// TrainFiltered is Train for data that already passed the filter pipeline.
+func TrainFiltered(hs *changecube.HistorySet, stats filter.Stats, cfg Config) (*Detector, error) {
+	if hs.Len() == 0 {
+		return nil, fmt.Errorf("core: no fields survive filtering")
+	}
+	splits, err := ComputeSplits(hs.Span(), cfg.ValidationDays, cfg.TestDays)
+	if err != nil {
+		return nil, err
+	}
+	d := &Detector{cfg: cfg, histories: hs, splits: splits, filterStats: stats}
+
+	if d.fieldCorr, err = correlation.Train(hs, splits.TrainVal, cfg.Correlation); err != nil {
+		return nil, fmt.Errorf("core: field correlations: %w", err)
+	}
+	if d.assocRules, err = assocrules.Train(hs, splits.TrainVal, cfg.AssocRules); err != nil {
+		return nil, fmt.Errorf("core: association rules: %w", err)
+	}
+	if d.seasonalP, err = seasonal.Train(hs, splits.TrainVal, cfg.Seasonal); err != nil {
+		return nil, fmt.Errorf("core: seasonal: %w", err)
+	}
+	if d.familyCorr, err = familycorr.Train(hs, splits.TrainVal, cfg.FamilyCorr); err != nil {
+		return nil, fmt.Errorf("core: family correlations: %w", err)
+	}
+	if d.threshBase, err = baseline.TrainThreshold(hs, splits.Validation, timeline.StandardSizes, cfg.ThresholdFraction); err != nil {
+		return nil, fmt.Errorf("core: threshold baseline: %w", err)
+	}
+	d.andEns, d.orEns = ensemble.Paper(d.fieldCorr, d.assocRules)
+	d.extOrEns = ensemble.Or{
+		Members: []predict.Predictor{d.fieldCorr, d.assocRules, d.seasonalP, d.familyCorr},
+		Label:   "extended OR-ensemble",
+	}
+	return d, nil
+}
+
+// Histories returns the filtered dataset backing the detector.
+func (d *Detector) Histories() *changecube.HistorySet { return d.histories }
+
+// Splits returns the time-axis partition.
+func (d *Detector) Splits() Splits { return d.splits }
+
+// FilterStats returns the noise-funnel statistics of Train.
+func (d *Detector) FilterStats() filter.Stats { return d.filterStats }
+
+// FieldCorrelations returns the trained field-correlation predictor.
+func (d *Detector) FieldCorrelations() *correlation.Predictor { return d.fieldCorr }
+
+// AssociationRules returns the trained association-rule predictor.
+func (d *Detector) AssociationRules() *assocrules.Predictor { return d.assocRules }
+
+// Seasonal returns the §6 extension predictor (yearly recurrence anchors).
+func (d *Detector) Seasonal() *seasonal.Predictor { return d.seasonalP }
+
+// FamilyCorrelations returns the §6 extension predictor pooling histories
+// across the yearly pages of annual events.
+func (d *Detector) FamilyCorrelations() *familycorr.Predictor { return d.familyCorr }
+
+// OrEnsemble returns the paper's best predictor: the disjunction of field
+// correlations and association rules.
+func (d *Detector) OrEnsemble() predict.Predictor { return d.orEns }
+
+// ExtendedOrEnsemble returns the future-work ensemble: the paper's
+// OR-ensemble widened with the seasonal predictor.
+func (d *Detector) ExtendedOrEnsemble() predict.Predictor { return d.extOrEns }
+
+// AndEnsemble returns the precision-maximizing conjunction.
+func (d *Detector) AndEnsemble() predict.Predictor { return d.andEns }
+
+// Predictors returns all six predictors in the row order of Table 1: mean
+// baseline, threshold baseline, field correlations, association rules,
+// AND-ensemble, OR-ensemble.
+func (d *Detector) Predictors() []predict.Predictor {
+	return []predict.Predictor{
+		d.meanBase,
+		d.threshBase,
+		d.fieldCorr,
+		d.assocRules,
+		d.andEns,
+		d.orEns,
+	}
+}
+
+// EvaluateTest runs the Table-1 evaluation on the held-out test year.
+func (d *Detector) EvaluateTest(opts eval.Options) (*eval.Report, error) {
+	return eval.Evaluate(d.histories, d.splits.Test, d.Predictors(), opts)
+}
+
+// Evaluate runs the evaluation protocol on an arbitrary split.
+func (d *Detector) Evaluate(split timeline.Span, predictors []predict.Predictor, opts eval.Options) (*eval.Report, error) {
+	return eval.Evaluate(d.histories, split, predictors, opts)
+}
+
+// StaleAlert is one deployment finding: a field that should have changed
+// within the window but did not — a candidate for the paper's "this value
+// might be out of date" marker (Figure 1).
+type StaleAlert struct {
+	Field changecube.FieldKey
+	// Window is the span in which the change was expected.
+	Window timeline.Window
+	// Sources names the predictors that fired.
+	Sources []string
+	// Explanation is the human-readable evidence (which related field or
+	// rule demanded the change).
+	Explanation string
+}
+
+// DetectStale runs the OR-ensemble over the window [asOf-windowSize, asOf)
+// and returns the fields predicted to change that did not — the system's
+// production output. Fields that did change are healthy and not reported.
+// Beyond the fields with recorded histories, rule consequents that have
+// never changed at all are also checked: association rules work for such
+// fields too (the paper notes they need no history for the predicted
+// field), which is how a freshly created infobox gets coverage from day
+// one.
+func (d *Detector) DetectStale(asOf timeline.Day, windowSize int) []StaleAlert {
+	if windowSize <= 0 {
+		return nil
+	}
+	w := timeline.Window{Span: timeline.NewSpan(asOf-timeline.Day(windowSize), asOf)}
+	var alerts []StaleAlert
+	scan := func(field changecube.FieldKey) {
+		ctx := predict.NewContext(d.histories, field, w)
+		var sources []string
+		explanation := ""
+		if partners := d.fieldCorr.Explain(ctx); len(partners) > 0 {
+			sources = append(sources, d.fieldCorr.Name())
+			explanation = d.explainCorrelation(partners)
+		}
+		if antes := d.assocRules.Explain(ctx); len(antes) > 0 {
+			sources = append(sources, d.assocRules.Name())
+			if explanation != "" {
+				explanation += "; "
+			}
+			explanation += d.explainRule(field, antes)
+		}
+		if len(sources) == 0 {
+			return
+		}
+		alerts = append(alerts, StaleAlert{
+			Field:       field,
+			Window:      w,
+			Sources:     sources,
+			Explanation: explanation,
+		})
+	}
+	for _, h := range d.histories.Histories() {
+		if h.ChangedIn(w.Span) {
+			continue // the field was updated; nothing is stale
+		}
+		scan(h.Field)
+	}
+	// History-less rule consequents on entities we observe.
+	consequents := make(map[changecube.TemplateID][]changecube.PropertyID)
+	for _, r := range d.assocRules.Rules() {
+		consequents[r.Template] = append(consequents[r.Template], r.Consequent)
+	}
+	cube := d.histories.Cube()
+	scanned := make(map[changecube.FieldKey]bool)
+	for entity := range d.histories.ByEntity() {
+		for _, prop := range consequents[cube.Template(entity)] {
+			field := changecube.FieldKey{Entity: entity, Property: prop}
+			if scanned[field] {
+				continue // two rules may share a consequent
+			}
+			scanned[field] = true
+			if _, known := d.histories.Get(field); known {
+				continue // already covered by the history scan
+			}
+			scan(field)
+		}
+	}
+	sort.Slice(alerts, func(i, j int) bool {
+		a, b := alerts[i].Field, alerts[j].Field
+		if a.Entity != b.Entity {
+			return a.Entity < b.Entity
+		}
+		return a.Property < b.Property
+	})
+	return alerts
+}
+
+func (d *Detector) explainCorrelation(partners []changecube.FieldKey) string {
+	cube := d.histories.Cube()
+	name := cube.Properties.Name(int32(partners[0].Property))
+	if len(partners) == 1 {
+		return fmt.Sprintf("correlated field %q changed", name)
+	}
+	return fmt.Sprintf("correlated field %q and %d more changed", name, len(partners)-1)
+}
+
+func (d *Detector) explainRule(field changecube.FieldKey, antes []changecube.PropertyID) string {
+	cube := d.histories.Cube()
+	template := cube.Templates.Name(int32(cube.Template(field.Entity)))
+	ante := cube.Properties.Name(int32(antes[0]))
+	cons := cube.Properties.Name(int32(field.Property))
+	return fmt.Sprintf("rule %s -> %s of template %q fired", ante, cons, template)
+}

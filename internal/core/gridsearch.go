@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/wikistale/wikistale/internal/assocrules"
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/correlation"
+	"github.com/wikistale/wikistale/internal/eval"
+	"github.com/wikistale/wikistale/internal/predict"
+)
+
+// ThetaResult is one grid point of the correlation-threshold search
+// (§5.2): the predictor is trained on the training split and scored on the
+// validation split.
+type ThetaResult struct {
+	Theta    float64
+	NumRules int
+	Counts   eval.Counts
+}
+
+// GridSearchTheta sweeps the correlation error threshold θ, evaluating
+// each candidate on the validation year at the given window size (the
+// paper tunes on daily windows). The base config supplies the remaining
+// correlation settings.
+func GridSearchTheta(hs *changecube.HistorySet, splits Splits, thetas []float64,
+	base correlation.Config, windowSize int) ([]ThetaResult, error) {
+	if len(thetas) == 0 {
+		return nil, fmt.Errorf("core: empty theta grid")
+	}
+	results := make([]ThetaResult, 0, len(thetas))
+	for _, theta := range thetas {
+		cfg := base
+		cfg.Theta = theta
+		p, err := correlation.Train(hs, splits.Train, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: theta %v: %w", theta, err)
+		}
+		report, err := eval.Evaluate(hs, splits.Validation, []predict.Predictor{p},
+			eval.Options{Sizes: []int{windowSize}})
+		if err != nil {
+			return nil, fmt.Errorf("core: theta %v: %w", theta, err)
+		}
+		results = append(results, ThetaResult{
+			Theta:    theta,
+			NumRules: p.NumRules(),
+			Counts:   report.BySize[p.Name()][windowSize],
+		})
+	}
+	return results, nil
+}
+
+// BestTheta returns the grid point with the highest recall among those
+// meeting the target precision, mirroring the paper's selection rule. The
+// boolean is false when no point qualifies.
+func BestTheta(results []ThetaResult, targetPrecision float64) (ThetaResult, bool) {
+	best := ThetaResult{}
+	found := false
+	for _, r := range results {
+		if r.Counts.Precision() < targetPrecision {
+			continue
+		}
+		if !found || r.Counts.Recall() > best.Counts.Recall() {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}
+
+// AprioriResult is one grid point of the association-rule search (§5.2).
+type AprioriResult struct {
+	MinSupport         float64
+	MinConfidence      float64
+	ValidationFraction float64
+	NumRules           int
+	Counts             eval.Counts
+}
+
+// GridSearchApriori sweeps min-support, min-confidence and the size of the
+// rule-validation slice, scoring each combination on the validation year.
+func GridSearchApriori(hs *changecube.HistorySet, splits Splits,
+	supports, confidences, valFractions []float64,
+	base assocrules.Config, windowSize int) ([]AprioriResult, error) {
+	if len(supports) == 0 || len(confidences) == 0 || len(valFractions) == 0 {
+		return nil, fmt.Errorf("core: empty apriori grid")
+	}
+	var results []AprioriResult
+	for _, sup := range supports {
+		for _, conf := range confidences {
+			for _, vf := range valFractions {
+				cfg := base
+				cfg.MinSupport = sup
+				cfg.MinConfidence = conf
+				cfg.ValidationFraction = vf
+				p, err := assocrules.Train(hs, splits.Train, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("core: apriori grid (%v,%v,%v): %w", sup, conf, vf, err)
+				}
+				report, err := eval.Evaluate(hs, splits.Validation, []predict.Predictor{p},
+					eval.Options{Sizes: []int{windowSize}})
+				if err != nil {
+					return nil, err
+				}
+				results = append(results, AprioriResult{
+					MinSupport:         sup,
+					MinConfidence:      conf,
+					ValidationFraction: vf,
+					NumRules:           p.NumRules(),
+					Counts:             report.BySize[p.Name()][windowSize],
+				})
+			}
+		}
+	}
+	return results, nil
+}
+
+// BestApriori returns the grid point with the highest recall among those
+// meeting the target precision.
+func BestApriori(results []AprioriResult, targetPrecision float64) (AprioriResult, bool) {
+	best := AprioriResult{}
+	found := false
+	for _, r := range results {
+		if r.Counts.Precision() < targetPrecision {
+			continue
+		}
+		if !found || r.Counts.Recall() > best.Counts.Recall() {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// freshDetector trains a private detector (the shared one must not be
+// mutated by ingestion tests).
+func freshDetector(t *testing.T) *Detector {
+	t.Helper()
+	det, _ := detector(t)
+	d2, err := det.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d2
+}
+
+func TestIngestExtendsObservations(t *testing.T) {
+	d := freshDetector(t)
+	truth := trained.truth
+	cs := truth.CaseStudy
+	end := d.Histories().Span().End
+
+	// New match day after the data end: matches is updated, goals is not.
+	batch := []changecube.Change{{
+		Time:     (end + 3).Unix(),
+		Entity:   cs.Matches.Entity,
+		Property: cs.Matches.Property,
+		Value:    "300",
+		Kind:     changecube.Update,
+	}}
+	if err := d.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := d.Histories().Get(cs.Matches)
+	if !ok || h.Days[len(h.Days)-1] != end+3 {
+		t.Fatalf("ingested day missing: %v", h.Days[len(h.Days)-5:])
+	}
+	// The stale scan at the new horizon must flag total_goals via the
+	// template rule, using the just-ingested evidence.
+	found := false
+	for _, a := range d.DetectStale(end+4, 3) {
+		if a.Field == cs.TotalGoals {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ingested change did not drive a stale alert")
+	}
+}
+
+func TestIngestNewEntityUsesTemplateRules(t *testing.T) {
+	d := freshDetector(t)
+	cube := d.Histories().Cube()
+	truth := trained.truth
+	cs := truth.CaseStudy
+	end := d.Histories().Span().End
+
+	// A brand-new season page appears after training: template rules must
+	// cover it the moment its first changes are ingested.
+	fresh := cube.AddEntityNamed("infobox football league season", "2019-20 Handball-Bundesliga")
+	batch := []changecube.Change{
+		{Time: (end + 1).Unix(), Entity: fresh, Property: cs.Matches.Property, Value: "9", Kind: changecube.Update},
+		{Time: (end + 5).Unix(), Entity: fresh, Property: cs.Matches.Property, Value: "18", Kind: changecube.Update},
+	}
+	if err := d.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range d.DetectStale(end+6, 3) {
+		if a.Field.Entity == fresh && a.Field.Property == cs.TotalGoals.Property {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("template rule did not fire on freshly ingested entity")
+	}
+}
+
+func TestIngestAppliesNoiseFilter(t *testing.T) {
+	d := freshDetector(t)
+	truth := trained.truth
+	cs := truth.CaseStudy
+	end := d.Histories().Span().End
+	before, _ := d.Histories().Get(cs.Matches)
+	nBefore := before.Len()
+
+	ts := (end + 2).Unix()
+	batch := []changecube.Change{
+		// An intra-day burst: three edits, one representative day.
+		{Time: ts, Entity: cs.Matches.Entity, Property: cs.Matches.Property, Value: "a", Kind: changecube.Update},
+		{Time: ts + 60, Entity: cs.Matches.Entity, Property: cs.Matches.Property, Value: "b", Kind: changecube.Update},
+		{Time: ts + 120, Entity: cs.Matches.Entity, Property: cs.Matches.Property, Value: "a", Kind: changecube.Update},
+		// A deletion: must not become a change day.
+		{Time: ts + 86400, Entity: cs.Matches.Entity, Property: cs.Matches.Property, Kind: changecube.Delete},
+	}
+	if err := d.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := d.Histories().Get(cs.Matches)
+	if after.Len() != nBefore+1 {
+		t.Fatalf("days %d -> %d, want exactly one new day", nBefore, after.Len())
+	}
+}
+
+func TestIngestRejectsUnknownReferences(t *testing.T) {
+	d := freshDetector(t)
+	if err := d.Ingest([]changecube.Change{{Entity: 1 << 30, Property: 0, Kind: changecube.Update}}); err == nil {
+		t.Fatal("unknown entity accepted")
+	}
+	if err := d.Ingest([]changecube.Change{{Entity: 0, Property: 1 << 30, Kind: changecube.Update}}); err == nil {
+		t.Fatal("unknown property accepted")
+	}
+}
+
+func TestIngestEmptyBatch(t *testing.T) {
+	d := freshDetector(t)
+	before := d.Histories()
+	if err := d.Ingest(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Histories() != before {
+		t.Fatal("empty batch replaced the history set")
+	}
+}
+
+func TestRetrainAdvancesSplits(t *testing.T) {
+	d := freshDetector(t)
+	truth := trained.truth
+	cs := truth.CaseStudy
+	end := d.Histories().Span().End
+
+	// Ingest ninety days of fresh weekly changes, then retrain: the test
+	// split must now end at the new horizon.
+	var batch []changecube.Change
+	for day := end + 1; day < end+90; day += 7 {
+		batch = append(batch, changecube.Change{
+			Time:     day.Unix(),
+			Entity:   cs.Matches.Entity,
+			Property: cs.Matches.Property,
+			Value:    "x",
+			Kind:     changecube.Update,
+		})
+	}
+	if err := d.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Splits().Test.End <= d.Splits().Test.End {
+		t.Fatalf("retrain did not advance splits: %v vs %v", d2.Splits().Test, d.Splits().Test)
+	}
+	if d2.AssociationRules().NumRules() == 0 {
+		t.Fatal("retrain lost the rules")
+	}
+}
+
+func TestMergeDaysPreservesInvariants(t *testing.T) {
+	d := freshDetector(t)
+	hs := d.Histories()
+	h := hs.Histories()[0]
+	updates := map[changecube.FieldKey][]timeline.Day{
+		h.Field: {h.Days[0], h.Days[0] + 1, h.Days[len(h.Days)-1] + 10},
+	}
+	merged, err := hs.MergeDays(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := merged.Get(h.Field)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("merged history invalid: %v", err)
+	}
+	if got.Len() > h.Len()+2 || got.Len() < h.Len()+1 {
+		t.Fatalf("merged length %d from %d + 3 updates (1 duplicate)", got.Len(), h.Len())
+	}
+	// The original set is untouched.
+	orig, _ := hs.Get(h.Field)
+	if orig.Len() != h.Len() {
+		t.Fatal("MergeDays mutated the receiver")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/eval"
+)
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	det, _ := detector(t)
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf); err != nil {
+		t.Fatalf("SaveModel: %v", err)
+	}
+	loaded, err := LoadModel(det.Histories(), det.FilterStats(), det.cfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	if loaded.FieldCorrelations().NumRules() != det.FieldCorrelations().NumRules() {
+		t.Fatalf("correlation rules %d != %d",
+			loaded.FieldCorrelations().NumRules(), det.FieldCorrelations().NumRules())
+	}
+	if loaded.AssociationRules().NumRules() != det.AssociationRules().NumRules() {
+		t.Fatal("association rules differ")
+	}
+	if loaded.Seasonal().NumCovered() != det.Seasonal().NumCovered() {
+		t.Fatal("seasonal anchors differ")
+	}
+	if loaded.FamilyCorrelations().NumRules() != det.FamilyCorrelations().NumRules() {
+		t.Fatal("family rules differ")
+	}
+	if loaded.Splits() != det.Splits() {
+		t.Fatal("splits differ")
+	}
+}
+
+// TestLoadedModelPredictsIdentically is the real contract: the loaded
+// detector must produce byte-for-byte the same evaluation as the trained
+// one.
+func TestLoadedModelPredictsIdentically(t *testing.T) {
+	det, _ := detector(t)
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(det.Histories(), det.FilterStats(), det.cfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := eval.Options{Sizes: []int{7, 30}}
+	want, err := det.EvaluateTest(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.EvaluateTest(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range want.Predictors {
+		for _, size := range []int{7, 30} {
+			if want.BySize[name][size] != got.BySize[name][size] {
+				t.Fatalf("%s at %dd: %+v != %+v", name, size,
+					want.BySize[name][size], got.BySize[name][size])
+			}
+		}
+	}
+	// DetectStale agrees too.
+	asOf := det.Histories().Span().End
+	a := det.DetectStale(asOf, 7)
+	b := loaded.DetectStale(asOf, 7)
+	if len(a) != len(b) {
+		t.Fatalf("alerts %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Field != b[i].Field || a[i].Explanation != b[i].Explanation {
+			t.Fatalf("alert %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoadedModelSupportsIngest(t *testing.T) {
+	det, truth := detector(t)
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(det.Histories(), det.FilterStats(), det.cfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := truth.CaseStudy
+	end := loaded.Histories().Span().End
+	batch := []changecube.Change{{
+		Time:     (end + 2).Unix(),
+		Entity:   cs.Matches.Entity,
+		Property: cs.Matches.Property,
+		Value:    "999",
+		Kind:     changecube.Update,
+	}}
+	if err := loaded.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range loaded.DetectStale(end+3, 3) {
+		if a.Field == cs.TotalGoals {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ingest into a loaded model did not drive detection")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	det, _ := detector(t)
+	if _, err := LoadModel(det.Histories(), det.FilterStats(), det.cfg,
+		strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadModel(det.Histories(), det.FilterStats(), det.cfg,
+		strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	// A model whose rules reference entities this cube does not have.
+	if _, err := LoadModel(det.Histories(), det.FilterStats(), det.cfg, strings.NewReader(
+		`{"version":1,"correlation_rules":[{"A":{"Entity":99999999,"Property":0},"B":{"Entity":0,"Property":0},"Distance":0}]}`)); err == nil {
+		t.Fatal("model for a different cube accepted")
+	}
+}

@@ -1,0 +1,450 @@
+// Package cubestore persists a change cube across process restarts as an
+// append-only collection of segments — the storage layer for the paper's
+// operational requirement that the system be updated regularly: each
+// day's parsed changes are committed as one small segment, and startup
+// replays the segments into the in-memory cube the detector trains on.
+//
+// On-disk layout:
+//
+//	dir/
+//	  MANIFEST            JSON: dictionaries' committed sizes, entity
+//	                      count, ordered segment list with checksums
+//	  properties.dict     one interned string per line (JSON-escaped)
+//	  templates.dict
+//	  pages.dict
+//	  entities.tbl        one "templateID pageID" row per entity
+//	  seg-000001.chg      change records (varint-encoded, CRC-32 guarded)
+//	  ...
+//
+// Everything is append-only; the manifest is replaced atomically
+// (write-temp + rename), so a crash between writes leaves either the old
+// or the new state, never a torn one. Data written after the manifest's
+// counts (a torn dictionary line, a half-written segment) is ignored on
+// load; a segment whose checksum disagrees with the manifest fails the
+// open with a descriptive error.
+package cubestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+)
+
+// manifest is the durable root of the store.
+type manifest struct {
+	Version    int           `json:"version"`
+	Properties int           `json:"properties"`
+	Templates  int           `json:"templates"`
+	Pages      int           `json:"pages"`
+	Entities   int           `json:"entities"`
+	Segments   []segmentMeta `json:"segments"`
+}
+
+type segmentMeta struct {
+	Name    string `json:"name"`
+	Changes int    `json:"changes"`
+	CRC32   uint32 `json:"crc32"`
+}
+
+// Store is an open cube store. It owns an in-memory cube replayed from
+// disk; new changes enter through Append and become durable on Commit.
+// A Store is not safe for concurrent use.
+type Store struct {
+	dir  string
+	cube *changecube.Cube
+	man  manifest
+
+	pending []changecube.Change
+}
+
+// Open loads (or initializes) a store in dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cubestore: %w", err)
+	}
+	s := &Store{dir: dir, cube: changecube.New()}
+	data, err := os.ReadFile(s.path("MANIFEST"))
+	if os.IsNotExist(err) {
+		s.man = manifest{Version: 1}
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cubestore: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &s.man); err != nil {
+		return nil, fmt.Errorf("cubestore: parsing manifest: %w", err)
+	}
+	if s.man.Version != 1 {
+		return nil, fmt.Errorf("cubestore: unsupported version %d", s.man.Version)
+	}
+	if err := s.loadDict("properties.dict", s.man.Properties, s.cube.Properties); err != nil {
+		return nil, err
+	}
+	if err := s.loadDict("templates.dict", s.man.Templates, s.cube.Templates); err != nil {
+		return nil, err
+	}
+	if err := s.loadDict("pages.dict", s.man.Pages, s.cube.Pages); err != nil {
+		return nil, err
+	}
+	if err := s.loadEntities(); err != nil {
+		return nil, err
+	}
+	for _, seg := range s.man.Segments {
+		if err := s.loadSegment(seg); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Cube returns the store's in-memory cube. Callers may register entities
+// and intern names directly on it (those structures are append-only and
+// Commit persists them); changes, however, must go through Append so the
+// store can track the uncommitted suffix.
+func (s *Store) Cube() *changecube.Cube { return s.cube }
+
+// Pending returns the number of appended-but-uncommitted changes.
+func (s *Store) Pending() int { return len(s.pending) }
+
+// Append stages changes into the cube. They are lost on crash until
+// Commit succeeds.
+func (s *Store) Append(changes ...changecube.Change) {
+	for _, ch := range changes {
+		s.cube.Add(ch) // validates entity/property references
+		s.pending = append(s.pending, ch)
+	}
+}
+
+// Commit makes everything staged durable: dictionary and entity suffixes
+// are appended, pending changes become a new segment, and the manifest is
+// atomically replaced. On success the pending buffer is empty.
+func (s *Store) Commit() error {
+	next := s.man
+	if err := s.appendDict("properties.dict", s.cube.Properties, &next.Properties); err != nil {
+		return err
+	}
+	if err := s.appendDict("templates.dict", s.cube.Templates, &next.Templates); err != nil {
+		return err
+	}
+	if err := s.appendDict("pages.dict", s.cube.Pages, &next.Pages); err != nil {
+		return err
+	}
+	if err := s.appendEntities(&next); err != nil {
+		return err
+	}
+	if len(s.pending) > 0 {
+		seg, err := s.writeSegment(len(next.Segments)+1, s.pending)
+		if err != nil {
+			return err
+		}
+		next.Segments = append(next.Segments, seg)
+	}
+	if err := s.writeManifest(next); err != nil {
+		return err
+	}
+	s.man = next
+	s.pending = s.pending[:0]
+	return nil
+}
+
+// Segments returns the number of committed segments.
+func (s *Store) Segments() int { return len(s.man.Segments) }
+
+// Compact rewrites all committed segments as one. Pending changes must be
+// committed first.
+func (s *Store) Compact() error {
+	if len(s.pending) > 0 {
+		return fmt.Errorf("cubestore: commit pending changes before compacting")
+	}
+	if len(s.man.Segments) <= 1 {
+		return nil
+	}
+	// The cube holds every committed change; rewrite them in cube order.
+	all := s.cube.Changes()
+	seg, err := s.writeSegment(len(s.man.Segments)+1, all)
+	if err != nil {
+		return err
+	}
+	next := s.man
+	old := next.Segments
+	next.Segments = []segmentMeta{seg}
+	if err := s.writeManifest(next); err != nil {
+		return err
+	}
+	s.man = next
+	for _, o := range old {
+		// Best effort: stale segments are unreferenced either way.
+		os.Remove(s.path(o.Name))
+	}
+	return nil
+}
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name) }
+
+// --- dictionaries ---
+
+func (s *Store) loadDict(name string, count int, dict *changecube.Dict) error {
+	if count == 0 {
+		return nil
+	}
+	f, err := os.Open(s.path(name))
+	if err != nil {
+		return fmt.Errorf("cubestore: %s: %w", name, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	for i := 0; i < count; i++ {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return fmt.Errorf("cubestore: %s: %w", name, err)
+			}
+			return fmt.Errorf("cubestore: %s has %d entries, manifest says %d", name, i, count)
+		}
+		var entry string
+		if err := json.Unmarshal(sc.Bytes(), &entry); err != nil {
+			return fmt.Errorf("cubestore: %s line %d: %w", name, i+1, err)
+		}
+		if id := dict.Intern(entry); int(id) != i {
+			return fmt.Errorf("cubestore: %s line %d: duplicate entry %q", name, i+1, entry)
+		}
+	}
+	return nil
+}
+
+func (s *Store) appendDict(name string, dict *changecube.Dict, committed *int) error {
+	names := dict.Names()
+	if len(names) == *committed {
+		return nil
+	}
+	f, err := os.OpenFile(s.path(name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("cubestore: %s: %w", name, err)
+	}
+	w := bufio.NewWriter(f)
+	for _, entry := range names[*committed:] {
+		line, err := json.Marshal(entry)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("cubestore: %s: %w", name, err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	*committed = len(names)
+	return nil
+}
+
+// --- entities ---
+
+func (s *Store) loadEntities() error {
+	if s.man.Entities == 0 {
+		return nil
+	}
+	f, err := os.Open(s.path("entities.tbl"))
+	if err != nil {
+		return fmt.Errorf("cubestore: entities: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for i := 0; i < s.man.Entities; i++ {
+		var template, page int32
+		if _, err := fmt.Fscanf(r, "%d %d\n", &template, &page); err != nil {
+			return fmt.Errorf("cubestore: entities row %d: %w", i+1, err)
+		}
+		s.cube.AddEntity(changecube.TemplateID(template), changecube.PageID(page))
+	}
+	return nil
+}
+
+func (s *Store) appendEntities(next *manifest) error {
+	n := s.cube.NumEntities()
+	if n == next.Entities {
+		return nil
+	}
+	f, err := os.OpenFile(s.path("entities.tbl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("cubestore: entities: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for i := next.Entities; i < n; i++ {
+		info := s.cube.Entity(changecube.EntityID(i))
+		fmt.Fprintf(w, "%d %d\n", info.Template, info.Page)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	next.Entities = n
+	return nil
+}
+
+// --- segments ---
+
+const segmentMagic = "WCS1"
+
+func segmentName(n int) string { return fmt.Sprintf("seg-%06d.chg", n) }
+
+func (s *Store) writeSegment(number int, changes []changecube.Change) (segmentMeta, error) {
+	name := segmentName(number)
+	var buf []byte
+	buf = append(buf, segmentMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(changes)))
+	prev := int64(0)
+	for _, ch := range changes {
+		buf = binary.AppendVarint(buf, ch.Time-prev)
+		prev = ch.Time
+		buf = binary.AppendUvarint(buf, uint64(ch.Entity))
+		buf = binary.AppendUvarint(buf, uint64(ch.Property))
+		kind := byte(ch.Kind)
+		if ch.Bot {
+			kind |= 0x80
+		}
+		buf = append(buf, kind)
+		buf = binary.AppendUvarint(buf, uint64(len(ch.Value)))
+		buf = append(buf, ch.Value...)
+	}
+	crc := crc32.ChecksumIEEE(buf)
+	tmp := s.path(name + ".tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return segmentMeta{}, fmt.Errorf("cubestore: segment %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, s.path(name)); err != nil {
+		return segmentMeta{}, fmt.Errorf("cubestore: segment %s: %w", name, err)
+	}
+	return segmentMeta{Name: name, Changes: len(changes), CRC32: crc}, nil
+}
+
+func (s *Store) loadSegment(meta segmentMeta) error {
+	data, err := os.ReadFile(s.path(meta.Name))
+	if err != nil {
+		return fmt.Errorf("cubestore: segment %s: %w", meta.Name, err)
+	}
+	if crc := crc32.ChecksumIEEE(data); crc != meta.CRC32 {
+		return fmt.Errorf("cubestore: segment %s: checksum %08x, manifest says %08x (corrupted?)",
+			meta.Name, crc, meta.CRC32)
+	}
+	if len(data) < len(segmentMagic) || string(data[:len(segmentMagic)]) != segmentMagic {
+		return fmt.Errorf("cubestore: segment %s: bad magic", meta.Name)
+	}
+	r := &sliceReader{data: data[len(segmentMagic):]}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("cubestore: segment %s: %w", meta.Name, err)
+	}
+	if int(count) != meta.Changes {
+		return fmt.Errorf("cubestore: segment %s: %d changes, manifest says %d",
+			meta.Name, count, meta.Changes)
+	}
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		dt, err := binary.ReadVarint(r)
+		if err != nil {
+			return fmt.Errorf("cubestore: segment %s change %d: %w", meta.Name, i, err)
+		}
+		prev += dt
+		entity, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		prop, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		kind, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		vlen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		value, err := r.take(int(vlen))
+		if err != nil {
+			return fmt.Errorf("cubestore: segment %s change %d: %w", meta.Name, i, err)
+		}
+		s.cube.Add(changecube.Change{
+			Time:     prev,
+			Entity:   changecube.EntityID(entity),
+			Property: changecube.PropertyID(prop),
+			Value:    value,
+			Kind:     changecube.ChangeKind(kind &^ 0x80),
+			Bot:      kind&0x80 != 0,
+		})
+	}
+	return nil
+}
+
+func (s *Store) writeManifest(m manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.path("MANIFEST.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("cubestore: manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path("MANIFEST"))
+}
+
+// sliceReader is a minimal io.ByteReader over a byte slice with bounds
+// errors instead of panics.
+type sliceReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *sliceReader) ReadByte() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *sliceReader) take(n int) (string, error) {
+	if r.pos+n > len(r.data) {
+		return "", io.ErrUnexpectedEOF
+	}
+	v := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return v, nil
+}

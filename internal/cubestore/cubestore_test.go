@@ -1,0 +1,262 @@
+package cubestore
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+)
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestOpenEmpty(t *testing.T) {
+	s := open(t, t.TempDir())
+	if s.Cube().NumChanges() != 0 || s.Cube().NumEntities() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+	if s.Pending() != 0 || s.Segments() != 0 {
+		t.Fatal("fresh store has pending data")
+	}
+}
+
+func stage(t *testing.T, s *Store, n int, seed int64) {
+	t.Helper()
+	cube := s.Cube()
+	rng := rand.New(rand.NewSource(seed))
+	e := cube.AddEntityNamed("infobox t", "Page "+string(rune('A'+seed)))
+	prop := changecube.PropertyID(cube.Properties.Intern("prop"))
+	for i := 0; i < n; i++ {
+		s.Append(changecube.Change{
+			Time:     rng.Int63n(1 << 30),
+			Entity:   e,
+			Property: prop,
+			Value:    "v",
+			Kind:     changecube.Update,
+			Bot:      i%5 == 0,
+		})
+	}
+}
+
+func TestCommitAndReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	stage(t, s, 50, 0)
+	if err := s.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if s.Pending() != 0 || s.Segments() != 1 {
+		t.Fatalf("after commit: pending=%d segments=%d", s.Pending(), s.Segments())
+	}
+	want := s.Cube().Changes()
+
+	r := open(t, dir)
+	got := r.Cube().Changes()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("reloaded changes differ: %d vs %d", len(want), len(got))
+	}
+	if r.Cube().Properties.Len() != s.Cube().Properties.Len() ||
+		r.Cube().NumEntities() != s.Cube().NumEntities() {
+		t.Fatal("dictionaries or entities lost")
+	}
+	if err := r.Cube().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleCommitsMultipleSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for day := int64(0); day < 5; day++ {
+		stage(t, s, 20, day)
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Segments() != 5 {
+		t.Fatalf("segments = %d, want 5", s.Segments())
+	}
+	r := open(t, dir)
+	if r.Cube().NumChanges() != 100 {
+		t.Fatalf("reloaded changes = %d, want 100", r.Cube().NumChanges())
+	}
+	if r.Cube().NumEntities() != 5 {
+		t.Fatalf("entities = %d, want 5", r.Cube().NumEntities())
+	}
+}
+
+func TestEmptyCommitWritesNoSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	s.Cube().AddEntityNamed("t", "p") // metadata only
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Segments() != 0 {
+		t.Fatal("empty commit produced a segment")
+	}
+	r := open(t, dir)
+	if r.Cube().NumEntities() != 1 {
+		t.Fatal("metadata-only commit lost the entity")
+	}
+}
+
+func TestUncommittedChangesLostOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	stage(t, s, 10, 0)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.Append(changecube.Change{Entity: 0, Property: 0, Time: 999, Kind: changecube.Update})
+	// No commit: a crash here loses exactly the pending change.
+	r := open(t, dir)
+	if r.Cube().NumChanges() != 10 {
+		t.Fatalf("reloaded changes = %d, want 10", r.Cube().NumChanges())
+	}
+}
+
+func TestCorruptedSegmentDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	stage(t, s, 30, 0)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupted segment accepted")
+	}
+}
+
+func TestTruncatedSegmentDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	stage(t, s, 30, 0)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	data, _ := os.ReadFile(seg)
+	if err := os.WriteFile(seg, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("truncated segment accepted")
+	}
+}
+
+func TestTornDictionaryTailIgnored(t *testing.T) {
+	// Data appended after the manifest's committed count (a torn write
+	// that never reached Commit's manifest update) must be ignored.
+	dir := t.TempDir()
+	s := open(t, dir)
+	stage(t, s, 5, 0)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "properties.dict"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("\"torn-entr") // no trailing newline, invalid JSON
+	f.Close()
+	r := open(t, dir)
+	if r.Cube().Properties.Len() != s.Cube().Properties.Len() {
+		t.Fatalf("torn tail changed dictionary size: %d vs %d",
+			r.Cube().Properties.Len(), s.Cube().Properties.Len())
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for day := int64(0); day < 4; day++ {
+		stage(t, s, 25, day)
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s.Cube().Changes()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Segments() != 1 {
+		t.Fatalf("segments after compact = %d", s.Segments())
+	}
+	r := open(t, dir)
+	if !reflect.DeepEqual(want, r.Cube().Changes()) {
+		t.Fatal("compaction changed the data")
+	}
+	// Old segment files are gone.
+	if _, err := os.Stat(filepath.Join(dir, segmentName(1))); !os.IsNotExist(err) {
+		t.Fatal("old segment still present")
+	}
+}
+
+func TestCompactRefusesPending(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	stage(t, s, 5, 0)
+	if err := s.Compact(); err == nil {
+		t.Fatal("compact with pending changes accepted")
+	}
+}
+
+func TestManifestGarbageRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("garbage manifest accepted")
+	}
+}
+
+func TestRandomBatchesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	rng := rand.New(rand.NewSource(42))
+	cube := s.Cube()
+	for i := 0; i < 6; i++ {
+		cube.Properties.Intern(string(rune('a' + i)))
+	}
+	for batch := 0; batch < 8; batch++ {
+		e := cube.AddEntityNamed("t", string(rune('A'+batch)))
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			s.Append(changecube.Change{
+				Time:     rng.Int63n(1 << 40),
+				Entity:   e,
+				Property: changecube.PropertyID(rng.Intn(6)),
+				Value:    string(rune('x' + rng.Intn(3))),
+				Kind:     changecube.ChangeKind(rng.Intn(3)),
+			})
+		}
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// Reopen after every batch and compare.
+		r := open(t, dir)
+		if !reflect.DeepEqual(s.Cube().Changes(), r.Cube().Changes()) {
+			t.Fatalf("batch %d: reload mismatch", batch)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package dataset generates synthetic Wikipedia infobox change histories
+// with the statistical structure the paper's predictors key on. The real
+// corpus (283 M changes over 15 years of English Wikipedia) is not
+// redistributable; per DESIGN.md §4 this generator is the substitution. It
+// reproduces the change archetypes the paper describes:
+//
+//   - per-page correlated field clusters (uniform home/away colors) that
+//     co-change on the same day, with a configurable "forgotten update"
+//     rate — the staleness the system is built to catch;
+//   - template-level asymmetric implication pairs (matches ⇒ total_goals)
+//     holding for every entity of a template;
+//   - seasonal, regular-interval, sparse-irregular, daily-counter and
+//     near-static properties;
+//   - noise processes: intra-day edit bursts with typo values, vandalism
+//     with prompt bot reverts, infobox creations and deletions, and field
+//     dormancy (pages falling out of maintenance).
+//
+// Generation is fully deterministic for a given Config.
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// Config controls corpus scale and behaviour rates.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Span is the corpus day span; Default uses the paper's January 4,
+	// 2003 through September 2, 2019.
+	Span timeline.Span
+
+	// NumTemplates is the number of infobox templates.
+	NumTemplates int
+	// MeanEntitiesPerTemplate sets the geometric mean of the per-template
+	// entity counts; the first template is boosted to BigTemplateEntities
+	// to reproduce the skew of Figure 3.
+	MeanEntitiesPerTemplate int
+	// BigTemplateEntities is the entity count of the one oversized
+	// template (the paper's "infobox legislative election" analogue).
+	BigTemplateEntities int
+	// StubsPerEntity adds this many stub infoboxes (static parameters
+	// only, created and forgotten) per behaviourful entity. Stubs carry
+	// the bulk of the creation/deletion volume, as on real Wikipedia
+	// where creations are 50.6 % of all changes.
+	StubsPerEntity int
+
+	// ClusterMissRate is the probability that a cluster member misses a
+	// co-change event — a forgotten update, the paper's staleness case.
+	ClusterMissRate float64
+	// ImplicationMissRate is the same for implication consequents.
+	ImplicationMissRate float64
+	// DelayedResponseRate is the probability that a consequent update
+	// lands 1–3 days after its antecedent instead of the same day.
+	DelayedResponseRate float64
+
+	// BurstRate is the probability that an update is accompanied by
+	// same-day churn (typo fixed, edit war) collapsed by day-dedup.
+	BurstRate float64
+	// VandalismRate is the per-update probability of a following
+	// vandalism edit that a bot reverts promptly.
+	VandalismRate float64
+	// AnnualDeathRate is the per-year probability that an entity goes
+	// dormant (its page falls out of maintenance).
+	AnnualDeathRate float64
+	// DeleteOnDeathRate is the probability that a dormant entity's infobox
+	// is actually deleted (emitting Delete changes) rather than just
+	// left stale.
+	DeleteOnDeathRate float64
+	// LatePropertyRate is the probability that a property is added some
+	// time after its infobox is created rather than at creation.
+	LatePropertyRate float64
+	// PropertyChurnRate is the per-property probability of one mid-life
+	// delete+recreate cycle (schema churn driving extra create/delete
+	// volume).
+	PropertyChurnRate float64
+}
+
+// Default returns a corpus configuration sized to run the paper's full
+// experiment suite in seconds while reproducing its qualitative shape.
+func Default() Config {
+	return Config{
+		Seed:                    1,
+		Span:                    timeline.NewSpan(timeline.Date(2003, 1, 4), timeline.Date(2019, 9, 2)),
+		NumTemplates:            80,
+		MeanEntitiesPerTemplate: 24,
+		BigTemplateEntities:     30,
+		StubsPerEntity:          10,
+		ClusterMissRate:         0.08,
+		ImplicationMissRate:     0.035,
+		DelayedResponseRate:     0.05,
+		BurstRate:               0.12,
+		VandalismRate:           0.0002,
+		AnnualDeathRate:         0.12,
+		DeleteOnDeathRate:       0.50,
+		LatePropertyRate:        0.20,
+		PropertyChurnRate:       0.06,
+	}
+}
+
+// Small returns a reduced configuration for unit tests.
+func Small() Config {
+	cfg := Default()
+	cfg.NumTemplates = 12
+	cfg.MeanEntitiesPerTemplate = 8
+	cfg.BigTemplateEntities = 6
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Span.Len() < 800 {
+		return fmt.Errorf("dataset: span %v too short (need at least ~2 years)", c.Span)
+	}
+	if c.NumTemplates < 1 {
+		return fmt.Errorf("dataset: NumTemplates %d < 1", c.NumTemplates)
+	}
+	if c.MeanEntitiesPerTemplate < 1 {
+		return fmt.Errorf("dataset: MeanEntitiesPerTemplate %d < 1", c.MeanEntitiesPerTemplate)
+	}
+	if c.StubsPerEntity < 0 {
+		return fmt.Errorf("dataset: StubsPerEntity %d < 0", c.StubsPerEntity)
+	}
+	for name, r := range map[string]float64{
+		"ClusterMissRate":     c.ClusterMissRate,
+		"ImplicationMissRate": c.ImplicationMissRate,
+		"DelayedResponseRate": c.DelayedResponseRate,
+		"BurstRate":           c.BurstRate,
+		"VandalismRate":       c.VandalismRate,
+		"AnnualDeathRate":     c.AnnualDeathRate,
+		"DeleteOnDeathRate":   c.DeleteOnDeathRate,
+		"LatePropertyRate":    c.LatePropertyRate,
+		"PropertyChurnRate":   c.PropertyChurnRate,
+	} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("dataset: %s %v out of [0,1]", name, r)
+		}
+	}
+	return nil
+}
+
+// Cluster records a planted page-level correlated field group.
+type Cluster struct {
+	Fields []changecube.FieldKey
+}
+
+// Implication records a planted template-level rule X ⇒ Y.
+type Implication struct {
+	Template   changecube.TemplateID
+	Antecedent changecube.PropertyID
+	Consequent changecube.PropertyID
+}
+
+// Forgotten records one planted stale-data incident: Cause changed on Day
+// but Field was not updated even though its pattern demanded it.
+type Forgotten struct {
+	Field changecube.FieldKey
+	Cause changecube.FieldKey
+	Day   timeline.Day
+}
+
+// CaseStudy pins the §5.4 ground-truth scenario: a league-season infobox
+// whose total_goals misses three updates during the final year, and whose
+// goals tally additionally suffers the paper's truncation typo (a total of
+// 9,880 updated to 1,073 instead of 10,073, incremented for months, then
+// corrected on the season's last day).
+type CaseStudy struct {
+	Entity     changecube.EntityID
+	Matches    changecube.FieldKey
+	TotalGoals changecube.FieldKey
+	MissedDays []timeline.Day
+	// TypoDay is the day the truncated goals value was written.
+	TypoDay timeline.Day
+	// TypoValue is the truncated value; TypoIntended is the value the
+	// editor meant to write.
+	TypoValue, TypoIntended int64
+}
+
+// Truth is the generator's ground-truth metadata, used by tests and the
+// experiment harness to verify what the predictors recover.
+type Truth struct {
+	Clusters     []Cluster
+	Implications []Implication
+	Forgotten    []Forgotten
+	CaseStudy    CaseStudy
+}

@@ -1,0 +1,872 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// archetype classifies the change behaviour of an unstructured property.
+type archetype int
+
+const (
+	atStatic   archetype = iota // set at creation, at most a correction or two
+	atSparse                    // rare attention episodes, years apart
+	atMedium                    // irregular episodes, months apart
+	atRegular                   // periodic with jitter (league fixtures)
+	atSeasonal                  // once a year (kit colors, season pages)
+	atDaily                     // high-frequency counter (soap-opera episodes)
+)
+
+// propSpec is one unstructured property of a template schema.
+type propSpec struct {
+	name string
+	kind archetype
+}
+
+// schema is the generated behaviour blueprint of one template.
+type schema struct {
+	name         string
+	loose        []propSpec
+	clusters     [][]string  // member property names, co-changing per entity
+	implications [][2]string // antecedent -> consequent property names
+	// shortLived marks event-page templates (elections): entities live
+	// weeks, not years, with their implication pairs firing densely.
+	shortLived bool
+	// yearlySeries marks annual-event templates: each "franchise" spawns
+	// one page per year ("Premier League 2016-17 season", then 2017-18,
+	// ...), the structure the family-correlation extension exploits.
+	yearlySeries bool
+	// indepConsequent adds independent changes to implication consequents,
+	// keeping the reverse rule below the confidence cut. Event-page
+	// templates omit it: there, relationships are symmetric.
+	indepConsequent bool
+}
+
+// generator carries the mutable generation state.
+type generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	cube  *changecube.Cube
+	truth *Truth
+}
+
+// Generate builds a corpus. The returned cube is sorted and validated.
+func Generate(cfg Config) (*changecube.Cube, *Truth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := &generator{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cube:  changecube.New(),
+		truth: &Truth{},
+	}
+	schemas := g.buildSchemas()
+	for t, sch := range schemas {
+		templateID := changecube.TemplateID(g.cube.Templates.Intern(sch.name))
+		n := g.entityCount(t)
+		for e := 0; e < n; e++ {
+			if sch.yearlySeries {
+				g.series(templateID, sch, e)
+			} else {
+				page := fmt.Sprintf("%s page %d", sch.name[len("infobox "):], e)
+				g.entity(templateID, sch, page)
+			}
+			for s := 0; s < g.cfg.StubsPerEntity; s++ {
+				g.stub(templateID, fmt.Sprintf("%s stub %d-%d", sch.name[len("infobox "):], e, s))
+			}
+		}
+		for _, impl := range sch.implications {
+			g.truth.Implications = append(g.truth.Implications, Implication{
+				Template:   templateID,
+				Antecedent: changecube.PropertyID(g.cube.Properties.Intern(impl[0])),
+				Consequent: changecube.PropertyID(g.cube.Properties.Intern(impl[1])),
+			})
+		}
+	}
+	g.plantCaseStudy(schemas)
+	g.cube.Sort()
+	if err := g.cube.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("dataset: generated invalid cube: %w", err)
+	}
+	return g.cube, g.truth, nil
+}
+
+func (g *generator) entityCount(templateIndex int) int {
+	if templateIndex == 0 {
+		return g.cfg.BigTemplateEntities
+	}
+	// Uniform 1 .. 2*mean-1 has the requested mean and a broad spread.
+	return 1 + g.rng.Intn(2*g.cfg.MeanEntitiesPerTemplate-1)
+}
+
+// buildSchemas draws a behaviour blueprint for every template. Template 0
+// is the oversized rule-rich template of Figure 3; template 1 is the
+// football-league-season template hosting the §5.4 case study.
+func (g *generator) buildSchemas() []schema {
+	schemas := make([]schema, 0, g.cfg.NumTemplates)
+	for t := 0; t < g.cfg.NumTemplates; t++ {
+		var sch schema
+		next := 0 // per-template property name allocator
+		prop := func() string { next++; return propertyName(next - 1) }
+		switch t {
+		case 0:
+			// Election results: short-lived event pages where dozens of
+			// result properties update together in the days after the
+			// event — the template with >150 rules in Figure 3.
+			sch.name = "infobox legislative election"
+			sch.shortLived = true
+			for i := 0; i < 80; i++ {
+				sch.implications = append(sch.implications, [2]string{prop(), prop()})
+			}
+			sch.loose = append(sch.loose,
+				propSpec{name: staticName(0), kind: atStatic},
+				propSpec{name: staticName(1), kind: atStatic},
+				propSpec{name: prop(), kind: atSparse},
+			)
+		case 2:
+			// Annual-event series: one page per franchise per year, the
+			// §6 future-work structure for family correlations.
+			sch.name = "infobox sports season"
+			sch.yearlySeries = true
+			sch.clusters = append(sch.clusters, []string{"roster", "standings"})
+			sch.loose = append(sch.loose,
+				propSpec{name: staticName(0), kind: atStatic},
+				propSpec{name: staticName(1), kind: atStatic},
+				propSpec{name: "venue", kind: atStatic},
+				propSpec{name: "attendance", kind: atSparse},
+			)
+		case 1:
+			sch.name = "infobox football league season"
+			sch.indepConsequent = true
+			sch.implications = append(sch.implications, [2]string{"matches", "total_goals"})
+			sch.clusters = append(sch.clusters, []string{"home_colors", "away_colors"})
+			sch.loose = append(sch.loose,
+				propSpec{name: staticName(0), kind: atStatic},
+				propSpec{name: "league", kind: atStatic},
+				propSpec{name: "attendance", kind: atSparse},
+				propSpec{name: "top_scorer", kind: atSparse},
+				propSpec{name: "promoted", kind: atSeasonal},
+			)
+		default:
+			sch.name = templateName(t)
+			sch.indepConsequent = true
+			nImpl := pick(g.rng, []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2})
+			for i := 0; i < nImpl; i++ {
+				sch.implications = append(sch.implications, [2]string{prop(), prop()})
+			}
+			nClusters := pick(g.rng, []int{0, 0, 0, 0, 0, 0, 0, 1, 1, 2})
+			for i := 0; i < nClusters; i++ {
+				size := 2 + g.rng.Intn(2)
+				members := make([]string, size)
+				for j := range members {
+					members[j] = prop()
+				}
+				sch.clusters = append(sch.clusters, members)
+			}
+			// Real infoboxes are dominated by parameters that are set once
+			// and never maintained; they feed the creation/deletion and
+			// <5-changes stages of the funnel.
+			nStatic := 8 + g.rng.Intn(8)
+			for i := 0; i < nStatic; i++ {
+				sch.loose = append(sch.loose, propSpec{name: staticName(i), kind: atStatic})
+			}
+			nSparse := 3 + g.rng.Intn(4)
+			for i := 0; i < nSparse; i++ {
+				sch.loose = append(sch.loose, propSpec{name: prop(), kind: atSparse})
+			}
+			nMedium := 4 + g.rng.Intn(5)
+			for i := 0; i < nMedium; i++ {
+				sch.loose = append(sch.loose, propSpec{name: prop(), kind: atMedium})
+			}
+			if g.rng.Float64() < 0.2 {
+				sch.loose = append(sch.loose, propSpec{name: prop(), kind: atRegular})
+			}
+			if g.rng.Float64() < 0.3 {
+				sch.loose = append(sch.loose, propSpec{name: prop(), kind: atSeasonal})
+			}
+			if g.rng.Float64() < 0.03 {
+				sch.loose = append(sch.loose, propSpec{name: prop(), kind: atDaily})
+			}
+		}
+		schemas = append(schemas, sch)
+	}
+	return schemas
+}
+
+func pick(rng *rand.Rand, choices []int) int {
+	return choices[rng.Intn(len(choices))]
+}
+
+// fieldState tracks one property's lifecycle within an entity.
+type fieldState struct {
+	prop    changecube.PropertyID
+	addDay  timeline.Day
+	counter int
+}
+
+// entity generates the full lifecycle of one infobox.
+func (g *generator) entity(templateID changecube.TemplateID, sch schema, page string) changecube.EntityID {
+	span := g.cfg.Span
+	pageID := changecube.PageID(g.cube.Pages.Intern(page))
+	e := g.cube.AddEntity(templateID, pageID)
+
+	birth := span.Start + timeline.Day(g.rng.Intn(span.Len()-90))
+	var death timeline.Day
+	if sch.shortLived {
+		death = birth + timeline.Day(120+g.rng.Intn(120))
+		if death > span.End {
+			death = span.End
+		}
+	} else {
+		death = g.sampleDeath(birth)
+	}
+
+	fields := make(map[string]*fieldState)
+	var fieldOrder []string // deterministic iteration; maps would vary
+	addFieldAt := func(name string, addDay timeline.Day) *fieldState {
+		if f, ok := fields[name]; ok {
+			return f
+		}
+		f := &fieldState{
+			prop:   changecube.PropertyID(g.cube.Properties.Intern(name)),
+			addDay: addDay,
+		}
+		fields[name] = f
+		fieldOrder = append(fieldOrder, name)
+		g.emitCreate(e, f)
+		return f
+	}
+	addField := func(name string) *fieldState {
+		addDay := birth
+		if g.rng.Float64() < g.cfg.LatePropertyRate && death-birth > 60 {
+			addDay = birth + timeline.Day(1+g.rng.Intn(int(death-birth)/2))
+		}
+		return addFieldAt(name, addDay)
+	}
+
+	// Unstructured properties; entities instantiate most, not all, of the
+	// template's parameters.
+	for _, spec := range sch.loose {
+		if g.rng.Float64() < 0.15 {
+			continue
+		}
+		f := addField(spec.name)
+		for _, d := range g.eventDays(spec.kind, f.addDay+1, death) {
+			g.emitUpdate(e, f, d)
+		}
+		g.maybeChurn(e, f, death)
+	}
+
+	// Page-level clusters: all members change on shared event days, each
+	// missing an event with ClusterMissRate (a forgotten update). Half of
+	// the clusters span a second infobox on the same page (the paper's
+	// series-character example: one character's daughters correlate with
+	// another character's sisters) — such relationships are visible only
+	// to the field-correlation predictor, because association-rule
+	// transactions never cross infobox boundaries.
+	for _, members := range sch.clusters {
+		type member struct {
+			entity changecube.EntityID
+			state  *fieldState
+		}
+		states := make([]member, 0, len(members))
+		if len(members) >= 2 && g.rng.Float64() < 0.5 {
+			companion := g.cube.AddEntity(templateID, pageID)
+			for i, name := range members {
+				if i%2 == 0 {
+					states = append(states, member{entity: e, state: addFieldAt(name, birth)})
+					continue
+				}
+				f := &fieldState{
+					prop:   changecube.PropertyID(g.cube.Properties.Intern(name)),
+					addDay: birth,
+				}
+				g.emitCreate(companion, f)
+				states = append(states, member{entity: companion, state: f})
+			}
+		} else {
+			for _, name := range members {
+				states = append(states, member{entity: e, state: addFieldAt(name, birth)})
+			}
+		}
+		events := g.structuredDays(birth+1, death)
+		var fks []changecube.FieldKey
+		for _, m := range states {
+			fks = append(fks, changecube.FieldKey{Entity: m.entity, Property: m.state.prop})
+		}
+		g.truth.Clusters = append(g.truth.Clusters, Cluster{Fields: fks})
+		for _, d := range events {
+			var changed, missed []member
+			for _, m := range states {
+				if d <= m.state.addDay {
+					continue
+				}
+				if g.rng.Float64() < g.cfg.ClusterMissRate {
+					missed = append(missed, m)
+				} else {
+					changed = append(changed, m)
+				}
+			}
+			for _, m := range changed {
+				g.emitUpdate(m.entity, m.state, d)
+			}
+			if len(changed) > 0 {
+				cause := changecube.FieldKey{Entity: changed[0].entity, Property: changed[0].state.prop}
+				for _, m := range missed {
+					g.truth.Forgotten = append(g.truth.Forgotten, Forgotten{
+						Field: changecube.FieldKey{Entity: m.entity, Property: m.state.prop},
+						Cause: cause,
+						Day:   d,
+					})
+				}
+			}
+		}
+	}
+
+	// Template-level implications: the antecedent drives the consequent,
+	// which occasionally lags or is forgotten; the consequent also changes
+	// independently, keeping the reverse rule below the confidence cut.
+	for _, impl := range sch.implications {
+		// The pair shares a lifecycle: matches and total_goals both exist
+		// from the season's start. Decoupled creation times would push the
+		// rule's true weekly precision below the validation cut.
+		x := addFieldAt(impl[0], birth)
+		y := addFieldAt(impl[1], birth)
+		var events []timeline.Day
+		if sch.shortLived {
+			// Result fields update every few days while the event page is
+			// hot, comfortably clearing the <5-changes filter.
+			events = g.denseDays(x.addDay+1, death, 20)
+		} else {
+			events = g.structuredDays(x.addDay+1, death)
+		}
+		for _, d := range events {
+			g.emitUpdate(e, x, d)
+			if d <= y.addDay {
+				continue
+			}
+			if g.rng.Float64() < g.cfg.ImplicationMissRate {
+				g.truth.Forgotten = append(g.truth.Forgotten, Forgotten{
+					Field: changecube.FieldKey{Entity: e, Property: y.prop},
+					Cause: changecube.FieldKey{Entity: e, Property: x.prop},
+					Day:   d,
+				})
+				continue
+			}
+			yd := d
+			if g.rng.Float64() < g.cfg.DelayedResponseRate {
+				yd += timeline.Day(1 + g.rng.Intn(3))
+			}
+			if yd < death {
+				g.emitUpdate(e, y, yd)
+			}
+		}
+		// Independent consequent changes at roughly the antecedent's rate
+		// (corrections, unrelated edits) keep the reverse rule weak.
+		if sch.indepConsequent {
+			for _, d := range g.eventDays(atSparse, y.addDay+1, death) {
+				g.emitUpdate(e, y, d)
+			}
+		}
+	}
+
+	// Dormancy: some retired infoboxes are deleted outright.
+	if death < span.End && g.rng.Float64() < g.cfg.DeleteOnDeathRate {
+		for _, name := range fieldOrder {
+			if f := fields[name]; f.addDay < death {
+				g.emitDelete(e, f, death)
+			}
+		}
+	}
+	return e
+}
+
+// series generates an annual-event franchise: one page per year, each
+// carrying the template's clusters for its season. The yearly pages share
+// a page-family ("2016-17 Example League", "2017-18 Example League", ...),
+// which is what the family-correlation extension pools.
+func (g *generator) series(templateID changecube.TemplateID, sch schema, idx int) {
+	span := g.cfg.Span
+	league := fmt.Sprintf("Example League %d", idx)
+	maxStart := span.Len() - 3*365
+	if maxStart < 1 {
+		maxStart = 1
+	}
+	seasonStart := span.Start + timeline.Day(g.rng.Intn(maxStart))
+	for seasonStart+200 < span.End {
+		// A franchise folds with half the usual dormancy rate: annual
+		// institutions are sticky.
+		if g.rng.Float64() < g.cfg.AnnualDeathRate/2 {
+			break
+		}
+		year := seasonStart.Time().Year()
+		page := fmt.Sprintf("%d-%02d %s", year, (year+1)%100, league)
+		pageID := changecube.PageID(g.cube.Pages.Intern(page))
+		e := g.cube.AddEntity(templateID, pageID)
+		seasonEnd := seasonStart + 340
+		if seasonEnd > span.End {
+			seasonEnd = span.End
+		}
+
+		// Static season parameters.
+		for _, spec := range sch.loose {
+			f := &fieldState{
+				prop:   changecube.PropertyID(g.cube.Properties.Intern(spec.name)),
+				addDay: seasonStart,
+			}
+			g.emitCreate(e, f)
+			for _, d := range g.eventDays(spec.kind, seasonStart+1, seasonEnd) {
+				g.emitUpdate(e, f, d)
+			}
+		}
+
+		// Season clusters: co-changing rounds every few weeks.
+		for _, members := range sch.clusters {
+			states := make([]*fieldState, len(members))
+			var fks []changecube.FieldKey
+			for i, name := range members {
+				states[i] = &fieldState{
+					prop:   changecube.PropertyID(g.cube.Properties.Intern(name)),
+					addDay: seasonStart,
+				}
+				g.emitCreate(e, states[i])
+				fks = append(fks, changecube.FieldKey{Entity: e, Property: states[i].prop})
+			}
+			g.truth.Clusters = append(g.truth.Clusters, Cluster{Fields: fks})
+			for d := seasonStart + timeline.Day(10+g.rng.Intn(20)); d < seasonEnd; d += timeline.Day(25 + g.rng.Intn(20)) {
+				var changed, missed []*fieldState
+				for _, f := range states {
+					if g.rng.Float64() < g.cfg.ClusterMissRate {
+						missed = append(missed, f)
+					} else {
+						changed = append(changed, f)
+					}
+				}
+				for _, f := range changed {
+					g.emitUpdate(e, f, d)
+				}
+				if len(changed) > 0 {
+					for _, f := range missed {
+						g.truth.Forgotten = append(g.truth.Forgotten, Forgotten{
+							Field: changecube.FieldKey{Entity: e, Property: f.prop},
+							Cause: changecube.FieldKey{Entity: e, Property: changed[0].prop},
+							Day:   d,
+						})
+					}
+				}
+			}
+		}
+		seasonStart += 365
+	}
+}
+
+// stub generates a low-effort infobox: a burst of static parameters at
+// creation, the odd correction, and — often enough — deletion. Stubs carry
+// the corpus's creation/deletion volume.
+func (g *generator) stub(templateID changecube.TemplateID, page string) {
+	span := g.cfg.Span
+	pageID := changecube.PageID(g.cube.Pages.Intern(page))
+	e := g.cube.AddEntity(templateID, pageID)
+	birth := span.Start + timeline.Day(g.rng.Intn(span.Len()-30))
+	death := g.sampleDeath(birth)
+	nProps := 6 + g.rng.Intn(10)
+	fields := make([]*fieldState, 0, nProps)
+	for i := 0; i < nProps; i++ {
+		f := &fieldState{
+			prop:   changecube.PropertyID(g.cube.Properties.Intern(staticName(i))),
+			addDay: birth,
+		}
+		fields = append(fields, f)
+		g.emitCreate(e, f)
+		// Drive-by edits: stubs accumulate a handful of corrections, always
+		// below the five-change eligibility bar — the mass the paper's
+		// <5-changes filter removes.
+		if death > birth+2 {
+			n := pick(g.rng, []int{0, 0, 0, 1, 1, 1, 2, 2, 3, 4})
+			var days []timeline.Day
+			for j := 0; j < n; j++ {
+				days = append(days, birth+1+timeline.Day(g.rng.Intn(int(death-birth-1))))
+			}
+			for _, d := range dedupSorted(days) {
+				g.emitUpdate(e, f, d)
+			}
+		}
+	}
+	if death < span.End && g.rng.Float64() < g.cfg.DeleteOnDeathRate+0.2 {
+		for _, f := range fields {
+			g.emitDelete(e, f, death)
+		}
+	}
+}
+
+// sampleDeath draws the day the entity's page falls out of maintenance.
+func (g *generator) sampleDeath(birth timeline.Day) timeline.Day {
+	d := birth
+	for {
+		if g.rng.Float64() < g.cfg.AnnualDeathRate {
+			death := d + timeline.Day(g.rng.Intn(365))
+			if death > g.cfg.Span.End {
+				return g.cfg.Span.End
+			}
+			return death
+		}
+		d += 365
+		if d >= g.cfg.Span.End {
+			return g.cfg.Span.End
+		}
+	}
+}
+
+// eventDays draws the change days of one behaviour process in [start, end).
+func (g *generator) eventDays(kind archetype, start, end timeline.Day) []timeline.Day {
+	if end <= start {
+		return nil
+	}
+	var days []timeline.Day
+	switch kind {
+	case atStatic:
+		// Most static parameters are never touched again; a few receive a
+		// correction or two.
+		n := 0
+		switch r := g.rng.Float64(); {
+		case r < 0.70:
+			n = 0
+		case r < 0.92:
+			n = 1
+		default:
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			days = append(days, start+timeline.Day(g.rng.Intn(int(end-start))))
+		}
+		days = dedupSorted(days)
+	case atSparse:
+		// Attention episodes: a page gets noticed, receives a burst of
+		// edits over days or weeks, then falls silent for years. This
+		// heavy-tailed rhythm — a mean inter-change gap beyond a year for
+		// most fields — is what defeats mean-gap extrapolation on the
+		// real corpus.
+		d := start + timeline.Day(1+g.rng.Intn(700))
+		for d < end {
+			n := 1 + g.rng.Intn(4)
+			for i := 0; i < n && d < end; i++ {
+				days = append(days, d)
+				d += timeline.Day(1 + g.rng.Intn(12))
+			}
+			d += timeline.Day(180 + int(g.rng.ExpFloat64()*700))
+		}
+	case atMedium:
+		// The same episodic rhythm at a monthly-to-quarterly cadence —
+		// the bulk of the "dynamic but unsystematic" change mass whose
+		// windows no rule covers, which is what keeps recall low.
+		d := start + timeline.Day(1+g.rng.Intn(250))
+		for d < end {
+			n := 1 + g.rng.Intn(3)
+			for i := 0; i < n && d < end; i++ {
+				days = append(days, d)
+				d += timeline.Day(1 + g.rng.Intn(8))
+			}
+			d += timeline.Day(45 + int(g.rng.ExpFloat64()*220))
+		}
+	case atRegular:
+		// Periodic maintenance runs for a stretch and then stops (the
+		// series ends, the maintainer moves on); an eternal metronome
+		// would hand the threshold baseline precision it does not earn on
+		// the real corpus.
+		period := []int{7, 14, 30, 90}[g.rng.Intn(4)]
+		stop := start + timeline.Day(400+g.rng.Intn(1800))
+		if stop < end {
+			end = stop
+		}
+		d := start + timeline.Day(g.rng.Intn(period)+1)
+		for d < end {
+			days = append(days, d)
+			jitter := g.rng.Intn(5) - 2
+			step := period + jitter
+			if step < 1 {
+				step = 1
+			}
+			d += timeline.Day(step)
+		}
+	case atSeasonal:
+		dayOfYear := g.rng.Intn(360)
+		yearStart := start - timeline.Day(int(start)%365)
+		for d := yearStart + timeline.Day(dayOfYear); d < end; d += 365 {
+			jd := d + timeline.Day(g.rng.Intn(7)-3)
+			if jd >= start && jd < end {
+				days = append(days, jd)
+			}
+		}
+	case atDaily:
+		// High-frequency counters run until the series ends — they do not
+		// tick forever, which is what keeps the threshold baseline from
+		// free precision on long windows.
+		p := 0.3 + g.rng.Float64()*0.3
+		finale := start + timeline.Day(300+g.rng.Intn(1700))
+		if finale < end {
+			end = finale
+		}
+		for d := start; d < end; d++ {
+			if g.rng.Float64() < p {
+				days = append(days, d)
+			}
+		}
+	}
+	return days
+}
+
+// denseDays draws frequent event days with a small mean gap — the rhythm
+// of a hot event page.
+func (g *generator) denseDays(start, end timeline.Day, meanGap int) []timeline.Day {
+	if end <= start {
+		return nil
+	}
+	var days []timeline.Day
+	d := start + timeline.Day(1+g.rng.Intn(meanGap))
+	for d < end {
+		days = append(days, d)
+		d += timeline.Day(1 + g.rng.Intn(2*meanGap-1))
+	}
+	return days
+}
+
+// structuredDays draws the event process driving a cluster or implication:
+// a yearly season of near-weekly events (league fixtures), a slow regular
+// cadence, or attention bursts.
+func (g *generator) structuredDays(start, end timeline.Day) []timeline.Day {
+	switch g.rng.Intn(3) {
+	case 0:
+		// Season: an active stretch each year with frequent events.
+		seasonStart := g.rng.Intn(365)
+		seasonLen := 150 + g.rng.Intn(100)
+		// Cadences deliberately below one-per-week: distinct processes on
+		// the same template must not co-occur weekly, or the miner would
+		// learn same-week-different-day rules that are worthless at the
+		// daily granularity.
+		period := []int{10, 17, 24}[g.rng.Intn(3)]
+		yearBase := start - timeline.Day(int(start)%365)
+		var days []timeline.Day
+		for yb := yearBase; yb < end; yb += 365 {
+			d := yb + timeline.Day(seasonStart+g.rng.Intn(7))
+			seasonEnd := d + timeline.Day(seasonLen)
+			for d < seasonEnd && d < end {
+				if d > start {
+					days = append(days, d)
+				}
+				step := period + g.rng.Intn(5) - 2
+				if step < 1 {
+					step = 1
+				}
+				d += timeline.Day(step)
+			}
+		}
+		return days
+	case 1:
+		return g.eventDays(atRegular, start, end)
+	default:
+		return g.eventDays(atSparse, start, end)
+	}
+}
+
+func dedupSorted(days []timeline.Day) []timeline.Day {
+	if len(days) < 2 {
+		return days
+	}
+	for i := 1; i < len(days); i++ {
+		for j := i; j > 0 && days[j] < days[j-1]; j-- {
+			days[j], days[j-1] = days[j-1], days[j]
+		}
+	}
+	out := days[:1]
+	for _, d := range days[1:] {
+		if d != out[len(out)-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// emitCreate emits the property-creation change.
+func (g *generator) emitCreate(e changecube.EntityID, f *fieldState) {
+	g.cube.Add(changecube.Change{
+		Time:     f.addDay.Unix() + int64(g.rng.Intn(20000)),
+		Entity:   e,
+		Property: f.prop,
+		Value:    fmt.Sprintf("v%d", f.counter),
+		Kind:     changecube.Create,
+	})
+	f.counter++
+}
+
+// emitUpdate emits one real value update plus its configured noise: an
+// intra-day burst (typo fixed within the day) and, rarely, a vandalism
+// edit promptly reverted by a bot.
+func (g *generator) emitUpdate(e changecube.EntityID, f *fieldState, d timeline.Day) {
+	ts := d.Unix() + 20000 + int64(g.rng.Intn(40000))
+	value := fmt.Sprintf("v%d", f.counter)
+	f.counter++
+	g.cube.Add(changecube.Change{Time: ts, Entity: e, Property: f.prop, Value: value, Kind: changecube.Update})
+	if g.rng.Float64() < g.cfg.BurstRate {
+		// Same-day churn: a typo value, then the real value restored. The
+		// day-dedup mode keeps the real value.
+		g.cube.Add(changecube.Change{Time: ts + 60, Entity: e, Property: f.prop,
+			Value: value + "typo", Kind: changecube.Update})
+		g.cube.Add(changecube.Change{Time: ts + 120, Entity: e, Property: f.prop,
+			Value: value, Kind: changecube.Update})
+	}
+	if g.rng.Float64() < g.cfg.VandalismRate {
+		g.cube.Add(changecube.Change{Time: ts + 3600, Entity: e, Property: f.prop,
+			Value: "!!vandalism!!", Kind: changecube.Update})
+		g.cube.Add(changecube.Change{Time: ts + 4200, Entity: e, Property: f.prop,
+			Value: value, Kind: changecube.Update, Bot: true})
+	}
+}
+
+// emitDelete emits a property deletion.
+func (g *generator) emitDelete(e changecube.EntityID, f *fieldState, d timeline.Day) {
+	g.cube.Add(changecube.Change{
+		Time:     d.Unix() + int64(g.rng.Intn(20000)),
+		Entity:   e,
+		Property: f.prop,
+		Kind:     changecube.Delete,
+	})
+}
+
+// maybeChurn occasionally deletes and recreates a property mid-life,
+// contributing schema-churn create/delete volume.
+func (g *generator) maybeChurn(e changecube.EntityID, f *fieldState, death timeline.Day) {
+	if g.rng.Float64() >= g.cfg.PropertyChurnRate {
+		return
+	}
+	life := int(death - f.addDay)
+	if life < 120 {
+		return
+	}
+	gapStart := f.addDay + timeline.Day(30+g.rng.Intn(life-60))
+	gapEnd := gapStart + timeline.Day(7+g.rng.Intn(60))
+	if gapEnd >= death {
+		return
+	}
+	g.emitDelete(e, f, gapStart)
+	recreated := *f
+	recreated.addDay = gapEnd
+	g.emitCreate(e, &recreated)
+	f.counter = recreated.counter
+}
+
+// plantCaseStudy inserts the §5.4 scenario: a Handball-Bundesliga season
+// page using the football-league-season template, whose total_goals field
+// misses three updates during the final year while matches is maintained —
+// plus the paper's truncation typo in the goals value.
+func (g *generator) plantCaseStudy(schemas []schema) {
+	if len(schemas) < 2 {
+		return
+	}
+	span := g.cfg.Span
+	templateID, ok := g.cube.Templates.Lookup("infobox football league season")
+	if !ok {
+		return
+	}
+	pageID := changecube.PageID(g.cube.Pages.Intern("2018-19 Handball-Bundesliga"))
+	e := g.cube.AddEntity(changecube.TemplateID(templateID), pageID)
+	birth := span.End - 330
+	matchesProp := changecube.PropertyID(g.cube.Properties.Intern("matches"))
+	goalsProp := changecube.PropertyID(g.cube.Properties.Intern("total_goals"))
+
+	// The values are realistic numeric tallies so the §5.4 value analysis
+	// has something to find; the plain fieldState value scheme is bypassed.
+	emit := func(prop changecube.PropertyID, day timeline.Day, value string) {
+		g.cube.Add(changecube.Change{
+			Time:     day.Unix() + 30000 + int64(g.rng.Intn(20000)),
+			Entity:   e,
+			Property: prop,
+			Value:    value,
+			Kind:     changecube.Update,
+		})
+	}
+	g.cube.Add(changecube.Change{Time: birth.Unix(), Entity: e, Property: matchesProp,
+		Value: "0", Kind: changecube.Create})
+	g.cube.Add(changecube.Change{Time: birth.Unix(), Entity: e, Property: goalsProp,
+		Value: "9,200", Kind: changecube.Create})
+
+	cs := CaseStudy{
+		Entity:     e,
+		Matches:    changecube.FieldKey{Entity: e, Property: matchesProp},
+		TotalGoals: changecube.FieldKey{Entity: e, Property: goalsProp},
+	}
+	trueTotal := int64(9200) // mid-season carry-over, approaching 10,000
+	displayed := trueTotal
+	typoDone := false
+	gameDay := birth + 3
+	game := 0
+	for gameDay < span.End-7 {
+		game++
+		emit(matchesProp, gameDay, fmt.Sprintf("%d", game*9)) // 9 fixtures per round
+		delta := int64(25 + g.rng.Intn(12))
+		trueTotal += delta
+		// Three specific match days lack the goals update entirely.
+		if game == 6 || game == 12 || game == 20 {
+			cs.MissedDays = append(cs.MissedDays, gameDay)
+			g.truth.Forgotten = append(g.truth.Forgotten, Forgotten{
+				Field: cs.TotalGoals,
+				Cause: cs.Matches,
+				Day:   gameDay,
+			})
+			gameDay += timeline.Day(3 + g.rng.Intn(5))
+			continue
+		}
+		switch {
+		case !typoDone && trueTotal >= 10000:
+			// The paper's truncation typo: the editor drops the second
+			// digit of the new five-digit total (10,073 becomes 1,073)
+			// and later editors keep incrementing the wrong value.
+			wrong := fmt.Sprintf("%d", trueTotal)
+			wrong = wrong[:1] + wrong[2:]
+			displayed, _ = parseInt(wrong)
+			typoDone = true
+			cs.TypoDay = gameDay
+			cs.TypoValue = displayed
+			cs.TypoIntended = trueTotal
+		default:
+			displayed += delta
+		}
+		emit(goalsProp, gameDay, groupDigits(displayed))
+		gameDay += timeline.Day(3 + g.rng.Intn(5))
+	}
+	// Season finale: someone recomputes the tally and fixes it.
+	emit(goalsProp, span.End-6, groupDigits(trueTotal))
+	g.truth.CaseStudy = cs
+}
+
+// parseInt is a minimal digits-only parser for the typo construction.
+func parseInt(s string) (int64, bool) {
+	var n int64
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(r-'0')
+	}
+	return n, true
+}
+
+// groupDigits formats n with comma separators, as infobox tallies are
+// usually written ("10,073").
+func groupDigits(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var b []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b = append(b, ',')
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}

@@ -1,0 +1,55 @@
+package dataset
+
+import "fmt"
+
+// Name pools give the synthetic corpus recognizable Wikipedia flavor. The
+// generator cycles through them deterministically, suffixing indexes when a
+// pool is exhausted.
+
+var templateNouns = []string{
+	"settlement", "person", "boxer", "station", "album", "film",
+	"football club", "company", "university", "river", "mountain",
+	"aircraft", "ship", "video game", "television", "book", "road",
+	"museum", "airport", "stadium", "election", "military unit",
+	"language", "planet", "software", "bridge", "park", "school",
+	"hospital", "radio station", "newspaper", "organization",
+}
+
+var propertyNames = []string{
+	"population", "pop_as_of", "area_km2", "leader_name", "mayor",
+	"num_episodes", "matches", "goals", "wins", "losses", "ko",
+	"revenue", "employees", "students", "length", "elevation",
+	"champion", "runner_up", "attendance", "capacity", "owner",
+	"manager", "coach", "chairman", "website", "logo", "image",
+	"seats", "turnout", "votes", "leader_percent", "discharge",
+	"passengers", "pass_year", "pass_percent", "home_colors",
+	"away_colors", "stadium_name", "current_members", "last_updated",
+	"ranking", "budget", "endowment", "enrollment", "fleet_size",
+	"destinations", "speed_record", "box_office", "gross", "rating",
+}
+
+var staticNames = []string{
+	"birth_date", "birth_name", "birth_place", "founded", "established",
+	"coordinates", "origin", "architect", "opened", "first_flight",
+}
+
+func templateName(i int) string {
+	if i < len(templateNouns) {
+		return "infobox " + templateNouns[i]
+	}
+	return fmt.Sprintf("infobox %s %d", templateNouns[i%len(templateNouns)], i/len(templateNouns))
+}
+
+func propertyName(i int) string {
+	if i < len(propertyNames) {
+		return propertyNames[i]
+	}
+	return fmt.Sprintf("%s_%d", propertyNames[i%len(propertyNames)], i/len(propertyNames))
+}
+
+func staticName(i int) string {
+	if i < len(staticNames) {
+		return staticNames[i]
+	}
+	return fmt.Sprintf("%s_%d", staticNames[i%len(staticNames)], i/len(staticNames))
+}

@@ -1,0 +1,124 @@
+package ensemble
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wikistale/wikistale/internal/predict"
+)
+
+func constant(name string, v bool) predict.Predictor {
+	return predict.Func{PredictorName: name, Fn: func(predict.Context) bool { return v }}
+}
+
+func TestTruthTables(t *testing.T) {
+	cases := []struct {
+		a, b    bool
+		and, or bool
+	}{
+		{false, false, false, false},
+		{false, true, false, true},
+		{true, false, false, true},
+		{true, true, true, true},
+	}
+	var ctx predict.Context
+	for _, c := range cases {
+		members := []predict.Predictor{constant("a", c.a), constant("b", c.b)}
+		if got := (And{Members: members}).Predict(ctx); got != c.and {
+			t.Errorf("AND(%v,%v) = %v", c.a, c.b, got)
+		}
+		if got := (Or{Members: members}).Predict(ctx); got != c.or {
+			t.Errorf("OR(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+// TestAlgebra: AND implies each member implies OR, for arbitrary member
+// outcome vectors.
+func TestAlgebra(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		if len(outcomes) == 0 {
+			return true
+		}
+		members := make([]predict.Predictor, len(outcomes))
+		for i, v := range outcomes {
+			members[i] = constant("m", v)
+		}
+		var ctx predict.Context
+		and := And{Members: members}.Predict(ctx)
+		or := Or{Members: members}.Predict(ctx)
+		for _, v := range outcomes {
+			if and && !v {
+				return false // AND ⊆ member
+			}
+			if v && !or {
+				return false // member ⊆ OR
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyEnsembles(t *testing.T) {
+	var ctx predict.Context
+	if (And{}).Predict(ctx) {
+		t.Fatal("empty AND predicted")
+	}
+	if (Or{}).Predict(ctx) {
+		t.Fatal("empty OR predicted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	a := And{Members: []predict.Predictor{constant("x", true), constant("y", true)}}
+	if a.Name() != "AND(x, y)" {
+		t.Fatalf("And name = %q", a.Name())
+	}
+	o := Or{Members: a.Members, Label: "custom"}
+	if o.Name() != "custom" {
+		t.Fatalf("label override = %q", o.Name())
+	}
+}
+
+func TestPaperEnsembles(t *testing.T) {
+	fc := constant("field correlations", true)
+	ar := constant("association rules", false)
+	and, or := Paper(fc, ar)
+	if and.Name() != "AND-ensemble" || or.Name() != "OR-ensemble" {
+		t.Fatalf("labels: %q %q", and.Name(), or.Name())
+	}
+	var ctx predict.Context
+	if and.Predict(ctx) || !or.Predict(ctx) {
+		t.Fatal("paper ensembles miswired")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]predict.Predictor{constant("a", true)}); err == nil {
+		t.Fatal("single-member ensemble accepted")
+	}
+	if err := Validate([]predict.Predictor{constant("a", true), constant("b", true)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShortCircuit: OR stops at the first true, AND at the first false.
+func TestShortCircuit(t *testing.T) {
+	calls := 0
+	counting := predict.Func{PredictorName: "count", Fn: func(predict.Context) bool {
+		calls++
+		return true
+	}}
+	var ctx predict.Context
+	Or{Members: []predict.Predictor{constant("t", true), counting}}.Predict(ctx)
+	if calls != 0 {
+		t.Fatal("OR did not short-circuit")
+	}
+	And{Members: []predict.Predictor{constant("f", false), counting}}.Predict(ctx)
+	if calls != 0 {
+		t.Fatal("AND did not short-circuit")
+	}
+}

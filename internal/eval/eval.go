@@ -1,0 +1,326 @@
+// Package eval implements the paper's evaluation protocol (§5.1): the
+// filtered dataset is split along the time axis; predictions are made for
+// every eligible field in every tumbling window of each granularity (365
+// one-day, 52 seven-day, 12 thirty-day and 1 yearly window per evaluation
+// year — 430 predictions per field); a prediction counts as a true
+// positive when the field really changed inside the window. The harness
+// also produces the per-week precision/recall series of Figure 4 and the
+// prediction-overlap analysis of §5.3.4.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/predict"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// Counts is a binary-classification tally.
+type Counts struct {
+	TP, FP, FN, TN int
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.TP += other.TP
+	c.FP += other.FP
+	c.FN += other.FN
+	c.TN += other.TN
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted.
+func (c Counts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when nothing changed.
+func (c Counts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Predictions returns the number of positive predictions (TP+FP), the
+// absolute count the paper reports alongside precision and recall.
+func (c Counts) Predictions() int { return c.TP + c.FP }
+
+// Changed returns the number of windows containing changes (TP+FN).
+func (c Counts) Changed() int { return c.TP + c.FN }
+
+// OverlapCounts tallies how two predictors' positive predictions relate.
+type OverlapCounts struct {
+	Both  int // predicted by both
+	OnlyA int
+	OnlyB int
+}
+
+// FractionA returns the share of A's predictions that B also made.
+func (o OverlapCounts) FractionA() float64 {
+	if o.Both+o.OnlyA == 0 {
+		return 0
+	}
+	return float64(o.Both) / float64(o.Both+o.OnlyA)
+}
+
+// FractionB returns the share of B's predictions that A also made.
+func (o OverlapCounts) FractionB() float64 {
+	if o.Both+o.OnlyB == 0 {
+		return 0
+	}
+	return float64(o.Both) / float64(o.Both+o.OnlyB)
+}
+
+// Options tunes an evaluation run.
+type Options struct {
+	// Sizes are the window sizes in days (default timeline.StandardSizes).
+	Sizes []int
+	// OverTimeSize, when non-zero, collects per-window Counts at this
+	// window size (7 for the paper's Figure 4).
+	OverTimeSize int
+	// OverlapPairs lists predictor index pairs whose positive predictions
+	// should be cross-tabulated (§5.3.4).
+	OverlapPairs [][2]int
+	// ByTemplateSize, when non-zero, additionally groups counts by the
+	// target field's infobox template at this window size — the
+	// drill-down view for diagnosing which templates drive precision
+	// loss.
+	ByTemplateSize int
+	// Workers bounds evaluation parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Report is the outcome of one evaluation run.
+type Report struct {
+	// Split is the evaluated day span.
+	Split timeline.Span
+	// Predictors lists the predictor names in evaluation order.
+	Predictors []string
+	// BySize maps predictor name -> window size -> counts.
+	BySize map[string]map[int]Counts
+	// OverTime maps predictor name -> counts per window index, at
+	// Options.OverTimeSize (nil when not collected).
+	OverTime map[string][]Counts
+	// ByTemplate maps predictor name -> template id -> counts at
+	// Options.ByTemplateSize (nil when not collected).
+	ByTemplate map[string]map[changecube.TemplateID]Counts
+	// Overlaps maps "nameA|nameB" -> overlap counts, accumulated across
+	// all evaluated window sizes... keyed per size as "nameA|nameB/size".
+	Overlaps map[string]OverlapCounts
+	// Fields is the number of evaluated fields (the eligibility universe).
+	Fields int
+}
+
+// OverlapKey builds the Overlaps map key for a predictor pair at a size.
+func OverlapKey(a, b string, size int) string {
+	return fmt.Sprintf("%s|%s/%d", a, b, size)
+}
+
+// Evaluate runs every predictor over every field and window of the split.
+// The observed set plays two roles, exactly as in the paper: it is the
+// leakage-controlled evidence predictors may consult (enforced by
+// predict.Context), and its histories are the ground truth.
+func Evaluate(observed *changecube.HistorySet, split timeline.Span, predictors []predict.Predictor, opts Options) (*Report, error) {
+	if len(predictors) == 0 {
+		return nil, fmt.Errorf("eval: no predictors")
+	}
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		sizes = timeline.StandardSizes
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("eval: invalid window size %d", s)
+		}
+		if split.Len() < s {
+			return nil, fmt.Errorf("eval: split %v shorter than window size %d", split, s)
+		}
+	}
+	for _, pair := range opts.OverlapPairs {
+		if pair[0] < 0 || pair[0] >= len(predictors) || pair[1] < 0 || pair[1] >= len(predictors) {
+			return nil, fmt.Errorf("eval: overlap pair %v out of range", pair)
+		}
+	}
+	names := make([]string, len(predictors))
+	seen := make(map[string]bool)
+	for i, p := range predictors {
+		names[i] = p.Name()
+		if seen[names[i]] {
+			return nil, fmt.Errorf("eval: duplicate predictor name %q", names[i])
+		}
+		seen[names[i]] = true
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	histories := observed.Histories()
+	if workers > len(histories) {
+		workers = len(histories)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	windowsBySize := make(map[int][]timeline.Window, len(sizes))
+	for _, s := range sizes {
+		windowsBySize[s] = timeline.Tumbling(split, s)
+	}
+
+	partials := make([]*Report, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		part := newReport(split, names, opts, windowsBySize)
+		partials[w] = part
+		lo := w * len(histories) / workers
+		hi := (w + 1) * len(histories) / workers
+		wg.Add(1)
+		go func(part *Report, chunk []changecube.History) {
+			defer wg.Done()
+			evalChunk(part, observed, chunk, predictors, names, sizes, windowsBySize, opts)
+		}(part, histories[lo:hi])
+	}
+	wg.Wait()
+
+	report := newReport(split, names, opts, windowsBySize)
+	report.Fields = len(histories)
+	for _, part := range partials {
+		for name, bySize := range part.BySize {
+			for size, c := range bySize {
+				total := report.BySize[name][size]
+				total.Add(c)
+				report.BySize[name][size] = total
+			}
+		}
+		for name, series := range part.OverTime {
+			dst := report.OverTime[name]
+			for i, c := range series {
+				dst[i].Add(c)
+			}
+		}
+		for name, perTemplate := range part.ByTemplate {
+			dst := report.ByTemplate[name]
+			for template, c := range perTemplate {
+				total := dst[template]
+				total.Add(c)
+				dst[template] = total
+			}
+		}
+		for key, oc := range part.Overlaps {
+			total := report.Overlaps[key]
+			total.Both += oc.Both
+			total.OnlyA += oc.OnlyA
+			total.OnlyB += oc.OnlyB
+			report.Overlaps[key] = total
+		}
+	}
+	return report, nil
+}
+
+func newReport(split timeline.Span, names []string, opts Options, windowsBySize map[int][]timeline.Window) *Report {
+	r := &Report{
+		Split:      split,
+		Predictors: names,
+		BySize:     make(map[string]map[int]Counts, len(names)),
+		Overlaps:   make(map[string]OverlapCounts),
+	}
+	for _, n := range names {
+		r.BySize[n] = make(map[int]Counts)
+	}
+	if opts.OverTimeSize > 0 {
+		r.OverTime = make(map[string][]Counts, len(names))
+		for _, n := range names {
+			r.OverTime[n] = make([]Counts, len(windowsBySize[opts.OverTimeSize]))
+		}
+	}
+	if opts.ByTemplateSize > 0 {
+		r.ByTemplate = make(map[string]map[changecube.TemplateID]Counts, len(names))
+		for _, n := range names {
+			r.ByTemplate[n] = make(map[changecube.TemplateID]Counts)
+		}
+	}
+	return r
+}
+
+func evalChunk(part *Report, observed *changecube.HistorySet, chunk []changecube.History,
+	predictors []predict.Predictor, names []string, sizes []int,
+	windowsBySize map[int][]timeline.Window, opts Options) {
+
+	preds := make([]bool, len(predictors))
+	cube := observed.Cube()
+	for _, h := range chunk {
+		template := cube.Template(h.Field.Entity)
+		for _, size := range sizes {
+			for _, w := range windowsBySize[size] {
+				truth := h.ChangedIn(w.Span)
+				ctx := predict.NewContext(observed, h.Field, w)
+				for i, p := range predictors {
+					preds[i] = p.Predict(ctx)
+					c := part.BySize[names[i]][size]
+					switch {
+					case preds[i] && truth:
+						c.TP++
+					case preds[i] && !truth:
+						c.FP++
+					case !preds[i] && truth:
+						c.FN++
+					default:
+						c.TN++
+					}
+					part.BySize[names[i]][size] = c
+					if size == opts.OverTimeSize && part.OverTime != nil {
+						oc := &part.OverTime[names[i]][w.Index]
+						switch {
+						case preds[i] && truth:
+							oc.TP++
+						case preds[i] && !truth:
+							oc.FP++
+						case !preds[i] && truth:
+							oc.FN++
+						default:
+							oc.TN++
+						}
+					}
+					if size == opts.ByTemplateSize && part.ByTemplate != nil {
+						tc := part.ByTemplate[names[i]][template]
+						switch {
+						case preds[i] && truth:
+							tc.TP++
+						case preds[i] && !truth:
+							tc.FP++
+						case !preds[i] && truth:
+							tc.FN++
+						default:
+							tc.TN++
+						}
+						part.ByTemplate[names[i]][template] = tc
+					}
+				}
+				for _, pair := range opts.OverlapPairs {
+					a, b := preds[pair[0]], preds[pair[1]]
+					if !a && !b {
+						continue
+					}
+					key := OverlapKey(names[pair[0]], names[pair[1]], size)
+					oc := part.Overlaps[key]
+					switch {
+					case a && b:
+						oc.Both++
+					case a:
+						oc.OnlyA++
+					default:
+						oc.OnlyB++
+					}
+					part.Overlaps[key] = oc
+				}
+			}
+		}
+	}
+}

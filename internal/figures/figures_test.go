@@ -1,0 +1,187 @@
+package figures
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// assertWellFormed parses the SVG as XML — broken nesting, unescaped
+// characters and truncated tags all fail here.
+func assertWellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestFigure3RendersHistogram(t *testing.T) {
+	svg, err := Figure3(map[int]int{1: 7, 2: 12, 3: 5, 4: 5, 150: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormed(t, svg)
+	for _, want := range []string{
+		"Figure 3", "log scale", "templates",
+		`<path `,     // rounded-top bars
+		`100</text>`, // log-decade tick
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG lacks %q", want)
+		}
+	}
+	// One bar per histogram bucket.
+	if got := strings.Count(svg, "<path "); got != 5 {
+		t.Errorf("bars = %d, want 5", got)
+	}
+	// The extreme buckets are direct-labeled: max templates (12) and the
+	// 150-rule outlier (1).
+	if !strings.Contains(svg, ">12</text>") {
+		t.Error("max-templates label missing")
+	}
+}
+
+func TestFigure3Validation(t *testing.T) {
+	if _, err := Figure3(nil); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	if _, err := Figure3(map[int]int{0: 3}); err == nil {
+		t.Error("zero-rule bucket accepted")
+	}
+	if _, err := Figure3(map[int]int{2: -1}); err == nil {
+		t.Error("negative template count accepted")
+	}
+}
+
+func TestFigure3SingleBucket(t *testing.T) {
+	svg, err := Figure3(map[int]int{1: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormed(t, svg)
+}
+
+func mkSeries(name string, weeks int, p, r float64) Figure4Series {
+	s := Figure4Series{Name: name}
+	for w := 0; w < weeks; w++ {
+		s.Precision = append(s.Precision, p+float64(w%5))
+		s.Recall = append(s.Recall, r+float64(w%3))
+	}
+	return s
+}
+
+func TestFigure4RendersPanels(t *testing.T) {
+	series := []Figure4Series{
+		mkSeries("field correlations", 52, 90, 20),
+		mkSeries("association rules", 52, 92, 25),
+		mkSeries("AND-ensemble", 52, 94, 8),
+		mkSeries("OR-ensemble", 52, 91, 35),
+	}
+	svg, err := Figure4(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormed(t, svg)
+	for _, want := range []string{
+		"Figure 4", "precision [%]", "recall [%]", "85% target",
+		"week of the test year",
+		"field correlations", "association rules", "AND-ensemble", "OR-ensemble",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG lacks %q", want)
+		}
+	}
+	// Two panels x four series = eight polylines.
+	if got := strings.Count(svg, "<polyline"); got != 8 {
+		t.Errorf("polylines = %d, want 8", got)
+	}
+	// Series colors are assigned in fixed palette order.
+	for _, color := range seriesColors {
+		if !strings.Contains(svg, color) {
+			t.Errorf("palette color %s unused", color)
+		}
+	}
+}
+
+func TestFigure4Validation(t *testing.T) {
+	if _, err := Figure4(nil); err == nil {
+		t.Error("no series accepted")
+	}
+	short := []Figure4Series{{Name: "x", Precision: []float64{1}, Recall: []float64{1}}}
+	if _, err := Figure4(short); err == nil {
+		t.Error("single week accepted")
+	}
+	mismatch := []Figure4Series{{Name: "x", Precision: []float64{1, 2}, Recall: []float64{1}}}
+	if _, err := Figure4(mismatch); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	var five []Figure4Series
+	for i := 0; i < 5; i++ {
+		five = append(five, mkSeries(string(rune('a'+i)), 10, 90, 10))
+	}
+	if _, err := Figure4(five); err == nil {
+		t.Error("fifth series accepted beyond the fixed palette")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	svg, err := Figure4([]Figure4Series{mkSeries(`a<b & "c"`, 4, 90, 10), mkSeries("d", 4, 80, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormed(t, svg)
+	if strings.Contains(svg, `a<b`) {
+		t.Error("unescaped series name")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	cases := []struct {
+		max  float64
+		want float64 // last tick must cover max
+	}{
+		{7, 8}, {12, 12}, {99, 100}, {0.4, 0.4}, {1500, 1600},
+	}
+	for _, c := range cases {
+		ticks := niceTicks(c.max, 4)
+		if len(ticks) < 2 {
+			t.Errorf("max %v: too few ticks %v", c.max, ticks)
+			continue
+		}
+		last := ticks[len(ticks)-1]
+		if last < c.max {
+			t.Errorf("max %v: last tick %v does not cover it", c.max, last)
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				t.Errorf("max %v: ticks not increasing: %v", c.max, ticks)
+			}
+		}
+	}
+	if got := niceTicks(0, 4); len(got) != 1 || got[0] != 0 {
+		t.Errorf("niceTicks(0) = %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 5: "5", 100: "100", 1500: "1,500", 2.5: "2.5", 1000000: "1,000,000"}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

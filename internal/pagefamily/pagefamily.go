@@ -1,0 +1,76 @@
+// Package pagefamily groups the yearly incarnations of annual-event pages
+// — "2018-19 Handball-Bundesliga", "2014 FIFA World Cup", "Premier League
+// 2016-17 season" — under one family key, the §6 future-work idea of the
+// paper: patterns learned across a family's past years transfer to the
+// current year's page.
+package pagefamily
+
+import (
+	"strings"
+)
+
+// Normalize returns the family key of a page title: the title with year
+// tokens removed and whitespace collapsed. Titles without year tokens are
+// their own family.
+func Normalize(title string) string {
+	fields := strings.Fields(title)
+	kept := fields[:0]
+	removed := false
+	for _, f := range fields {
+		if isYearToken(f) {
+			removed = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	if !removed || len(kept) == 0 {
+		return strings.Join(fields, " ")
+	}
+	return strings.Join(kept, " ")
+}
+
+// isYearToken recognizes plain years ("2018"), year ranges with hyphen,
+// en dash or slash ("2018-19", "2018–2019", "2018/19"), and parenthesized
+// forms ("(2018)").
+func isYearToken(tok string) bool {
+	tok = strings.TrimPrefix(tok, "(")
+	tok = strings.TrimSuffix(tok, ")")
+	tok = strings.TrimSuffix(tok, ",")
+	if tok == "" {
+		return false
+	}
+	// Split a potential range on the first separator.
+	for _, sep := range []string{"–", "—", "-", "/"} {
+		if i := strings.Index(tok, sep); i > 0 {
+			return isYear(tok[:i]) && isYearSuffix(tok[i+len(sep):])
+		}
+	}
+	return isYear(tok)
+}
+
+// isYear matches a plausible 4-digit year (1000–2999).
+func isYear(s string) bool {
+	if len(s) != 4 {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return s[0] == '1' || s[0] == '2'
+}
+
+// isYearSuffix matches the short or long second half of a year range
+// ("19" or "2019").
+func isYearSuffix(s string) bool {
+	if len(s) == 2 {
+		for _, r := range s {
+			if r < '0' || r > '9' {
+				return false
+			}
+		}
+		return true
+	}
+	return isYear(s)
+}

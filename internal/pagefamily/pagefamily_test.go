@@ -1,0 +1,70 @@
+package pagefamily
+
+import "testing"
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"2018-19 Handball-Bundesliga":     "Handball-Bundesliga",
+		"2018–19 Handball-Bundesliga":     "Handball-Bundesliga", // en dash
+		"2018/19 Handball-Bundesliga":     "Handball-Bundesliga",
+		"2014 FIFA World Cup":             "FIFA World Cup",
+		"Premier League 2016-17 season":   "Premier League season",
+		"Premier League 2016-2017 season": "Premier League season",
+		"UEFA Euro 2020":                  "UEFA Euro",
+		"Academy Awards (2019)":           "Academy Awards",
+		"London":                          "London",
+		"Boeing 747":                      "Boeing 747", // not a year (3 digits)
+		"Area 51":                         "Area 51",
+		// Known heuristic limitation: a title year that is the subject
+		// itself is still stripped.
+		"1984 (novel)":           "(novel)",
+		"Handball-Bundesliga":    "Handball-Bundesliga",
+		"  spaced   title  ":     "spaced title",
+		"3019 Kulin":             "3019 Kulin", // beyond plausible years
+		"2018-19 2019-20 double": "double",
+		"War of 1812":            "War of", // aggressive, acceptable for grouping
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizeAllYearTokensKeepsOriginal(t *testing.T) {
+	// A title that is nothing but a year must remain its own family, not
+	// collapse to the empty string.
+	if got := Normalize("2001"); got != "2001" {
+		t.Fatalf("Normalize(2001) = %q", got)
+	}
+	if got := Normalize("2001 2002"); got != "2001 2002" {
+		t.Fatalf("Normalize(2001 2002) = %q", got)
+	}
+}
+
+func TestSameFamilyAcrossYears(t *testing.T) {
+	a := Normalize("2017-18 Handball-Bundesliga")
+	b := Normalize("2018-19 Handball-Bundesliga")
+	c := Normalize("2018-19 Eredivisie")
+	if a != b {
+		t.Fatalf("consecutive seasons in different families: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Fatal("different leagues share a family")
+	}
+}
+
+func TestIsYearToken(t *testing.T) {
+	yes := []string{"2018", "1999", "2018-19", "2018–2019", "2018/19", "(2020)", "2020,"}
+	no := []string{"abc", "747", "20188", "2018-1", "2018-199", "-2018", "18-2018", ""}
+	for _, s := range yes {
+		if !isYearToken(s) {
+			t.Errorf("isYearToken(%q) = false", s)
+		}
+	}
+	for _, s := range no {
+		if isYearToken(s) {
+			t.Errorf("isYearToken(%q) = true", s)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package revision
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+)
+
+func extract(t *testing.T, title string, revs []Revision) *changecube.Cube {
+	t.Helper()
+	cube := changecube.New()
+	x := NewExtractor(cube)
+	if err := x.AddPage(title, revs); err != nil {
+		t.Fatalf("AddPage: %v", err)
+	}
+	if err := cube.Validate(); err != nil {
+		t.Fatalf("cube invalid: %v", err)
+	}
+	return cube
+}
+
+// changesByKind tallies the cube's changes per kind.
+func changesByKind(c *changecube.Cube) map[changecube.ChangeKind]int {
+	out := make(map[changecube.ChangeKind]int)
+	for _, ch := range c.Changes() {
+		out[ch.Kind]++
+	}
+	return out
+}
+
+func TestCreateUpdateDeleteLifecycle(t *testing.T) {
+	revs := []Revision{
+		{Time: 100, Text: `{{Infobox club|name=FC|matches=0}}`},
+		{Time: 200, Text: `{{Infobox club|name=FC|matches=1|goals=2}}`},
+		{Time: 300, Text: `{{Infobox club|name=FC|matches=2}}`},
+	}
+	cube := extract(t, "FC Test", revs)
+	kinds := changesByKind(cube)
+	// rev1: 2 creates; rev2: 1 update (matches), 1 create (goals);
+	// rev3: 1 update (matches), 1 delete (goals).
+	if kinds[changecube.Create] != 3 || kinds[changecube.Update] != 2 || kinds[changecube.Delete] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if cube.NumEntities() != 1 {
+		t.Fatalf("entities = %d, want 1", cube.NumEntities())
+	}
+}
+
+func TestUnchangedValueEmitsNothing(t *testing.T) {
+	revs := []Revision{
+		{Time: 100, Text: `{{Infobox a|x=1}}`},
+		{Time: 200, Text: `{{Infobox a|x=1}} extra prose`},
+	}
+	cube := extract(t, "P", revs)
+	if cube.NumChanges() != 1 {
+		t.Fatalf("changes = %d, want only the initial create", cube.NumChanges())
+	}
+}
+
+func TestValueComparisonUsesCleanValue(t *testing.T) {
+	// Adding a reference without changing the visible value is not a change.
+	revs := []Revision{
+		{Time: 100, Text: `{{Infobox a|pop=100}}`},
+		{Time: 200, Text: `{{Infobox a|pop=100<ref>src</ref>}}`},
+		{Time: 300, Text: `{{Infobox a|pop=[[growth|101]]}}`},
+	}
+	cube := extract(t, "P", revs)
+	if cube.NumChanges() != 2 {
+		for _, ch := range cube.Changes() {
+			t.Logf("%+v", ch)
+		}
+		t.Fatalf("changes = %d, want create + one real update", cube.NumChanges())
+	}
+	last := cube.Changes()[1]
+	if last.Value != "101" || last.Kind != changecube.Update {
+		t.Fatalf("last change = %+v", last)
+	}
+}
+
+func TestInfoboxRemovalDeletesAllProperties(t *testing.T) {
+	revs := []Revision{
+		{Time: 100, Text: `{{Infobox a|x=1|y=2}}`},
+		{Time: 200, Text: `plain article, infobox vandalized away`},
+		{Time: 300, Text: `{{Infobox a|x=1}}`},
+	}
+	cube := extract(t, "P", revs)
+	kinds := changesByKind(cube)
+	if kinds[changecube.Delete] != 2 {
+		t.Fatalf("deletes = %d, want 2", kinds[changecube.Delete])
+	}
+	// Re-creation after deletion starts a new entity (the old one is gone).
+	if cube.NumEntities() != 2 {
+		t.Fatalf("entities = %d, want 2", cube.NumEntities())
+	}
+}
+
+func TestTwoInfoboxesSamePage(t *testing.T) {
+	revs := []Revision{
+		{Time: 100, Text: `{{Infobox person|name=A}} {{Infobox person|name=B}}`},
+		{Time: 200, Text: `{{Infobox person|name=A2}} {{Infobox person|name=B}}`},
+	}
+	cube := extract(t, "P", revs)
+	if cube.NumEntities() != 2 {
+		t.Fatalf("entities = %d, want 2", cube.NumEntities())
+	}
+	var updates []changecube.Change
+	for _, ch := range cube.Changes() {
+		if ch.Kind == changecube.Update {
+			updates = append(updates, ch)
+		}
+	}
+	if len(updates) != 1 || updates[0].Value != "A2" || updates[0].Entity != 0 {
+		t.Fatalf("updates = %+v", updates)
+	}
+}
+
+func TestNestedInfoboxNotDoubleCounted(t *testing.T) {
+	revs := []Revision{
+		{Time: 100, Text: `{{Infobox officeholder|name=X|module={{Infobox boxer|wins=3}}}}`},
+	}
+	cube := extract(t, "P", revs)
+	if cube.NumEntities() != 1 {
+		t.Fatalf("entities = %d, want 1 (nested box folded into parent value)", cube.NumEntities())
+	}
+	if cube.Templates.Len() != 1 {
+		t.Fatalf("templates = %v", cube.Templates.Names())
+	}
+}
+
+func TestBotFlagPropagates(t *testing.T) {
+	revs := []Revision{
+		{Time: 100, Text: `{{Infobox a|x=1}}`},
+		{Time: 200, Text: `{{Infobox a|x=2}}`, Bot: true},
+	}
+	cube := extract(t, "P", revs)
+	chs := cube.Changes()
+	if chs[0].Bot || !chs[1].Bot {
+		t.Fatalf("bot flags = %v, %v", chs[0].Bot, chs[1].Bot)
+	}
+}
+
+func TestRevisionsSortedByTime(t *testing.T) {
+	// Out-of-order input must be processed chronologically.
+	revs := []Revision{
+		{Time: 300, Text: `{{Infobox a|x=3}}`},
+		{Time: 100, Text: `{{Infobox a|x=1}}`},
+		{Time: 200, Text: `{{Infobox a|x=2}}`},
+	}
+	cube := extract(t, "P", revs)
+	chs := cube.Changes()
+	if len(chs) != 3 {
+		t.Fatalf("changes = %d", len(chs))
+	}
+	if chs[0].Value != "1" || chs[1].Value != "2" || chs[2].Value != "3" {
+		t.Fatalf("values out of order: %v %v %v", chs[0].Value, chs[1].Value, chs[2].Value)
+	}
+}
+
+func TestEmptyTitleRejected(t *testing.T) {
+	x := NewExtractor(changecube.New())
+	if err := x.AddPage("", nil); err == nil {
+		t.Fatal("empty title accepted")
+	}
+}
+
+func TestManyPagesAccumulate(t *testing.T) {
+	cube := changecube.New()
+	x := NewExtractor(cube)
+	for i := 0; i < 5; i++ {
+		title := fmt.Sprintf("Page %d", i)
+		err := x.AddPage(title, []Revision{
+			{Time: 100, Text: `{{Infobox settlement|population=1}}`},
+			{Time: 200, Text: `{{Infobox settlement|population=2}}`},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cube.NumEntities() != 5 {
+		t.Fatalf("entities = %d", cube.NumEntities())
+	}
+	if cube.Pages.Len() != 5 || cube.Templates.Len() != 1 || cube.Properties.Len() != 1 {
+		t.Fatalf("dicts: pages=%d templates=%d props=%d",
+			cube.Pages.Len(), cube.Templates.Len(), cube.Properties.Len())
+	}
+	kinds := changesByKind(cube)
+	if kinds[changecube.Update] != 5 || kinds[changecube.Create] != 5 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}

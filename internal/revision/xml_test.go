@@ -1,0 +1,114 @@
+package revision
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+)
+
+const sampleDump = `<mediawiki xmlns="http://www.mediawiki.org/xml/export-0.10/">
+  <siteinfo><sitename>Wikipedia</sitename></siteinfo>
+  <page>
+    <title>London</title>
+    <ns>0</ns>
+    <revision>
+      <timestamp>2019-03-01T12:00:00Z</timestamp>
+      <contributor><username>Alice</username></contributor>
+      <text>{{Infobox settlement|population=100}}</text>
+    </revision>
+    <revision>
+      <timestamp>2019-03-05T09:30:00Z</timestamp>
+      <contributor><username>ClueBot NG</username></contributor>
+      <text>{{Infobox settlement|population=101}}</text>
+    </revision>
+  </page>
+  <page>
+    <title>Talk:London</title>
+    <ns>1</ns>
+    <revision>
+      <timestamp>2019-03-01T12:00:00Z</timestamp>
+      <contributor><ip>127.0.0.1</ip></contributor>
+      <text>chatter {{Infobox settlement|population=9}}</text>
+    </revision>
+  </page>
+  <page>
+    <title>Paris</title>
+    <ns>0</ns>
+    <revision>
+      <timestamp>2018-01-01T00:00:00Z</timestamp>
+      <contributor><username>Bob</username></contributor>
+      <text>no infobox here</text>
+    </revision>
+  </page>
+</mediawiki>`
+
+func TestParseXMLDump(t *testing.T) {
+	cube := changecube.New()
+	x := NewExtractor(cube)
+	stats, err := ParseXMLDump(strings.NewReader(sampleDump), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pages != 2 || stats.SkippedPages != 1 || stats.Revisions != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// London yields a create + an update; Paris has no infobox.
+	if cube.NumChanges() != 2 {
+		t.Fatalf("changes = %d", cube.NumChanges())
+	}
+	chs := cube.Changes()
+	if chs[0].Kind != changecube.Create || chs[1].Kind != changecube.Update {
+		t.Fatalf("kinds = %v, %v", chs[0].Kind, chs[1].Kind)
+	}
+	if chs[0].Bot || !chs[1].Bot {
+		t.Fatalf("bot flags = %v, %v (ClueBot NG must count as a bot)", chs[0].Bot, chs[1].Bot)
+	}
+	if chs[1].Value != "101" {
+		t.Fatalf("value = %q", chs[1].Value)
+	}
+	// Talk-namespace infobox must not leak into the cube.
+	if _, ok := cube.Pages.Lookup("Talk:London"); ok {
+		t.Fatal("talk page ingested")
+	}
+}
+
+func TestParseXMLDumpErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad timestamp": `<mediawiki><page><title>X</title><ns>0</ns>
+			<revision><timestamp>yesterday</timestamp><text>t</text></revision></page></mediawiki>`,
+		"missing title": `<mediawiki><page><ns>0</ns>
+			<revision><timestamp>2019-03-01T12:00:00Z</timestamp><text>t</text></revision></page></mediawiki>`,
+		"broken xml": `<mediawiki><page><title>X</title>`,
+	}
+	for name, dump := range cases {
+		x := NewExtractor(changecube.New())
+		if _, err := ParseXMLDump(strings.NewReader(dump), x); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseXMLDumpTruncatedIsError(t *testing.T) {
+	// Cut the sample dump in half: the decoder must report an error, not
+	// silently return partial data as success.
+	x := NewExtractor(changecube.New())
+	if _, err := ParseXMLDump(strings.NewReader(sampleDump[:len(sampleDump)/2]), x); err == nil {
+		t.Fatal("truncated dump accepted")
+	}
+}
+
+func TestIsBotName(t *testing.T) {
+	yes := []string{"ClueBot", "ClueBot NG", "SmackBot", "Cydebot", "SineBot II", "lowercasebot", "AnomieBOT"}
+	no := []string{"Alice", "", "Abbot Smith", "bot pioneer", "Robotics"}
+	for _, u := range yes {
+		if !IsBotName(u) {
+			t.Errorf("IsBotName(%q) = false", u)
+		}
+	}
+	for _, u := range no {
+		if IsBotName(u) {
+			t.Errorf("IsBotName(%q) = true", u)
+		}
+	}
+}

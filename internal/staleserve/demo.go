@@ -1,0 +1,123 @@
+package staleserve
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+)
+
+// The demo endpoint renders the paper's Figure 1: a page's infobox with a
+// marker on every value the detector considers possibly out of date,
+// including the explanation ("matches changed two days ago and this value
+// has not been updated yet").
+
+var demoTemplate = template.Must(template.New("demo").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Page}} — staleness demo</title>
+<style>
+body { font-family: sans-serif; margin: 2rem; }
+table { border-collapse: collapse; min-width: 28rem; }
+caption { font-weight: bold; padding: .4rem; background: #eaecf0; border: 1px solid #a2a9b1; }
+td, th { border: 1px solid #a2a9b1; padding: .3rem .6rem; text-align: left; }
+tr.stale { background: #fef6e7; }
+.marker { color: #b32424; font-weight: bold; cursor: help; }
+.meta { color: #54595d; font-size: .85em; }
+</style></head><body>
+<h1>{{.Page}}</h1>
+<p class="meta">template {{.Template}} · staleness window {{.Window}} day(s) ending {{.AsOf}}</p>
+<table>
+<caption>Infobox</caption>
+<tr><th>property</th><th>last changed</th><th></th></tr>
+{{range .Fields}}<tr{{if .Stale}} class="stale"{{end}}>
+<td>{{.Property}}</td><td>{{.LastChanged}}</td>
+<td>{{if .Stale}}<span class="marker" title="{{.Explanation}}">⚠ might be out of date</span>
+<div class="meta">{{.Explanation}}</div>{{end}}</td>
+</tr>
+{{end}}</table>
+</body></html>`))
+
+type demoField struct {
+	Property    string
+	LastChanged string
+	Stale       bool
+	Explanation string
+}
+
+type demoData struct {
+	Page     string
+	Template string
+	Window   int
+	AsOf     string
+	Fields   []demoField
+}
+
+func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
+	page := r.URL.Query().Get("page")
+	if page == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("page is required"))
+		return
+	}
+	asOf, window, err := s.parseWindow(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pageID, ok := s.cube.Pages.Lookup(page)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown page"))
+		return
+	}
+
+	// Collect the page's fields from the observed histories.
+	data := demoData{Page: page, Window: window, AsOf: asOf.String()}
+	for _, h := range s.det.Histories().Histories() {
+		if s.cube.Page(h.Field.Entity) != changecube.PageID(pageID) {
+			continue
+		}
+		if data.Template == "" {
+			data.Template = s.cube.Templates.Name(int32(s.cube.Template(h.Field.Entity)))
+		}
+		data.Fields = append(data.Fields, demoField{
+			Property:    s.cube.Properties.Name(int32(h.Field.Property)),
+			LastChanged: h.Days[len(h.Days)-1].String(),
+		})
+	}
+	if len(data.Fields) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("page has no observed fields"))
+		return
+	}
+	byProp := make(map[string]*demoField, len(data.Fields))
+	for i := range data.Fields {
+		byProp[data.Fields[i].Property] = &data.Fields[i]
+	}
+	for _, a := range s.alerts(asOf, window) {
+		if s.cube.Page(a.Field.Entity) != changecube.PageID(pageID) {
+			continue
+		}
+		prop := s.cube.Properties.Name(int32(a.Field.Property))
+		f, ok := byProp[prop]
+		if !ok {
+			// Rule consequents without history still deserve a row.
+			data.Fields = append(data.Fields, demoField{
+				Property:    prop,
+				LastChanged: "never",
+				Stale:       true,
+				Explanation: a.Explanation,
+			})
+			byProp[prop] = &data.Fields[len(data.Fields)-1]
+			continue
+		}
+		f.Stale = true
+		f.Explanation = a.Explanation
+	}
+	sort.Slice(data.Fields, func(i, j int) bool { return data.Fields[i].Property < data.Fields[j].Property })
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := demoTemplate.Execute(w, data); err != nil {
+		// Headers are out; all we can do is log-level surfacing via the
+		// connection error itself.
+		_ = err
+	}
+}

@@ -1,0 +1,223 @@
+// Package staleserve exposes a trained detector over HTTP — the service
+// behind the paper's Figure 1: a reader-facing marker asking "is this
+// infobox value possibly out of date?", plus editor-facing listings of
+// everything currently stale. Responses are JSON; all state is read-only
+// after construction, so handlers are safe for concurrent use.
+package staleserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/core"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// Alert is the JSON shape of one stale-field finding.
+type Alert struct {
+	Page        string   `json:"page"`
+	Template    string   `json:"template"`
+	Property    string   `json:"property"`
+	WindowStart string   `json:"window_start"`
+	WindowEnd   string   `json:"window_end"`
+	Sources     []string `json:"sources"`
+	Explanation string   `json:"explanation"`
+}
+
+// FieldStatus answers the Figure-1 marker lookup for one field.
+type FieldStatus struct {
+	Page        string `json:"page"`
+	Property    string `json:"property"`
+	Stale       bool   `json:"stale"`
+	Explanation string `json:"explanation,omitempty"`
+	// LastChanged is the field's most recent known change day.
+	LastChanged string `json:"last_changed,omitempty"`
+}
+
+// Server serves a trained detector.
+type Server struct {
+	det  *core.Detector
+	cube *changecube.Cube
+	mux  *http.ServeMux
+
+	mu       sync.Mutex
+	cacheKey string
+	cacheVal []core.StaleAlert
+}
+
+// New constructs a server over a trained detector.
+func New(det *core.Detector) *Server {
+	s := &Server{
+		det:  det,
+		cube: det.Histories().Cube(),
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stale", s.handleStale)
+	s.mux.HandleFunc("GET /v1/field", s.handleField)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /demo", s.handleDemo)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"fields": s.det.Histories().Len(),
+	})
+}
+
+// parseWindow extracts the asof/window parameters shared by the staleness
+// endpoints. asof defaults to the end of the data; window to 7 days.
+func (s *Server) parseWindow(r *http.Request) (timeline.Day, int, error) {
+	asOf := s.det.Histories().Span().End
+	if v := r.URL.Query().Get("asof"); v != "" {
+		t, err := time.Parse("2006-01-02", v)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad asof %q: want YYYY-MM-DD", v)
+		}
+		asOf = timeline.DayOf(t)
+	}
+	window := 7
+	if v := r.URL.Query().Get("window"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 3650 {
+			return 0, 0, fmt.Errorf("bad window %q: want days in [1, 3650]", v)
+		}
+		window = n
+	}
+	return asOf, window, nil
+}
+
+// alerts runs DetectStale with a single-entry cache: dashboards poll the
+// same (asof, window) repeatedly.
+func (s *Server) alerts(asOf timeline.Day, window int) []core.StaleAlert {
+	key := fmt.Sprintf("%d/%d", asOf, window)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cacheKey == key {
+		return s.cacheVal
+	}
+	val := s.det.DetectStale(asOf, window)
+	s.cacheKey, s.cacheVal = key, val
+	return val
+}
+
+func (s *Server) handleStale(w http.ResponseWriter, r *http.Request) {
+	asOf, window, err := s.parseWindow(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+	}
+	alerts := s.alerts(asOf, window)
+	out := make([]Alert, 0, len(alerts))
+	for i, a := range alerts {
+		if limit > 0 && i >= limit {
+			break
+		}
+		out = append(out, s.render(a))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"asof":   asOf.String(),
+		"window": window,
+		"total":  len(alerts),
+		"alerts": out,
+	})
+}
+
+func (s *Server) render(a core.StaleAlert) Alert {
+	return Alert{
+		Page:        s.cube.Pages.Name(int32(s.cube.Page(a.Field.Entity))),
+		Template:    s.cube.Templates.Name(int32(s.cube.Template(a.Field.Entity))),
+		Property:    s.cube.Properties.Name(int32(a.Field.Property)),
+		WindowStart: a.Window.Start.String(),
+		WindowEnd:   a.Window.End.String(),
+		Sources:     a.Sources,
+		Explanation: a.Explanation,
+	}
+}
+
+// handleField is the marker lookup: given page and property, is the value
+// possibly out of date right now?
+func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
+	page := r.URL.Query().Get("page")
+	property := r.URL.Query().Get("property")
+	if page == "" || property == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("page and property are required"))
+		return
+	}
+	asOf, window, err := s.parseWindow(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pageID, okPage := s.cube.Pages.Lookup(page)
+	propID, okProp := s.cube.Properties.Lookup(property)
+	if !okPage || !okProp {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown page or property"))
+		return
+	}
+	status := FieldStatus{Page: page, Property: property}
+	if h, ok := s.fieldHistory(changecube.PageID(pageID), changecube.PropertyID(propID)); ok {
+		status.LastChanged = h.Days[len(h.Days)-1].String()
+	}
+	for _, a := range s.alerts(asOf, window) {
+		if s.cube.Page(a.Field.Entity) == changecube.PageID(pageID) &&
+			a.Field.Property == changecube.PropertyID(propID) {
+			status.Stale = true
+			status.Explanation = a.Explanation
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) fieldHistory(page changecube.PageID, prop changecube.PropertyID) (changecube.History, bool) {
+	for _, h := range s.det.Histories().Histories() {
+		if h.Field.Property == prop && s.cube.Page(h.Field.Entity) == page {
+			return h, true
+		}
+	}
+	return changecube.History{}, false
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	stats := s.det.FilterStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fields":            s.det.Histories().Len(),
+		"changes":           s.det.Histories().TotalChanges(),
+		"survival":          stats.Survival(),
+		"correlation_rules": s.det.FieldCorrelations().NumRules(),
+		"association_rules": s.det.AssociationRules().NumRules(),
+		"covered_pages":     s.det.AssociationRules().CoveredPages(s.cube),
+		"span_start":        s.det.Histories().Span().Start.String(),
+		"span_end":          s.det.Histories().Span().End.String(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

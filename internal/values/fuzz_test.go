@@ -1,0 +1,25 @@
+package values
+
+import "testing"
+
+// FuzzDetectCounterAnomalies: anomaly detection must be total and every
+// reported anomaly must reference a genuine numeric decrease.
+func FuzzDetectCounterAnomalies(f *testing.F) {
+	f.Add("9,880", "1,073", "1,240")
+	f.Add("", "abc", "-1")
+	f.Add("100", "100", "100")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		vals := []string{a, b, c}
+		for _, anom := range DetectCounterAnomalies(vals) {
+			if anom.Value >= anom.Prev {
+				t.Fatalf("anomaly without decrease: %+v", anom)
+			}
+			if anom.Index < 0 || anom.Index >= len(vals) {
+				t.Fatalf("anomaly index out of range: %+v", anom)
+			}
+			if anom.Kind == TruncationTypo && anom.Suggestion < anom.Prev {
+				t.Fatalf("repair below previous value: %+v", anom)
+			}
+		}
+	})
+}

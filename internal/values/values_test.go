@@ -1,0 +1,119 @@
+package values
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNumber(t *testing.T) {
+	good := map[string]int64{
+		"9880":   9880,
+		"9,880":  9880,
+		"10 073": 10073,
+		" 42 ":   42,
+		"0":      0,
+		"1,2,3":  123, // sloppy separators still parse
+	}
+	for in, want := range good {
+		got, ok := ParseNumber(in)
+		if !ok || got != want {
+			t.Errorf("ParseNumber(%q) = %d, %v; want %d", in, got, ok, want)
+		}
+	}
+	bad := []string{"", "12.5", "-3", "12a", "[[42]]", "twelve", "1234567890123456"}
+	for _, in := range bad {
+		if _, ok := ParseNumber(in); ok {
+			t.Errorf("ParseNumber(%q) accepted", in)
+		}
+	}
+}
+
+func TestIsCounter(t *testing.T) {
+	counter := []string{"1", "2", "5", "9", "12", "15"}
+	if !IsCounter(counter, 5, 0.8) {
+		t.Error("monotone counter rejected")
+	}
+	withTypo := []string{"9000", "9500", "9880", "1073", "1100", "1200"}
+	if !IsCounter(withTypo, 5, 0.8) {
+		t.Error("counter with one typo rejected (1 violation of 5 steps)")
+	}
+	text := []string{"red", "blue", "green", "red", "blue", "green"}
+	if IsCounter(text, 2, 0.8) {
+		t.Error("text values classified as counter")
+	}
+	jumpy := []string{"5", "2", "9", "1", "7", "3"}
+	if IsCounter(jumpy, 5, 0.8) {
+		t.Error("oscillating values classified as counter")
+	}
+}
+
+func TestDetectPaperTruncationTypo(t *testing.T) {
+	// The §5.4 sequence: the total 9,880 became 1,073 instead of 10,073,
+	// was incremented for months, then corrected to 16,227 on the final
+	// day of the season.
+	vals := []string{"9,500", "9,880", "1,073", "1,240", "1,405", "16,227"}
+	anomalies := DetectCounterAnomalies(vals)
+	if len(anomalies) != 1 {
+		t.Fatalf("anomalies = %+v, want exactly the typo", anomalies)
+	}
+	a := anomalies[0]
+	if a.Index != 2 || a.Kind != TruncationTypo {
+		t.Fatalf("anomaly = %+v", a)
+	}
+	if a.Suggestion != 10073 {
+		t.Fatalf("suggestion = %d, want 10073 (insert the dropped 0)", a.Suggestion)
+	}
+}
+
+func TestDetectPlainDrop(t *testing.T) {
+	// A reset to zero is a drop but not a plausible truncation.
+	vals := []string{"500", "600", "0", "10"}
+	anomalies := DetectCounterAnomalies(vals)
+	if len(anomalies) != 1 || anomalies[0].Kind != Drop {
+		t.Fatalf("anomalies = %+v", anomalies)
+	}
+}
+
+func TestDetectSkipsNonNumeric(t *testing.T) {
+	vals := []string{"100", "see [[talk]]", "110", "120"}
+	if got := DetectCounterAnomalies(vals); len(got) != 0 {
+		t.Fatalf("markup value caused anomalies: %+v", got)
+	}
+}
+
+func TestMonotoneSeriesHasNoAnomalies(t *testing.T) {
+	f := func(increments []uint8) bool {
+		vals := make([]string, 0, len(increments))
+		total := int64(0)
+		for _, inc := range increments {
+			total += int64(inc)
+			vals = append(vals, fmt.Sprintf("%d", total))
+		}
+		return len(DetectCounterAnomalies(vals)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncationRepairBounds(t *testing.T) {
+	// Dropping the middle digit: 12345 -> 1245; repair must restore a
+	// value >= prev within the growth bound.
+	if got, ok := truncationRepair(12345, 1245); !ok || got < 12345 {
+		t.Fatalf("repair = %d, %v", got, ok)
+	}
+	// A genuine reset (much smaller, no insertion helps) is not a typo.
+	if _, ok := truncationRepair(10000, 7); ok {
+		t.Fatal("reset misclassified as typo")
+	}
+}
+
+func TestAnomalyKindString(t *testing.T) {
+	if Drop.String() != "drop" || TruncationTypo.String() != "truncation typo" {
+		t.Fatal("kind names wrong")
+	}
+	if AnomalyKind(7).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}

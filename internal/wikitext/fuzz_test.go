@@ -1,0 +1,32 @@
+package wikitext
+
+import "testing"
+
+// FuzzParseInfoboxes exercises the full extraction pipeline on arbitrary
+// byte soup: it must never panic, and every returned infobox must be
+// well-formed.
+func FuzzParseInfoboxes(f *testing.F) {
+	f.Add(settlementPage)
+	f.Add("{{Infobox x|a=1|b=[[link|label]]}}")
+	f.Add("{{Infobox a|k={{nested|x=1}}|<ref>r</ref>}}")
+	f.Add("<!-- comment {{Infobox hidden|a=1}} -->")
+	f.Add("{{unbalanced {{Infobox y|p")
+	f.Add("}}}}{{{{")
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, box := range ParseInfoboxes(text) {
+			if box.Params == nil {
+				t.Fatal("nil params")
+			}
+			if len(box.Order) != len(box.Params) {
+				t.Fatalf("order %d != params %d", len(box.Order), len(box.Params))
+			}
+			for _, name := range box.Order {
+				if _, ok := box.Params[name]; !ok {
+					t.Fatalf("ordered param %q missing from map", name)
+				}
+			}
+		}
+		// CleanValue must be total as well.
+		_ = CleanValue(text)
+	})
+}
