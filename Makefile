@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments figures cover clean
+.PHONY: all build test race bench check experiments figures cover clean
 
 all: build test
+
+# The single verification entrypoint: vet, build, and race-enabled tests.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-exp all|table1|figure3|figure4|gridtheta|gridapriori|funnel|overlap|casestudy|stats]
-//	            [-scale small|default] [-seed N]
+//	            [-scale small|default] [-seed N] [-timing]
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "corpus generation seed")
 		svgDir  = flag.String("svgdir", "", "when set, also write figure3.svg and figure4.svg here")
 		jsonOut = flag.String("json", "", "when set, write the machine-readable results here")
+		timing  = flag.Bool("timing", false, "print the training stage-timing report")
 	)
 	flag.Parse()
 
@@ -51,6 +52,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "corpus generated and detector trained in %v (%d raw changes, %d fields)\n",
 		time.Since(start).Round(time.Millisecond), corpus.Cube.NumChanges(), corpus.Filtered.Len())
+	if *timing {
+		fmt.Fprint(os.Stderr, corpus.Detector.TrainReport())
+	}
 
 	needReport := map[string]bool{"all": true, "table1": true, "figure4": true, "overlap": true, "stats": true}
 	var report *eval.Report

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	staledetect -i corpus.wcc [-asof 2019-09-01] [-window 7] [-stats] [-limit 50]
+//	staledetect -i corpus.wcc [-asof 2019-09-01] [-window 7] [-stats] [-timing] [-limit 50]
 //	staledetect -store /var/lib/wikistale   # load from a cubestore directory
 package main
 
@@ -31,6 +31,7 @@ func main() {
 		asOf   = flag.String("asof", "", "detection date (YYYY-MM-DD); default: end of the data")
 		window = flag.Int("window", 7, "staleness window in days (1, 7, 30 or 365)")
 		stats  = flag.Bool("stats", false, "print filter-funnel and rule statistics")
+		timing = flag.Bool("timing", false, "print the training stage-timing report")
 		limit  = flag.Int("limit", 50, "maximum alerts to print (0 = all)")
 	)
 	flag.Parse()
@@ -63,6 +64,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "trained on %d changes in %v\n",
 		cube.NumChanges(), time.Since(start).Round(time.Millisecond))
 
+	if *timing {
+		fmt.Fprint(os.Stderr, det.TrainReport())
+	}
 	if *stats {
 		fmt.Print(det.FilterStats())
 		fmt.Printf("field-correlation rules: %d\n", det.FieldCorrelations().NumRules())

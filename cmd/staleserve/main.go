@@ -8,18 +8,28 @@
 //	GET /v1/stale?asof=2019-09-01&window=7  everything stale in the window
 //	GET /v1/field?page=P&property=X&...     marker lookup for one field
 //	GET /v1/stats                           corpus and rule statistics
+//	GET /metrics                            Prometheus text (?format=json for JSON)
+//	GET /debug/pprof/                       Go profiling endpoints
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight requests get up to -drain to finish, then the
+// process exits.
 //
 // Usage:
 //
-//	staleserve -i corpus.wcc -addr :8080
+//	staleserve -i corpus.wcc -addr :8080 [-v]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/wikistale/wikistale/internal/changecube"
@@ -32,9 +42,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("staleserve: ")
 	var (
-		in    = flag.String("i", "corpus.wcc", "input binary change cube")
-		model = flag.String("model", "", "model file: load it when it exists, train and write it when it does not")
-		addr  = flag.String("addr", ":8080", "listen address")
+		in      = flag.String("i", "corpus.wcc", "input binary change cube")
+		model   = flag.String("model", "", "model file: load it when it exists, train and write it when it does not")
+		addr    = flag.String("addr", ":8080", "listen address")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
+		verbose = flag.Bool("v", false, "print the training stage-timing report")
 	)
 	flag.Parse()
 
@@ -56,14 +68,41 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%s on %d changes in %v; %d correlation rules, %d association rules\n",
 		how, cube.NumChanges(), time.Since(start).Round(time.Millisecond),
 		det.FieldCorrelations().NumRules(), det.AssociationRules().NumRules())
+	if *verbose {
+		fmt.Fprint(os.Stderr, det.TrainReport())
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           staleserve.New(det).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "listening on %s\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		// ListenAndServe only returns on failure here; Shutdown is what
+		// produces ErrServerClosed, and that path goes through ctx.Done.
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		fmt.Fprintf(os.Stderr, "shutting down, draining for up to %v\n", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "bye")
+	}
 }
 
 // trainOrLoad loads the model file when it exists; otherwise it trains,

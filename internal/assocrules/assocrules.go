@@ -13,6 +13,7 @@ import (
 
 	"github.com/wikistale/wikistale/internal/apriori"
 	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/obs"
 	"github.com/wikistale/wikistale/internal/predict"
 	"github.com/wikistale/wikistale/internal/timeline"
 )
@@ -171,8 +172,10 @@ func Train(hs *changecube.HistorySet, span timeline.Span, cfg Config) (*Predicto
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	tspan := obs.StartSpan("train/assoc_transactions")
 	tagged := buildTagged(hs, span, cfg.PeriodDays)
 	mining, validation := splitHoldout(tagged, span, cfg)
+	tspan.End()
 
 	txns := make(map[changecube.TemplateID][]apriori.Transaction, len(mining))
 	total := 0
@@ -185,6 +188,7 @@ func Train(hs *changecube.HistorySet, span timeline.Span, cfg Config) (*Predicto
 		total += len(plain)
 	}
 
+	tspan = obs.StartSpan("train/assoc_mine")
 	var candidates []Rule
 	for template, ts := range txns {
 		minSup := cfg.MinSupport
@@ -225,6 +229,10 @@ func Train(hs *changecube.HistorySet, span timeline.Span, cfg Config) (*Predicto
 		}
 	}
 
+	tspan.End()
+
+	tspan = obs.StartSpan("train/assoc_validate")
+	defer tspan.End()
 	validated := validateRules(candidates, validation, cfg)
 	p := &Predictor{
 		rules:       validated,

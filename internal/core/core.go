@@ -9,6 +9,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"time"
 
 	"github.com/wikistale/wikistale/internal/assocrules"
 	"github.com/wikistale/wikistale/internal/baseline"
@@ -18,6 +20,7 @@ import (
 	"github.com/wikistale/wikistale/internal/eval"
 	"github.com/wikistale/wikistale/internal/familycorr"
 	"github.com/wikistale/wikistale/internal/filter"
+	"github.com/wikistale/wikistale/internal/obs"
 	"github.com/wikistale/wikistale/internal/predict"
 	"github.com/wikistale/wikistale/internal/seasonal"
 	"github.com/wikistale/wikistale/internal/timeline"
@@ -112,6 +115,47 @@ type Detector struct {
 	extOrEns   ensemble.Or
 
 	filterStats filter.Stats
+	report      TrainReport
+}
+
+// StageTiming is one named step of the training pipeline and its
+// wall-clock duration.
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// TrainReport is the timing breakdown of one Train/TrainFiltered call.
+// The same durations are recorded into the default obs registry as the
+// wikistale_train_stage_seconds histogram, so a serving process exposes
+// them on /metrics; the report is the human-readable view for the CLIs'
+// -v/-timing flags.
+type TrainReport struct {
+	// Filter is the noise-funnel report, including per-stage durations.
+	Filter filter.Stats
+	// Stages lists the model-training steps in execution order.
+	Stages []StageTiming
+	// Total is the end-to-end wall-clock time of the call.
+	Total time.Duration
+}
+
+func (r *TrainReport) add(name string, d time.Duration) {
+	r.Stages = append(r.Stages, StageTiming{Name: name, Duration: d})
+}
+
+// String renders the report as an aligned two-column table, filter
+// stages first.
+func (r TrainReport) String() string {
+	var b strings.Builder
+	b.WriteString("stage timings:\n")
+	for _, st := range r.Filter.Stages {
+		fmt.Fprintf(&b, "  %-28s %v\n", "filter/"+st.Name, st.Duration.Round(time.Microsecond))
+	}
+	for _, st := range r.Stages {
+		fmt.Fprintf(&b, "  %-28s %v\n", st.Name, st.Duration.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "  %-28s %v\n", "total", r.Total.Round(time.Microsecond))
+	return b.String()
 }
 
 // Train runs the full pipeline on a raw change cube: noise filtering,
@@ -119,11 +163,19 @@ type Detector struct {
 // paper's protocol after hyper-parameters are fixed; use the GridSearch
 // functions for the tuning step).
 func Train(cube *changecube.Cube, cfg Config) (*Detector, error) {
+	span := obs.StartSpan("train/filter")
 	hs, stats, err := filter.Apply(cube, cfg.Filter)
 	if err != nil {
 		return nil, fmt.Errorf("core: filtering: %w", err)
 	}
-	return TrainFiltered(hs, stats, cfg)
+	filterDur := span.End()
+	d, err := TrainFiltered(hs, stats, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.report.Stages = append([]StageTiming{{Name: "train/filter", Duration: filterDur}}, d.report.Stages...)
+	d.report.Total += filterDur
+	return d, nil
 }
 
 // TrainFiltered is Train for data that already passed the filter pipeline.
@@ -136,27 +188,48 @@ func TrainFiltered(hs *changecube.HistorySet, stats filter.Stats, cfg Config) (*
 		return nil, err
 	}
 	d := &Detector{cfg: cfg, histories: hs, splits: splits, filterStats: stats}
+	d.report.Filter = stats
+	start := time.Now()
 
+	span := obs.StartSpan("train/correlation")
 	if d.fieldCorr, err = correlation.Train(hs, splits.TrainVal, cfg.Correlation); err != nil {
 		return nil, fmt.Errorf("core: field correlations: %w", err)
 	}
+	d.report.add("train/correlation", span.End())
+
+	span = obs.StartSpan("train/assocrules")
 	if d.assocRules, err = assocrules.Train(hs, splits.TrainVal, cfg.AssocRules); err != nil {
 		return nil, fmt.Errorf("core: association rules: %w", err)
 	}
+	d.report.add("train/assocrules", span.End())
+
+	span = obs.StartSpan("train/seasonal")
 	if d.seasonalP, err = seasonal.Train(hs, splits.TrainVal, cfg.Seasonal); err != nil {
 		return nil, fmt.Errorf("core: seasonal: %w", err)
 	}
+	d.report.add("train/seasonal", span.End())
+
+	span = obs.StartSpan("train/familycorr")
 	if d.familyCorr, err = familycorr.Train(hs, splits.TrainVal, cfg.FamilyCorr); err != nil {
 		return nil, fmt.Errorf("core: family correlations: %w", err)
 	}
+	d.report.add("train/familycorr", span.End())
+
+	span = obs.StartSpan("train/threshold")
 	if d.threshBase, err = baseline.TrainThreshold(hs, splits.Validation, timeline.StandardSizes, cfg.ThresholdFraction); err != nil {
 		return nil, fmt.Errorf("core: threshold baseline: %w", err)
 	}
+	d.report.add("train/threshold", span.End())
+
+	span = obs.StartSpan("train/ensembles")
 	d.andEns, d.orEns = ensemble.Paper(d.fieldCorr, d.assocRules)
 	d.extOrEns = ensemble.Or{
 		Members: []predict.Predictor{d.fieldCorr, d.assocRules, d.seasonalP, d.familyCorr},
 		Label:   "extended OR-ensemble",
 	}
+	d.report.add("train/ensembles", span.End())
+
+	d.report.Total = time.Since(start)
 	return d, nil
 }
 
@@ -168,6 +241,11 @@ func (d *Detector) Splits() Splits { return d.splits }
 
 // FilterStats returns the noise-funnel statistics of Train.
 func (d *Detector) FilterStats() filter.Stats { return d.filterStats }
+
+// TrainReport returns the stage-timing breakdown of the Train call that
+// built this detector. Detectors restored via LoadModel carry an empty
+// report apart from the filter stats.
+func (d *Detector) TrainReport() TrainReport { return d.report }
 
 // FieldCorrelations returns the trained field-correlation predictor.
 func (d *Detector) FieldCorrelations() *correlation.Predictor { return d.fieldCorr }

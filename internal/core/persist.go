@@ -96,6 +96,7 @@ func LoadModel(hs *changecube.HistorySet, stats filter.Stats, cfg Config, r io.R
 		familyCorr: familycorr.FromRules(m.FamilyRules),
 		threshBase: baseline.ThresholdFromSets(m.ThresholdSets),
 	}
+	d.report.Filter = stats
 	d.andEns, d.orEns = ensemble.Paper(d.fieldCorr, d.assocRules)
 	d.extOrEns = ensemble.Or{
 		Members: []predict.Predictor{d.fieldCorr, d.assocRules, d.seasonalP, d.familyCorr},

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/obs"
 	"github.com/wikistale/wikistale/internal/predict"
 	"github.com/wikistale/wikistale/internal/timeline"
 )
@@ -174,6 +175,7 @@ func Train(hs *changecube.HistorySet, span timeline.Span, cfg Config) (*Predicto
 	// The pairwise search is embarrassingly parallel across pages; rules
 	// are merged and sorted afterwards, so the result is deterministic
 	// regardless of scheduling.
+	tspan := obs.StartSpan("train/correlation_search")
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(pages) {
 		workers = len(pages)
@@ -195,7 +197,10 @@ func Train(hs *changecube.HistorySet, span timeline.Span, cfg Config) (*Predicto
 		}(&ruleChunks[w], pages[lo:hi])
 	}
 	wg.Wait()
+	tspan.End()
 
+	tspan = obs.StartSpan("train/correlation_index")
+	defer tspan.End()
 	p := &Predictor{partners: make(map[changecube.FieldKey][]changecube.FieldKey)}
 	for _, chunk := range ruleChunks {
 		p.rules = append(p.rules, chunk...)

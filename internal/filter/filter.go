@@ -12,8 +12,10 @@ package filter
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/obs"
 	"github.com/wikistale/wikistale/internal/timeline"
 )
 
@@ -37,6 +39,9 @@ type StageStats struct {
 	Name string
 	In   int
 	Out  int
+	// Duration is the stage's wall-clock time in the Apply call that
+	// produced these stats; zero for stats from other sources.
+	Duration time.Duration
 }
 
 // Removed returns the fraction of incoming changes the stage removed.
@@ -61,14 +66,31 @@ func (s Stats) Survival() float64 {
 	return float64(s.Stages[len(s.Stages)-1].Out) / float64(s.Stages[0].In)
 }
 
-// String renders the funnel like the paper's §4 narrative.
+// String renders the funnel like the paper's §4 narrative, with the
+// per-stage wall-clock time when the stats carry one.
 func (s Stats) String() string {
 	out := ""
 	for _, st := range s.Stages {
-		out += fmt.Sprintf("%-18s %9d -> %9d  (-%6.3f%%)\n", st.Name, st.In, st.Out, 100*st.Removed())
+		out += fmt.Sprintf("%-18s %9d -> %9d  (-%6.3f%%)", st.Name, st.In, st.Out, 100*st.Removed())
+		if st.Duration > 0 {
+			out += fmt.Sprintf("  %v", st.Duration.Round(time.Microsecond))
+		}
+		out += "\n"
 	}
 	out += fmt.Sprintf("%-18s %6.2f%% of raw changes remain\n", "survival", 100*s.Survival())
 	return out
+}
+
+// record appends one stage to the funnel and mirrors it into the default
+// obs registry: the duration lands in wikistale_train_stage_seconds
+// (stage label "filter/<slug>") and the change counts in the
+// wikistale_filter_stage_{in,out}_total counters.
+func (s *Stats) record(name string, span *obs.Span, in, out int) {
+	d := span.End()
+	s.Stages = append(s.Stages, StageStats{Name: name, In: in, Out: out, Duration: d})
+	labels := obs.Labels{"stage": span.Name()}
+	obs.Default.Counter("wikistale_filter_stage_in_total", labels).Add(uint64(in))
+	obs.Default.Counter("wikistale_filter_stage_out_total", labels).Add(uint64(out))
 }
 
 // FieldDays runs the per-field stages of the pipeline — bot-revert
@@ -103,6 +125,7 @@ func Apply(cube *changecube.Cube, cfg Config) (*changecube.HistorySet, Stats, er
 	total := cube.NumChanges()
 
 	// Stage 1: bot reverts.
+	span := obs.StartSpan("filter/bot_reverts")
 	afterBots := 0
 	botFiltered := make(map[changecube.FieldKey][]changecube.Change, len(fields))
 	for k, chs := range fields {
@@ -110,9 +133,10 @@ func Apply(cube *changecube.Cube, cfg Config) (*changecube.HistorySet, Stats, er
 		botFiltered[k] = kept
 		afterBots += len(kept)
 	}
-	stats.Stages = append(stats.Stages, StageStats{Name: "bot reverts", In: total, Out: afterBots})
+	stats.record("bot reverts", span, total, afterBots)
 
 	// Stage 2: day-level dedup via mode.
+	span = obs.StartSpan("filter/day_dedup")
 	afterDedup := 0
 	dayChanges := make(map[changecube.FieldKey][]DayRepresentative, len(fields))
 	for k, chs := range botFiltered {
@@ -120,9 +144,10 @@ func Apply(cube *changecube.Cube, cfg Config) (*changecube.HistorySet, Stats, er
 		dayChanges[k] = dc
 		afterDedup += len(dc)
 	}
-	stats.Stages = append(stats.Stages, StageStats{Name: "day dedup", In: afterBots, Out: afterDedup})
+	stats.record("day dedup", span, afterBots, afterDedup)
 
 	// Stage 3: drop creations and deletions.
+	span = obs.StartSpan("filter/create_delete")
 	afterCD := 0
 	updatesOnly := make(map[changecube.FieldKey][]timeline.Day, len(fields))
 	for k, dc := range dayChanges {
@@ -137,9 +162,10 @@ func Apply(cube *changecube.Cube, cfg Config) (*changecube.HistorySet, Stats, er
 			afterCD += len(days)
 		}
 	}
-	stats.Stages = append(stats.Stages, StageStats{Name: "create/delete", In: afterDedup, Out: afterCD})
+	stats.record("create/delete", span, afterDedup, afterCD)
 
 	// Stage 4: minimum change count per field.
+	span = obs.StartSpan("filter/min_changes")
 	afterMin := 0
 	var histories []changecube.History
 	for k, days := range updatesOnly {
@@ -149,7 +175,7 @@ func Apply(cube *changecube.Cube, cfg Config) (*changecube.HistorySet, Stats, er
 		histories = append(histories, changecube.History{Field: k, Days: days})
 		afterMin += len(days)
 	}
-	stats.Stages = append(stats.Stages, StageStats{Name: "min changes", In: afterCD, Out: afterMin})
+	stats.record("min changes", span, afterCD, afterMin)
 
 	hs, err := changecube.NewHistorySet(cube, histories)
 	if err != nil {

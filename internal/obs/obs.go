@@ -1,0 +1,280 @@
+// Package obs is the repository's dependency-free observability layer: a
+// process-wide registry of counters, gauges, and fixed-bucket histograms
+// that renders both the Prometheus text exposition format and JSON, plus a
+// lightweight span API for pipeline stage timings (see span.go). Every
+// metric is lock-free on the hot path — registration takes a mutex once,
+// updates are atomic — so handlers and training loops can record freely.
+//
+// Metric names follow the Prometheus conventions: a `wikistale_` prefix,
+// `_total` suffix on counters, base units (seconds) in histogram names.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches dimensions to a metric series. A nil map means the
+// unlabeled series. Label maps are copied on registration; callers may
+// reuse them.
+type Labels map[string]string
+
+// Kind discriminates the three metric types of the registry.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that may go up and down. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative) atomically.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets with the Prometheus
+// `le` (less-or-equal) semantics. Buckets are set at registration and
+// immutable afterwards; observations are lock-free.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. v <= bound
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the upper bounds (without +Inf) and the cumulative
+// counts per bound; Count() is the implicit +Inf cumulative count.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	cum := make([]uint64, len(h.bounds))
+	var running uint64
+	for i := range h.bounds {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return h.bounds, cum
+}
+
+// series is one labeled instance inside a family. Exactly one of c/g/h is
+// set, matching the family kind.
+type series struct {
+	labels Labels
+	key    string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []float64 // histograms only; fixed by the first registration
+	series map[string]*series
+}
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	families  map[string]*family
+	helpStash map[string]string // help set before the family exists
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry. The training pipeline and the
+// staleserve HTTP layer record here, and `GET /metrics` renders it.
+var Default = NewRegistry()
+
+// SetHelp attaches a HELP string to a metric name. Creating the metric
+// first is not required.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = help
+		return
+	}
+	// Remember the help for when the family is created.
+	if r.helpStash == nil {
+		r.helpStash = make(map[string]string)
+	}
+	r.helpStash[name] = help
+}
+
+// Counter returns the counter series for (name, labels), creating family
+// and series on first use. It panics when name is already registered with
+// a different kind — that is a programming error, not a runtime condition.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	s := r.getOrCreate(name, KindCounter, nil, labels)
+	return s.c
+}
+
+// Gauge returns the gauge series for (name, labels).
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	s := r.getOrCreate(name, KindGauge, nil, labels)
+	return s.g
+}
+
+// Histogram returns the histogram series for (name, labels). The buckets
+// of the first registration win; later calls may pass nil.
+func (r *Registry) Histogram(name string, buckets []float64, labels Labels) *Histogram {
+	s := r.getOrCreate(name, KindHistogram, buckets, labels)
+	return s.h
+}
+
+func (r *Registry) getOrCreate(name string, kind Kind, buckets []float64, labels Labels) *series {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, series: make(map[string]*series)}
+		if kind == KindHistogram {
+			if len(buckets) == 0 {
+				buckets = DurationBuckets
+			}
+			bs := make([]float64, len(buckets))
+			copy(bs, buckets)
+			sort.Float64s(bs)
+			f.bounds = bs
+		}
+		if help, ok := r.helpStash[name]; ok {
+			f.help = help
+			delete(r.helpStash, name)
+		}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: copyLabels(labels), key: key}
+		switch kind {
+		case KindCounter:
+			s.c = &Counter{}
+		case KindGauge:
+			s.g = &Gauge{}
+		case KindHistogram:
+			s.h = newHistogram(f.bounds)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+func copyLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// labelKey serializes labels into a deterministic map key.
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\x00')
+		b.WriteString(l[k])
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}

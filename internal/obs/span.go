@@ -1,0 +1,58 @@
+package obs
+
+import "time"
+
+// StageHistogram is the histogram every pipeline stage span records into,
+// labeled by stage name. The acceptance surface of the repo's perf work:
+// `wikistale_train_stage_seconds{stage="filter/bot_reverts"}` etc.
+const StageHistogram = "wikistale_train_stage_seconds"
+
+// DurationBuckets is the default bucketing for second-valued histograms:
+// half a millisecond to a minute, roughly logarithmic.
+var DurationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+func init() {
+	Default.SetHelp(StageHistogram, "Wall-clock seconds per named pipeline stage (filter/* and train/*).")
+}
+
+// Span measures one named pipeline stage. Obtain with StartSpan, finish
+// with End; a Span must not be ended twice.
+type Span struct {
+	name  string
+	reg   *Registry
+	start time.Time
+}
+
+// StartSpan starts a stage timer on the Default registry.
+//
+//	span := obs.StartSpan("train/filter")
+//	... work ...
+//	elapsed := span.End()
+func StartSpan(name string) *Span { return Default.StartSpan(name) }
+
+// StartSpan starts a stage timer on this registry.
+func (r *Registry) StartSpan(name string) *Span {
+	return &Span{name: name, reg: r, start: time.Now()}
+}
+
+// Name returns the stage name the span was started with.
+func (s *Span) Name() string { return s.name }
+
+// End records the elapsed time into StageHistogram and returns it.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.reg.ObserveStage(s.name, d)
+	return d
+}
+
+// ObserveStage records a pre-measured stage duration into StageHistogram
+// on the Default registry.
+func ObserveStage(name string, d time.Duration) { Default.ObserveStage(name, d) }
+
+// ObserveStage records a pre-measured stage duration into StageHistogram.
+func (r *Registry) ObserveStage(name string, d time.Duration) {
+	r.Histogram(StageHistogram, DurationBuckets, Labels{"stage": name}).Observe(d.Seconds())
+}

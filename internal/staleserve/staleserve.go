@@ -3,18 +3,27 @@
 // infobox value possibly out of date?", plus editor-facing listings of
 // everything currently stale. Responses are JSON; all state is read-only
 // after construction, so handlers are safe for concurrent use.
+//
+// Every request passes through a metrics middleware (request counts,
+// status classes, a latency histogram, an in-flight gauge); GET /metrics
+// renders the process-wide obs registry in Prometheus text format (or
+// JSON with ?format=json) and /debug/pprof/* serves the standard Go
+// profiles.
 package staleserve
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/wikistale/wikistale/internal/changecube"
 	"github.com/wikistale/wikistale/internal/core"
+	"github.com/wikistale/wikistale/internal/obs"
 	"github.com/wikistale/wikistale/internal/timeline"
 )
 
@@ -39,34 +48,166 @@ type FieldStatus struct {
 	LastChanged string `json:"last_changed,omitempty"`
 }
 
+// pageProp keys the (page, property) → history index.
+type pageProp struct {
+	page changecube.PageID
+	prop changecube.PropertyID
+}
+
+// call is one in-flight DetectStale computation; waiters block on done
+// and then read val (written before done is closed).
+type call struct {
+	done chan struct{}
+	val  []core.StaleAlert
+}
+
 // Server serves a trained detector.
 type Server struct {
 	det  *core.Detector
 	cube *changecube.Cube
 	mux  *http.ServeMux
+	reg  *obs.Registry
 
+	// histIdx resolves /v1/field lookups in O(1); built once in New.
+	// Where a page carries several infoboxes sharing a property name, the
+	// first history in field order wins, matching the previous scan.
+	histIdx map[pageProp]changecube.History
+
+	// mu guards the single-entry alert cache and the in-flight table. The
+	// DetectStale computation itself runs outside the lock; duplicate
+	// requests for the same key wait on the existing call instead of
+	// recomputing (singleflight).
 	mu       sync.Mutex
 	cacheKey string
 	cacheVal []core.StaleAlert
+	inflight map[string]*call
+
+	inFlightGauge *obs.Gauge
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	cacheWaits    *obs.Counter
 }
 
-// New constructs a server over a trained detector.
+// New constructs a server over a trained detector, recording metrics into
+// the default obs registry.
 func New(det *core.Detector) *Server {
 	s := &Server{
-		det:  det,
-		cube: det.Histories().Cube(),
-		mux:  http.NewServeMux(),
+		det:      det,
+		cube:     det.Histories().Cube(),
+		mux:      http.NewServeMux(),
+		reg:      obs.Default,
+		inflight: make(map[string]*call),
 	}
+	s.histIdx = make(map[pageProp]changecube.History, det.Histories().Len())
+	for _, h := range det.Histories().Histories() {
+		k := pageProp{page: s.cube.Page(h.Field.Entity), prop: h.Field.Property}
+		if _, ok := s.histIdx[k]; !ok {
+			s.histIdx[k] = h
+		}
+	}
+
+	s.reg.SetHelp("wikistale_http_requests_total", "HTTP requests served, by route and method.")
+	s.reg.SetHelp("wikistale_http_responses_total", "HTTP responses, by status class (2xx/3xx/4xx/5xx).")
+	s.reg.SetHelp("wikistale_http_request_seconds", "HTTP request latency in seconds, by route.")
+	s.reg.SetHelp("wikistale_http_in_flight", "Requests currently being served.")
+	s.reg.SetHelp("wikistale_alert_cache_hits_total", "DetectStale calls answered from the alert cache.")
+	s.reg.SetHelp("wikistale_alert_cache_misses_total", "DetectStale calls that ran the detector.")
+	s.reg.SetHelp("wikistale_alert_cache_waits_total", "DetectStale calls that waited on an identical in-flight computation.")
+	s.inFlightGauge = s.reg.Gauge("wikistale_http_in_flight", nil)
+	s.cacheHits = s.reg.Counter("wikistale_alert_cache_hits_total", nil)
+	s.cacheMisses = s.reg.Counter("wikistale_alert_cache_misses_total", nil)
+	s.cacheWaits = s.reg.Counter("wikistale_alert_cache_waits_total", nil)
+
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stale", s.handleStale)
 	s.mux.HandleFunc("GET /v1/field", s.handleField)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /demo", s.handleDemo)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler, wrapped in the metrics middleware.
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+
+// knownRoutes bounds the cardinality of the route label: anything not
+// listed (scans, typos) is reported as "other".
+var knownRoutes = map[string]bool{
+	"/healthz":  true,
+	"/v1/stale": true,
+	"/v1/field": true,
+	"/v1/stats": true,
+	"/demo":     true,
+	"/metrics":  true,
+}
+
+func routeLabel(path string) string {
+	if knownRoutes[path] {
+		return path
+	}
+	if strings.HasPrefix(path, "/debug/pprof/") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func statusClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// instrument is the metrics middleware: request/response counters, a
+// per-route latency histogram, and an in-flight gauge.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inFlightGauge.Inc()
+		defer s.inFlightGauge.Dec()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		route := routeLabel(r.URL.Path)
+		s.reg.Counter("wikistale_http_requests_total",
+			obs.Labels{"route": route, "method": r.Method}).Inc()
+		s.reg.Counter("wikistale_http_responses_total",
+			obs.Labels{"class": statusClass(rec.code)}).Inc()
+		s.reg.Histogram("wikistale_http_request_seconds", obs.DurationBuckets,
+			obs.Labels{"route": route}).Observe(time.Since(start).Seconds())
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -98,17 +239,37 @@ func (s *Server) parseWindow(r *http.Request) (timeline.Day, int, error) {
 }
 
 // alerts runs DetectStale with a single-entry cache: dashboards poll the
-// same (asof, window) repeatedly.
+// same (asof, window) repeatedly. The computation runs outside the lock,
+// and concurrent requests for the same key share one computation instead
+// of piling up behind the mutex (cache hits never block on a slow miss).
 func (s *Server) alerts(asOf timeline.Day, window int) []core.StaleAlert {
 	key := fmt.Sprintf("%d/%d", asOf, window)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.cacheKey == key {
-		return s.cacheVal
+		val := s.cacheVal
+		s.mu.Unlock()
+		s.cacheHits.Inc()
+		return val
 	}
-	val := s.det.DetectStale(asOf, window)
-	s.cacheKey, s.cacheVal = key, val
-	return val
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.cacheWaits.Inc()
+		<-c.done
+		return c.val
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	s.cacheMisses.Inc()
+	c.val = s.det.DetectStale(asOf, window)
+
+	s.mu.Lock()
+	s.cacheKey, s.cacheVal = key, c.val
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(c.done)
+	return c.val
 }
 
 func (s *Server) handleStale(w http.ResponseWriter, r *http.Request) {
@@ -188,12 +349,8 @@ func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) fieldHistory(page changecube.PageID, prop changecube.PropertyID) (changecube.History, bool) {
-	for _, h := range s.det.Histories().Histories() {
-		if h.Field.Property == prop && s.cube.Page(h.Field.Entity) == page {
-			return h, true
-		}
-	}
-	return changecube.History{}, false
+	h, ok := s.histIdx[pageProp{page: page, prop: prop}]
+	return h, ok
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

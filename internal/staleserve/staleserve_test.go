@@ -15,10 +15,11 @@ import (
 )
 
 var (
-	once   sync.Once
-	server *httptest.Server
-	truth  *dataset.Truth
-	initE  error
+	once         sync.Once
+	server       *httptest.Server
+	sharedServer *Server
+	truth        *dataset.Truth
+	initE        error
 )
 
 func testServer(t *testing.T) (*httptest.Server, *dataset.Truth) {
@@ -35,7 +36,8 @@ func testServer(t *testing.T) (*httptest.Server, *dataset.Truth) {
 			return
 		}
 		truth = tr
-		server = httptest.NewServer(New(det).Handler())
+		sharedServer = New(det)
+		server = httptest.NewServer(sharedServer.Handler())
 	})
 	if initE != nil {
 		t.Fatal(initE)
