@@ -8,6 +8,7 @@ package apriori
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -95,6 +96,12 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// supportEpsilon absorbs the float error of minSupport*len(txns) products
+// when computing the integer count threshold. It must stay well below
+// 1/len(txns) for any realistic transaction count so it can never admit a
+// count that is genuinely under the threshold.
+const supportEpsilon = 1e-9
+
 // FrequentItemsets mines all itemsets with relative support >= minSupport
 // and size <= maxLen, level-wise with subset pruning. The result is sorted
 // by size, then lexicographically.
@@ -102,10 +109,11 @@ func FrequentItemsets(txns []Transaction, minSupport float64, maxLen int) []Supp
 	if len(txns) == 0 || minSupport <= 0 {
 		return nil
 	}
-	minCount := int(minSupport * float64(len(txns)))
-	if float64(minCount) < minSupport*float64(len(txns)) {
-		minCount++
-	}
+	// minCount is ceil(minSupport * len(txns)), with an epsilon guard: at
+	// exact-support boundaries the product can land a hair above the true
+	// integer (0.07 * 100 = 7.000000000000001), and a naive ceiling would
+	// inflate the threshold by one and silently drop qualifying itemsets.
+	minCount := int(math.Ceil(minSupport*float64(len(txns)) - supportEpsilon))
 	if minCount < 1 {
 		minCount = 1
 	}

@@ -361,3 +361,57 @@ func TestRuleString(t *testing.T) {
 		t.Fatal("empty rule string")
 	}
 }
+
+func TestFrequentItemsetsExactSupportBoundary(t *testing.T) {
+	// 100 transactions; item 1 appears in exactly 7 of them, item 2 in all.
+	// At minSupport 0.07 the float product 0.07*100 = 7.000000000000001, so
+	// a naive ceiling inflates the count threshold to 8 and drops item 1
+	// even though its support is exactly at the boundary.
+	txns := make([]Transaction, 100)
+	for i := range txns {
+		if i < 7 {
+			txns[i] = txn(1, 2)
+		} else {
+			txns[i] = txn(2)
+		}
+	}
+	frequent := FrequentItemsets(txns, 0.07, 2)
+	if got, ok := supportOf(frequent, 1); !ok || got != 7 {
+		t.Fatalf("item 1 at exact boundary: count %d, present %v; want 7, true", got, ok)
+	}
+	if got, ok := supportOf(frequent, 1, 2); !ok || got != 7 {
+		t.Fatalf("pair {1,2} at exact boundary: count %d, present %v; want 7, true", got, ok)
+	}
+	// Nudging the threshold just above the boundary must still exclude it.
+	frequent = FrequentItemsets(txns, 0.071, 2)
+	if _, ok := supportOf(frequent, 1); ok {
+		t.Fatal("item 1 reported frequent above the boundary")
+	}
+}
+
+func TestFrequentItemsetsBoundarySweep(t *testing.T) {
+	// For every achievable support k/n the epsilon-guarded threshold must
+	// behave as an exact rational comparison: minSupport = k/n keeps an item
+	// appearing k times, and any larger achievable support drops it.
+	const n = 96
+	for k := 1; k <= n; k++ {
+		txns := make([]Transaction, n)
+		for i := range txns {
+			if i < k {
+				txns[i] = txn(1)
+			} else {
+				txns[i] = txn(2)
+			}
+		}
+		sup := float64(k) / float64(n)
+		if _, ok := supportOf(FrequentItemsets(txns, sup, 1), 1); !ok {
+			t.Fatalf("item with support %d/%d dropped at minSupport %v", k, n, sup)
+		}
+		if k < n {
+			above := float64(k+1) / float64(n)
+			if _, ok := supportOf(FrequentItemsets(txns, above, 1), 1); ok {
+				t.Fatalf("item with support %d/%d kept at minSupport %v", k, n, above)
+			}
+		}
+	}
+}

@@ -164,7 +164,10 @@ type Predictor struct {
 	antecedents map[templateProperty][]changecube.PropertyID
 }
 
-var _ predict.Predictor = (*Predictor)(nil)
+var (
+	_ predict.Predictor      = (*Predictor)(nil)
+	_ predict.BatchPredictor = (*Predictor)(nil)
+)
 
 // Train mines and validates association rules on the change days inside
 // span.
@@ -470,6 +473,26 @@ func (p *Predictor) Predict(ctx predict.Context) bool {
 		}
 	}
 	return false
+}
+
+// PredictWindows implements predict.BatchPredictor: out[i] is true when
+// some rule X → target of the entity's template has its antecedent X
+// changed on the same entity inside window i.
+func (p *Predictor) PredictWindows(b predict.Batch, out []bool) {
+	for i := range out {
+		out[i] = false
+	}
+	target := b.Target()
+	template := b.Cube().Template(target.Entity)
+	key := templateProperty{template: template, property: target.Property}
+	for _, ante := range p.antecedents[key] {
+		f := changecube.FieldKey{Entity: target.Entity, Property: ante}
+		for i, changed := range b.FieldChanged(f) {
+			if changed {
+				out[i] = true
+			}
+		}
+	}
 }
 
 // Explain returns the antecedent properties that changed in the window for

@@ -1,0 +1,36 @@
+package assocrules
+
+import (
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/predict"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+func TestPredictWindowsMatchesScalar(t *testing.T) {
+	hs, span, _ := leagueCorpus(t, 10)
+	p, err := Train(hs, span, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRules() == 0 {
+		t.Fatal("no rules trained; equivalence check would be vacuous")
+	}
+	split := timeline.NewSpan(560, 700)
+	for _, size := range []int{1, 7} {
+		ws := predict.NewWindowSet(hs, split, size, nil)
+		for _, h := range hs.Histories() {
+			b := ws.For(h.Field)
+			batch := make([]bool, b.NumWindows())
+			scalar := make([]bool, b.NumWindows())
+			p.PredictWindows(b, batch)
+			predict.ScalarPredictWindows(p, b, scalar)
+			for i := range batch {
+				if batch[i] != scalar[i] {
+					t.Fatalf("size %d field %v window %d: batch %v != scalar %v",
+						size, h.Field, i, batch[i], scalar[i])
+				}
+			}
+		}
+	}
+}

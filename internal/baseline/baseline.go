@@ -20,17 +20,19 @@ import (
 // estimate always uses all changes before the window start.
 type Mean struct{}
 
-var _ predict.Predictor = Mean{}
+var (
+	_ predict.Predictor      = Mean{}
+	_ predict.BatchPredictor = Mean{}
+)
 
 // Name implements predict.Predictor.
 func (Mean) Name() string { return "mean baseline" }
 
-// Predict implements predict.Predictor. With the field's changes before
+// meanFires is the shared prediction rule: with the field's changes before
 // the window start, the next changes are extrapolated at the mean gap n:
 // last + n, last + 2n, ...; the prediction fires if any extrapolated
 // change day falls inside the window.
-func (Mean) Predict(ctx predict.Context) bool {
-	days := ctx.TargetDays()
+func meanFires(days []timeline.Day, w timeline.Window) bool {
 	if len(days) < 2 {
 		return false
 	}
@@ -39,7 +41,6 @@ func (Mean) Predict(ctx predict.Context) bool {
 	if n <= 0 {
 		return false
 	}
-	w := ctx.Window()
 	// Smallest k >= 1 with last + k*n >= w.Start.
 	k := math.Ceil((float64(w.Start) - last) / n)
 	if k < 1 {
@@ -47,6 +48,21 @@ func (Mean) Predict(ctx predict.Context) bool {
 	}
 	next := last + k*n
 	return next < float64(w.End)
+}
+
+// Predict implements predict.Predictor.
+func (Mean) Predict(ctx predict.Context) bool {
+	return meanFires(ctx.TargetDays(), ctx.Window())
+}
+
+// PredictWindows implements predict.BatchPredictor: the per-window target
+// prefixes come from the batch's single-merge precomputation instead of
+// one binary search per window.
+func (Mean) PredictWindows(b predict.Batch, out []bool) {
+	windows := b.Windows()
+	for i := range out {
+		out[i] = meanFires(b.TargetDaysBefore(i), windows[i])
+	}
 }
 
 // Threshold is the threshold baseline. For every window size it remembers
@@ -59,7 +75,10 @@ type Threshold struct {
 	always map[int]map[changecube.FieldKey]bool
 }
 
-var _ predict.Predictor = (*Threshold)(nil)
+var (
+	_ predict.Predictor      = (*Threshold)(nil)
+	_ predict.BatchPredictor = (*Threshold)(nil)
+)
 
 // TrainThreshold scans the validation span once per window size. The paper
 // uses fraction = 0.85 (the precision target) and the 365-day validation
@@ -108,6 +127,16 @@ func (t *Threshold) Predict(ctx predict.Context) bool {
 		return false
 	}
 	return set[ctx.Target()]
+}
+
+// PredictWindows implements predict.BatchPredictor: one set lookup decides
+// every window of the size at once.
+func (t *Threshold) PredictWindows(b predict.Batch, out []bool) {
+	set, ok := t.always[b.WindowSize()]
+	v := ok && set[b.Target()]
+	for i := range out {
+		out[i] = v
+	}
 }
 
 // AlwaysPredicted returns how many fields are unconditionally predicted at

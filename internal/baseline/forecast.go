@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/wikistale/wikistale/internal/predict"
+	"github.com/wikistale/wikistale/internal/timeline"
 )
 
 // Forecast is the time-series forecasting baseline the paper's
@@ -27,7 +28,10 @@ type Forecast struct {
 	Threshold float64
 }
 
-var _ predict.Predictor = Forecast{}
+var (
+	_ predict.Predictor      = Forecast{}
+	_ predict.BatchPredictor = Forecast{}
+)
 
 // DefaultForecast returns a conventional smoothing configuration.
 func DefaultForecast() Forecast {
@@ -54,7 +58,21 @@ func (Forecast) Name() string { return "forecast baseline" }
 // inter-arrival) model, which is exactly the assumption irregular
 // Wikipedia histories break.
 func (f Forecast) Predict(ctx predict.Context) bool {
-	days := ctx.TargetDays()
+	return f.fires(ctx.TargetDays(), ctx.Window().Size())
+}
+
+// PredictWindows implements predict.BatchPredictor over the per-window
+// target prefixes the batch precomputes with a single merge.
+func (f Forecast) PredictWindows(b predict.Batch, out []bool) {
+	size := b.WindowSize()
+	for i := range out {
+		out[i] = f.fires(b.TargetDaysBefore(i), size)
+	}
+}
+
+// fires applies the rate model to the visible prefix of the target's
+// history for a window of the given size.
+func (f Forecast) fires(days []timeline.Day, size int) bool {
 	if len(days) < 2 {
 		return false
 	}
@@ -68,7 +86,6 @@ func (f Forecast) Predict(ctx predict.Context) bool {
 		return false
 	}
 	lambda := 1 / smoothed
-	w := ctx.Window()
-	p := 1 - math.Exp(-lambda*float64(w.Size()))
+	p := 1 - math.Exp(-lambda*float64(size))
 	return p > f.Threshold
 }

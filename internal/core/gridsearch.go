@@ -2,11 +2,14 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"github.com/wikistale/wikistale/internal/assocrules"
 	"github.com/wikistale/wikistale/internal/changecube"
 	"github.com/wikistale/wikistale/internal/correlation"
 	"github.com/wikistale/wikistale/internal/eval"
+	"github.com/wikistale/wikistale/internal/obs"
 	"github.com/wikistale/wikistale/internal/predict"
 )
 
@@ -19,33 +22,86 @@ type ThetaResult struct {
 	Counts   eval.Counts
 }
 
+// gridWorkers bounds the worker pool for a grid of n points.
+func gridWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runGrid evaluates n independent grid points on a bounded worker pool.
+// Results land at their point's index, so the output order is the grid
+// order regardless of scheduling; the first error (by index) wins.
+func runGrid(n int, point func(i int) error) error {
+	workers := gridWorkers(n)
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = point(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // GridSearchTheta sweeps the correlation error threshold θ, evaluating
 // each candidate on the validation year at the given window size (the
 // paper tunes on daily windows). The base config supplies the remaining
-// correlation settings.
+// correlation settings. Grid points run concurrently on a bounded worker
+// pool; the ground-truth window rows of the validation split are
+// precomputed once and shared read-only across all points.
 func GridSearchTheta(hs *changecube.HistorySet, splits Splits, thetas []float64,
 	base correlation.Config, windowSize int) ([]ThetaResult, error) {
 	if len(thetas) == 0 {
 		return nil, fmt.Errorf("core: empty theta grid")
 	}
-	results := make([]ThetaResult, 0, len(thetas))
-	for _, theta := range thetas {
+	span := obs.StartSpan("grid/theta")
+	defer span.End()
+	rows := predict.PrecomputeRows(hs, splits.Validation, []int{windowSize})
+	results := make([]ThetaResult, len(thetas))
+	err := runGrid(len(thetas), func(i int) error {
 		cfg := base
-		cfg.Theta = theta
+		cfg.Theta = thetas[i]
 		p, err := correlation.Train(hs, splits.Train, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: theta %v: %w", theta, err)
+			return fmt.Errorf("core: theta %v: %w", thetas[i], err)
 		}
+		// Workers: 1 — the pool already saturates the machine across
+		// points; nesting evaluation parallelism only adds contention.
 		report, err := eval.Evaluate(hs, splits.Validation, []predict.Predictor{p},
-			eval.Options{Sizes: []int{windowSize}})
+			eval.Options{Sizes: []int{windowSize}, Workers: 1, Rows: rows})
 		if err != nil {
-			return nil, fmt.Errorf("core: theta %v: %w", theta, err)
+			return fmt.Errorf("core: theta %v: %w", thetas[i], err)
 		}
-		results = append(results, ThetaResult{
-			Theta:    theta,
+		results[i] = ThetaResult{
+			Theta:    thetas[i],
 			NumRules: p.NumRules(),
 			Counts:   report.BySize[p.Name()][windowSize],
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }
@@ -79,38 +135,53 @@ type AprioriResult struct {
 
 // GridSearchApriori sweeps min-support, min-confidence and the size of the
 // rule-validation slice, scoring each combination on the validation year.
+// Like GridSearchTheta it runs the grid points on a bounded worker pool
+// and shares the precomputed ground-truth window rows across points.
 func GridSearchApriori(hs *changecube.HistorySet, splits Splits,
 	supports, confidences, valFractions []float64,
 	base assocrules.Config, windowSize int) ([]AprioriResult, error) {
 	if len(supports) == 0 || len(confidences) == 0 || len(valFractions) == 0 {
 		return nil, fmt.Errorf("core: empty apriori grid")
 	}
-	var results []AprioriResult
+	span := obs.StartSpan("grid/apriori")
+	defer span.End()
+	type gridPoint struct{ sup, conf, vf float64 }
+	var points []gridPoint
 	for _, sup := range supports {
 		for _, conf := range confidences {
 			for _, vf := range valFractions {
-				cfg := base
-				cfg.MinSupport = sup
-				cfg.MinConfidence = conf
-				cfg.ValidationFraction = vf
-				p, err := assocrules.Train(hs, splits.Train, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("core: apriori grid (%v,%v,%v): %w", sup, conf, vf, err)
-				}
-				report, err := eval.Evaluate(hs, splits.Validation, []predict.Predictor{p},
-					eval.Options{Sizes: []int{windowSize}})
-				if err != nil {
-					return nil, err
-				}
-				results = append(results, AprioriResult{
-					MinSupport:         sup,
-					MinConfidence:      conf,
-					ValidationFraction: vf,
-					NumRules:           p.NumRules(),
-					Counts:             report.BySize[p.Name()][windowSize],
-				})
+				points = append(points, gridPoint{sup: sup, conf: conf, vf: vf})
 			}
 		}
+	}
+	rows := predict.PrecomputeRows(hs, splits.Validation, []int{windowSize})
+	results := make([]AprioriResult, len(points))
+	err := runGrid(len(points), func(i int) error {
+		pt := points[i]
+		cfg := base
+		cfg.MinSupport = pt.sup
+		cfg.MinConfidence = pt.conf
+		cfg.ValidationFraction = pt.vf
+		p, err := assocrules.Train(hs, splits.Train, cfg)
+		if err != nil {
+			return fmt.Errorf("core: apriori grid (%v,%v,%v): %w", pt.sup, pt.conf, pt.vf, err)
+		}
+		report, err := eval.Evaluate(hs, splits.Validation, []predict.Predictor{p},
+			eval.Options{Sizes: []int{windowSize}, Workers: 1, Rows: rows})
+		if err != nil {
+			return err
+		}
+		results[i] = AprioriResult{
+			MinSupport:         pt.sup,
+			MinConfidence:      pt.conf,
+			ValidationFraction: pt.vf,
+			NumRules:           p.NumRules(),
+			Counts:             report.BySize[p.Name()][windowSize],
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

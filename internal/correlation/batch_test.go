@@ -1,0 +1,36 @@
+package correlation
+
+import (
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/predict"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+func TestPredictWindowsMatchesScalar(t *testing.T) {
+	hs, _ := corpus(t)
+	p, err := Train(hs, timeline.NewSpan(0, 2000), Config{Theta: 0.25, MinSpanChanges: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRules() == 0 {
+		t.Fatal("no rules trained; equivalence check would be vacuous")
+	}
+	split := timeline.NewSpan(0, 1470)
+	for _, size := range []int{7, 365} {
+		ws := predict.NewWindowSet(hs, split, size, nil)
+		for _, h := range hs.Histories() {
+			b := ws.For(h.Field)
+			batch := make([]bool, b.NumWindows())
+			scalar := make([]bool, b.NumWindows())
+			p.PredictWindows(b, batch)
+			predict.ScalarPredictWindows(p, b, scalar)
+			for i := range batch {
+				if batch[i] != scalar[i] {
+					t.Fatalf("size %d field %v window %d: batch %v != scalar %v",
+						size, h.Field, i, batch[i], scalar[i])
+				}
+			}
+		}
+	}
+}

@@ -89,7 +89,10 @@ type Predictor struct {
 	partners map[changecube.FieldKey][]changecube.FieldKey
 }
 
-var _ predict.Predictor = (*Predictor)(nil)
+var (
+	_ predict.Predictor      = (*Predictor)(nil)
+	_ predict.BatchPredictor = (*Predictor)(nil)
+)
 
 // Distance computes the normalized Manhattan distance between two change
 // histories over the training span. Change vectors are binary per day
@@ -279,6 +282,22 @@ func (p *Predictor) Predict(ctx predict.Context) bool {
 		}
 	}
 	return false
+}
+
+// PredictWindows implements predict.BatchPredictor: out[i] is true when
+// any correlated partner changed in window i. Each partner costs one
+// cached row lookup instead of one binary search per window.
+func (p *Predictor) PredictWindows(b predict.Batch, out []bool) {
+	for i := range out {
+		out[i] = false
+	}
+	for _, partner := range p.partners[b.Target()] {
+		for i, changed := range b.FieldChanged(partner) {
+			if changed {
+				out[i] = true
+			}
+		}
+	}
 }
 
 // Explain returns the partners that changed in the window — the paper's

@@ -1,0 +1,90 @@
+package ensemble
+
+import (
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/predict"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// evenWindows is a batch-capable member predicting exactly the
+// even-indexed windows on both paths.
+type evenWindows struct{}
+
+func (evenWindows) Name() string { return "even" }
+func (evenWindows) Predict(ctx predict.Context) bool {
+	return ctx.Window().Index%2 == 0
+}
+func (evenWindows) PredictWindows(b predict.Batch, out []bool) {
+	for i := range out {
+		out[i] = i%2 == 0
+	}
+}
+
+func batchSet(t *testing.T) (*changecube.HistorySet, changecube.FieldKey) {
+	t.Helper()
+	c := changecube.New()
+	e := c.AddEntityNamed("t", "p")
+	f := changecube.FieldKey{Entity: e, Property: changecube.PropertyID(c.Properties.Intern("x"))}
+	hs, err := changecube.NewHistorySet(c, []changecube.History{
+		{Field: f, Days: []timeline.Day{2, 9, 23}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hs, f
+}
+
+// TestEnsemblePredictWindowsMatchesScalar mixes batch-capable and
+// scalar-only members, including a nested ensemble, and checks the batch
+// row of every combination against the per-window scalar path.
+func TestEnsemblePredictWindowsMatchesScalar(t *testing.T) {
+	hs, f := batchSet(t)
+	ws := predict.NewWindowSet(hs, timeline.NewSpan(0, 28), 7, nil)
+	b := ws.For(f)
+	members := [][]predict.Predictor{
+		{},
+		{evenWindows{}},
+		{constant("t", true), constant("f", false)},
+		{evenWindows{}, constant("f", false)},
+		{constant("f", false), evenWindows{}, constant("t", true)},
+		{And{Members: []predict.Predictor{evenWindows{}, constant("t", true)}}, evenWindows{}},
+	}
+	for _, ms := range members {
+		for _, p := range []predict.Predictor{Or{Members: ms}, And{Members: ms}} {
+			batch := make([]bool, b.NumWindows())
+			scalar := make([]bool, b.NumWindows())
+			p.(predict.BatchPredictor).PredictWindows(b, batch)
+			predict.ScalarPredictWindows(p, b, scalar)
+			for i := range batch {
+				if batch[i] != scalar[i] {
+					t.Fatalf("%s with %d members, window %d: batch %v != scalar %v",
+						p.Name(), len(ms), i, batch[i], scalar[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEnsembleBatchReusesOutForStaleValues verifies the contract that out
+// may hold stale values from a previous call and must be fully overwritten.
+func TestEnsembleBatchReusesOutForStaleValues(t *testing.T) {
+	hs, f := batchSet(t)
+	ws := predict.NewWindowSet(hs, timeline.NewSpan(0, 28), 7, nil)
+	b := ws.For(f)
+	out := []bool{true, true, true, true}
+	Or{}.PredictWindows(b, out)
+	for i, v := range out {
+		if v {
+			t.Fatalf("empty Or left stale value at %d", i)
+		}
+	}
+	out = []bool{true, true, true, true}
+	And{Members: []predict.Predictor{constant("f", false)}}.PredictWindows(b, out)
+	for i, v := range out {
+		if v {
+			t.Fatalf("And left stale value at %d", i)
+		}
+	}
+}

@@ -19,7 +19,10 @@ type Or struct {
 	Label string
 }
 
-var _ predict.Predictor = Or{}
+var (
+	_ predict.Predictor      = Or{}
+	_ predict.BatchPredictor = Or{}
+)
 
 // Name implements predict.Predictor.
 func (o Or) Name() string {
@@ -39,6 +42,31 @@ func (o Or) Predict(ctx predict.Context) bool {
 	return false
 }
 
+// PredictWindows implements predict.BatchPredictor by combining member
+// rows directly: members with a batch path contribute a whole row at once,
+// members without one fall back to per-window scalar prediction.
+func (o Or) PredictWindows(b predict.Batch, out []bool) {
+	if len(o.Members) == 0 {
+		for i := range out {
+			out[i] = false
+		}
+		return
+	}
+	predict.MemberPredictWindows(o.Members[0], b, out)
+	if len(o.Members) == 1 {
+		return
+	}
+	buf := make([]bool, len(out))
+	for _, m := range o.Members[1:] {
+		predict.MemberPredictWindows(m, b, buf)
+		for i, v := range buf {
+			if v {
+				out[i] = true
+			}
+		}
+	}
+}
+
 // And predicts a change only when every member predicts one. An empty And
 // never predicts (it has no evidence), unlike the vacuous-truth convention.
 type And struct {
@@ -46,7 +74,10 @@ type And struct {
 	Label   string
 }
 
-var _ predict.Predictor = And{}
+var (
+	_ predict.Predictor      = And{}
+	_ predict.BatchPredictor = And{}
+)
 
 // Name implements predict.Predictor.
 func (a And) Name() string {
@@ -67,6 +98,30 @@ func (a And) Predict(ctx predict.Context) bool {
 		}
 	}
 	return true
+}
+
+// PredictWindows implements predict.BatchPredictor; an empty And yields an
+// all-false row, matching Predict's no-evidence convention.
+func (a And) PredictWindows(b predict.Batch, out []bool) {
+	if len(a.Members) == 0 {
+		for i := range out {
+			out[i] = false
+		}
+		return
+	}
+	predict.MemberPredictWindows(a.Members[0], b, out)
+	if len(a.Members) == 1 {
+		return
+	}
+	buf := make([]bool, len(out))
+	for _, m := range a.Members[1:] {
+		predict.MemberPredictWindows(m, b, buf)
+		for i, v := range buf {
+			if !v {
+				out[i] = false
+			}
+		}
+	}
 }
 
 func memberNames(ms []predict.Predictor) string {

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/obs"
 	"github.com/wikistale/wikistale/internal/predict"
 	"github.com/wikistale/wikistale/internal/timeline"
 )
@@ -94,6 +95,11 @@ type Options struct {
 	ByTemplateSize int
 	// Workers bounds evaluation parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Rows optionally supplies precomputed per-window change rows built by
+	// predict.PrecomputeRows over the same observed set and split. Grid
+	// searches share one index across grid points so the ground-truth
+	// merges are not repeated per point.
+	Rows *predict.RowIndex
 }
 
 // Report is the outcome of one evaluation run.
@@ -110,8 +116,9 @@ type Report struct {
 	// ByTemplate maps predictor name -> template id -> counts at
 	// Options.ByTemplateSize (nil when not collected).
 	ByTemplate map[string]map[changecube.TemplateID]Counts
-	// Overlaps maps "nameA|nameB" -> overlap counts, accumulated across
-	// all evaluated window sizes... keyed per size as "nameA|nameB/size".
+	// Overlaps maps OverlapKey(nameA, nameB, size) — "nameA|nameB/size" —
+	// to overlap counts, tallied separately for each evaluated window
+	// size.
 	Overlaps map[string]OverlapCounts
 	// Fields is the number of evaluated fields (the eligibility universe).
 	Fields int
@@ -142,10 +149,25 @@ func Evaluate(observed *changecube.HistorySet, split timeline.Span, predictors [
 			return nil, fmt.Errorf("eval: split %v shorter than window size %d", split, s)
 		}
 	}
+	// The per-window sections are only filled for sizes that are actually
+	// evaluated; silently returning all-zero series for a size outside
+	// Sizes has bitten callers, so reject the combination outright.
+	if opts.OverTimeSize > 0 && !containsSize(sizes, opts.OverTimeSize) {
+		return nil, fmt.Errorf("eval: OverTimeSize %d not among evaluated sizes %v", opts.OverTimeSize, sizes)
+	}
+	if opts.ByTemplateSize > 0 && !containsSize(sizes, opts.ByTemplateSize) {
+		return nil, fmt.Errorf("eval: ByTemplateSize %d not among evaluated sizes %v", opts.ByTemplateSize, sizes)
+	}
 	for _, pair := range opts.OverlapPairs {
 		if pair[0] < 0 || pair[0] >= len(predictors) || pair[1] < 0 || pair[1] >= len(predictors) {
 			return nil, fmt.Errorf("eval: overlap pair %v out of range", pair)
 		}
+		if pair[0] == pair[1] {
+			return nil, fmt.Errorf("eval: overlap pair %v compares a predictor with itself", pair)
+		}
+	}
+	if opts.Rows != nil && !opts.Rows.Matches(observed, split) {
+		return nil, fmt.Errorf("eval: Options.Rows was precomputed for a different observed set or split")
 	}
 	names := make([]string, len(predictors))
 	seen := make(map[string]bool)
@@ -174,6 +196,7 @@ func Evaluate(observed *changecube.HistorySet, split timeline.Span, predictors [
 		windowsBySize[s] = timeline.Tumbling(split, s)
 	}
 
+	span := obs.StartSpan("eval/evaluate")
 	partials := make([]*Report, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -184,10 +207,11 @@ func Evaluate(observed *changecube.HistorySet, split timeline.Span, predictors [
 		wg.Add(1)
 		go func(part *Report, chunk []changecube.History) {
 			defer wg.Done()
-			evalChunk(part, observed, chunk, predictors, names, sizes, windowsBySize, opts)
+			evalChunk(part, observed, chunk, predictors, names, sizes, opts)
 		}(part, histories[lo:hi])
 	}
 	wg.Wait()
+	span.End()
 
 	report := newReport(split, names, opts, windowsBySize)
 	report.Fields = len(histories)
@@ -249,77 +273,113 @@ func newReport(split timeline.Span, names []string, opts Options, windowsBySize 
 	return r
 }
 
-func evalChunk(part *Report, observed *changecube.HistorySet, chunk []changecube.History,
-	predictors []predict.Predictor, names []string, sizes []int,
-	windowsBySize map[int][]timeline.Window, opts Options) {
+// tallyInto classifies one (prediction, truth) decision into c.
+func tallyInto(c *Counts, pred, truth bool) {
+	switch {
+	case pred && truth:
+		c.TP++
+	case pred:
+		c.FP++
+	case truth:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
 
-	preds := make([]bool, len(predictors))
+func containsSize(sizes []int, s int) bool {
+	for _, v := range sizes {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// evalChunk scores one worker's share of the fields. For each window size
+// it builds a predict.WindowSet (per-window change rows, one sorted merge
+// per field) and asks every predictor for a whole row of predictions at
+// once: the batch fast path when the predictor implements
+// predict.BatchPredictor, the scalar Context path per window otherwise.
+// Both paths answer the identical question, so reports do not depend on
+// which path ran.
+func evalChunk(part *Report, observed *changecube.HistorySet, chunk []changecube.History,
+	predictors []predict.Predictor, names []string, sizes []int, opts Options) {
+
 	cube := observed.Cube()
-	for _, h := range chunk {
-		template := cube.Template(h.Field.Entity)
-		for _, size := range sizes {
-			for _, w := range windowsBySize[size] {
-				truth := h.ChangedIn(w.Span)
-				ctx := predict.NewContext(observed, h.Field, w)
-				for i, p := range predictors {
-					preds[i] = p.Predict(ctx)
-					c := part.BySize[names[i]][size]
-					switch {
-					case preds[i] && truth:
-						c.TP++
-					case preds[i] && !truth:
-						c.FP++
-					case !preds[i] && truth:
-						c.FN++
-					default:
-						c.TN++
+	batchers := make([]predict.BatchPredictor, len(predictors))
+	for i, p := range predictors {
+		if bp, ok := p.(predict.BatchPredictor); ok {
+			batchers[i] = bp
+		}
+	}
+	rows := make([][]bool, len(predictors))
+	for _, size := range sizes {
+		ws := predict.NewWindowSet(observed, part.Split, size, opts.Rows)
+		n := len(ws.Windows())
+		for i := range rows {
+			if cap(rows[i]) < n {
+				rows[i] = make([]bool, n)
+			} else {
+				rows[i] = rows[i][:n]
+			}
+		}
+		collectOverTime := size == opts.OverTimeSize && part.OverTime != nil
+		collectTemplate := size == opts.ByTemplateSize && part.ByTemplate != nil
+		for _, h := range chunk {
+			truth := ws.Row(h.Field)
+			batch := ws.For(h.Field)
+			for i, p := range predictors {
+				row := rows[i]
+				if batchers[i] != nil {
+					batchers[i].PredictWindows(batch, row)
+				} else {
+					predict.ScalarPredictWindows(p, batch, row)
+				}
+				var c Counts
+				if collectOverTime {
+					series := part.OverTime[names[i]]
+					for j := 0; j < n; j++ {
+						tallyInto(&c, row[j], truth[j])
+						tallyInto(&series[j], row[j], truth[j])
 					}
-					part.BySize[names[i]][size] = c
-					if size == opts.OverTimeSize && part.OverTime != nil {
-						oc := &part.OverTime[names[i]][w.Index]
-						switch {
-						case preds[i] && truth:
-							oc.TP++
-						case preds[i] && !truth:
-							oc.FP++
-						case !preds[i] && truth:
-							oc.FN++
-						default:
-							oc.TN++
-						}
-					}
-					if size == opts.ByTemplateSize && part.ByTemplate != nil {
-						tc := part.ByTemplate[names[i]][template]
-						switch {
-						case preds[i] && truth:
-							tc.TP++
-						case preds[i] && !truth:
-							tc.FP++
-						case !preds[i] && truth:
-							tc.FN++
-						default:
-							tc.TN++
-						}
-						part.ByTemplate[names[i]][template] = tc
+				} else {
+					for j := 0; j < n; j++ {
+						tallyInto(&c, row[j], truth[j])
 					}
 				}
-				for _, pair := range opts.OverlapPairs {
-					a, b := preds[pair[0]], preds[pair[1]]
-					if !a && !b {
-						continue
-					}
-					key := OverlapKey(names[pair[0]], names[pair[1]], size)
-					oc := part.Overlaps[key]
+				total := part.BySize[names[i]][size]
+				total.Add(c)
+				part.BySize[names[i]][size] = total
+				if collectTemplate {
+					template := cube.Template(h.Field.Entity)
+					tc := part.ByTemplate[names[i]][template]
+					tc.Add(c)
+					part.ByTemplate[names[i]][template] = tc
+				}
+			}
+			for _, pair := range opts.OverlapPairs {
+				ra, rb := rows[pair[0]], rows[pair[1]]
+				var oc OverlapCounts
+				for j := 0; j < n; j++ {
 					switch {
-					case a && b:
+					case ra[j] && rb[j]:
 						oc.Both++
-					case a:
+					case ra[j]:
 						oc.OnlyA++
-					default:
+					case rb[j]:
 						oc.OnlyB++
 					}
-					part.Overlaps[key] = oc
 				}
+				if oc.Both+oc.OnlyA+oc.OnlyB == 0 {
+					continue
+				}
+				key := OverlapKey(names[pair[0]], names[pair[1]], size)
+				total := part.Overlaps[key]
+				total.Both += oc.Both
+				total.OnlyA += oc.OnlyA
+				total.OnlyB += oc.OnlyB
+				part.Overlaps[key] = total
 			}
 		}
 	}

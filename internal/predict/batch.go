@@ -1,0 +1,309 @@
+// Batch prediction: the evaluation protocol asks every predictor the same
+// question for every tumbling window of a size — 430 windows per field per
+// evaluation year. Answering each window through a scalar Context repeats
+// the same map lookups and binary searches over the same histories once
+// per window×partner. The batch path amortizes that cost: a WindowSet
+// converts each relevant field's change days into a per-window changed row
+// with one sorted merge, and predictors that implement BatchPredictor
+// answer all windows of one size for one target in a single call.
+//
+// Leakage control is preserved exactly as in Context: a Batch clamps the
+// target field at each window start — FieldChanged returns an all-false
+// row for the target, and TargetDaysBefore exposes only the prefix of the
+// target's history strictly before the window start — so a batch predictor
+// can never observe the very change it is asked to predict.
+package predict
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// BatchPredictor is the optional fast-path interface: a predictor that can
+// answer all tumbling windows of one size for one target field in a single
+// call. PredictWindows must fill every element of out (len(out) equals
+// batch.NumWindows()); out may hold stale values from a previous call.
+// Each out[i] must equal Predict(batch.Context(i)) — the evaluation
+// harness chooses freely between the two paths and asserts they agree.
+// Like Predict, PredictWindows must be safe for concurrent use as long as
+// distinct goroutines pass distinct Batches.
+type BatchPredictor interface {
+	Predictor
+	PredictWindows(batch Batch, out []bool)
+}
+
+// rowSet holds per-window changed rows for one window size: rows[f][i]
+// reports whether field f changed inside window i, unclamped. It is the
+// shared currency of ground truth and (non-target) predictor evidence.
+type rowSet struct {
+	windows []timeline.Window
+	size    int
+	start   timeline.Day
+	rows    map[changecube.FieldKey][]bool
+}
+
+func newRowSet(split timeline.Span, size int) *rowSet {
+	return &rowSet{
+		windows: timeline.Tumbling(split, size),
+		size:    size,
+		start:   split.Start,
+		rows:    make(map[changecube.FieldKey][]bool),
+	}
+}
+
+// computeRow merges a history's change days into per-window changed flags:
+// one History.In call (two binary searches) plus a linear pass, instead of
+// one binary search per window.
+func (rs *rowSet) computeRow(h changecube.History) []bool {
+	row := make([]bool, len(rs.windows))
+	end := rs.start + timeline.Day(len(rs.windows)*rs.size)
+	for _, d := range h.In(timeline.Span{Start: rs.start, End: end}) {
+		row[int(d-rs.start)/rs.size] = true
+	}
+	return row
+}
+
+// RowIndex is an immutable, concurrency-safe precomputation of the
+// per-window changed rows of every field of a history set, for one split
+// and a list of window sizes. Grid searches build it once and share it
+// across grid points through eval.Options, so the ground-truth merge work
+// is not repeated per point.
+type RowIndex struct {
+	observed *changecube.HistorySet
+	split    timeline.Span
+	bySize   map[int]*rowSet
+}
+
+// PrecomputeRows eagerly computes the window rows of every field in
+// observed over the split's tumbling windows at each size. The work is
+// parallelized across fields; the result is read-only and safe for
+// concurrent use by any number of evaluations.
+func PrecomputeRows(observed *changecube.HistorySet, split timeline.Span, sizes []int) *RowIndex {
+	idx := &RowIndex{
+		observed: observed,
+		split:    split,
+		bySize:   make(map[int]*rowSet, len(sizes)),
+	}
+	histories := observed.Histories()
+	for _, size := range sizes {
+		if size <= 0 || split.Len() < size {
+			continue
+		}
+		if _, dup := idx.bySize[size]; dup {
+			continue
+		}
+		rs := newRowSet(split, size)
+		rows := make([][]bool, len(histories))
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(histories) {
+			workers = len(histories)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(histories) / workers
+			hi := (w + 1) * len(histories) / workers
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					rows[i] = rs.computeRow(histories[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		for i, h := range histories {
+			rs.rows[h.Field] = rows[i]
+		}
+		idx.bySize[size] = rs
+	}
+	return idx
+}
+
+// Matches reports whether the index was built over the same observed set
+// and split — the precondition for reusing it in an evaluation.
+func (idx *RowIndex) Matches(observed *changecube.HistorySet, split timeline.Span) bool {
+	return idx != nil && idx.observed == observed && idx.split == split
+}
+
+// WindowSet answers per-window change queries for the tumbling windows of
+// one size over one split. Rows are computed on first use and cached, so
+// each field costs one sorted merge regardless of how many windows or
+// predictors consult it. A WindowSet is confined to one goroutine; build
+// one per evaluation worker (an optional shared RowIndex carries the
+// reusable, read-only part).
+type WindowSet struct {
+	observed *changecube.HistorySet
+	split    timeline.Span
+	shared   *rowSet // immutable precomputed rows, may be nil
+	local    *rowSet // lazily filled, single-goroutine
+	falseRow []bool
+	emptyKey changecube.FieldKey
+}
+
+// NewWindowSet builds the window set for one split and size. shared may be
+// nil; when it covers the same observed set, split and size, its
+// precomputed rows are used instead of local merges. size must be positive
+// and no longer than the split.
+func NewWindowSet(observed *changecube.HistorySet, split timeline.Span, size int, shared *RowIndex) *WindowSet {
+	if size <= 0 || split.Len() < size {
+		panic(fmt.Sprintf("predict: window size %d invalid for split %v", size, split))
+	}
+	ws := &WindowSet{
+		observed: observed,
+		split:    split,
+		local:    newRowSet(split, size),
+	}
+	if shared.Matches(observed, split) {
+		if rs, ok := shared.bySize[size]; ok {
+			ws.shared = rs
+		}
+	}
+	ws.falseRow = make([]bool, len(ws.local.windows))
+	return ws
+}
+
+// Windows returns the tumbling windows, in order; windows[i].Index == i.
+func (ws *WindowSet) Windows() []timeline.Window { return ws.local.windows }
+
+// Size returns the window size in days.
+func (ws *WindowSet) Size() int { return ws.local.size }
+
+// Row returns field's unclamped per-window changed row: Row(f)[i] is true
+// iff f changed inside window i. For the evaluation harness this is the
+// ground truth; predictors must go through Batch.FieldChanged, which
+// applies the leakage clamp. The returned slice is shared and must not be
+// modified.
+func (ws *WindowSet) Row(field changecube.FieldKey) []bool {
+	if ws.shared != nil {
+		if row, ok := ws.shared.rows[field]; ok {
+			return row
+		}
+	}
+	if row, ok := ws.local.rows[field]; ok {
+		return row
+	}
+	h, ok := ws.observed.Get(field)
+	if !ok {
+		return ws.falseRow
+	}
+	row := ws.local.computeRow(h)
+	ws.local.rows[field] = row
+	return row
+}
+
+// For returns the leakage-controlled batch view for one target field.
+func (ws *WindowSet) For(target changecube.FieldKey) Batch {
+	return Batch{ws: ws, target: target, state: &batchState{}}
+}
+
+// batchState holds the lazily computed target-day prefixes. It sits behind
+// a pointer so Batch can be passed by value.
+type batchState struct {
+	prefixes   []int // prefixes[i] = #target days strictly before window i's start
+	targetDays []timeline.Day
+	computed   bool
+}
+
+// Batch is the leakage-controlled view for all tumbling windows of one
+// size over one target field — the batch counterpart of Context. It is
+// confined to the goroutine owning its WindowSet.
+type Batch struct {
+	ws     *WindowSet
+	target changecube.FieldKey
+	state  *batchState
+}
+
+// Target returns the field under prediction.
+func (b Batch) Target() changecube.FieldKey { return b.target }
+
+// Windows returns the tumbling windows being predicted; windows[i].Index
+// == i. The slice is shared and must not be modified.
+func (b Batch) Windows() []timeline.Window { return b.ws.Windows() }
+
+// NumWindows returns the number of windows (the required length of the out
+// slice passed to PredictWindows).
+func (b Batch) NumWindows() int { return len(b.ws.Windows()) }
+
+// WindowSize returns the common size of the windows in days.
+func (b Batch) WindowSize() int { return b.ws.Size() }
+
+// Cube returns the schema metadata (templates, pages, dictionaries).
+func (b Batch) Cube() *changecube.Cube { return b.ws.observed.Cube() }
+
+// FieldChanged returns field's per-window changed row under the same clamp
+// Context.FieldChangedIn applies: for any field other than the target,
+// row[i] reports a change inside window i; for the target field itself the
+// row is all false, because the target is only visible before each window
+// start and a window never overlaps the days before its own start. The
+// returned slice is shared and must not be modified.
+func (b Batch) FieldChanged(field changecube.FieldKey) []bool {
+	if field == b.target {
+		return b.ws.falseRow
+	}
+	return b.ws.Row(field)
+}
+
+// TargetDaysBefore returns the target's change days strictly before window
+// i's start — the batch counterpart of Context.TargetDays. The prefixes
+// for all windows are computed with a single merge on first use. The
+// returned slice aliases the history's storage.
+func (b Batch) TargetDaysBefore(i int) []timeline.Day {
+	st := b.state
+	if !st.computed {
+		st.computed = true
+		windows := b.ws.Windows()
+		st.prefixes = make([]int, len(windows))
+		h, ok := b.ws.observed.Get(b.target)
+		if ok {
+			st.targetDays = h.Days
+			p := sort.Search(len(h.Days), func(k int) bool {
+				return h.Days[k] >= windows[0].Start
+			})
+			for j, w := range windows {
+				for p < len(h.Days) && h.Days[p] < w.Start {
+					p++
+				}
+				st.prefixes[j] = p
+			}
+		}
+	}
+	if st.targetDays == nil {
+		return nil
+	}
+	return st.targetDays[:st.prefixes[i]]
+}
+
+// Context returns the scalar prediction context for window i — the bridge
+// the harness and ensembles use to run non-batch predictors inside a batch
+// evaluation.
+func (b Batch) Context(i int) Context {
+	return NewContext(b.ws.observed, b.target, b.ws.Windows()[i])
+}
+
+// ScalarPredictWindows fills out by evaluating p's scalar Predict once per
+// window — the fallback for predictors without a batch implementation, and
+// the reference implementation batch paths are tested against.
+func ScalarPredictWindows(p Predictor, b Batch, out []bool) {
+	for i := range out {
+		out[i] = p.Predict(b.Context(i))
+	}
+}
+
+// MemberPredictWindows fills out with p's row, taking the batch fast path
+// when p implements BatchPredictor and the scalar fallback otherwise.
+// Ensembles use it to combine member rows directly.
+func MemberPredictWindows(p Predictor, b Batch, out []bool) {
+	if bp, ok := p.(BatchPredictor); ok {
+		bp.PredictWindows(b, out)
+		return
+	}
+	ScalarPredictWindows(p, b, out)
+}
