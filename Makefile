@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench check experiments figures cover clean
+.PHONY: all build test race bench check fuzz experiments figures cover clean
 
 all: build test
 
@@ -24,6 +24,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fuzz every parser/decoder for a short burst each: the binary cube
+# format, the wikitext infobox parser, the counter-anomaly detector, and
+# the streaming JSONL event format.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/changecube
+	$(GO) test -run '^$$' -fuzz '^FuzzParseInfoboxes$$' -fuzztime $(FUZZTIME) ./internal/wikitext
+	$(GO) test -run '^$$' -fuzz '^FuzzDetectCounterAnomalies$$' -fuzztime $(FUZZTIME) ./internal/values
+	$(GO) test -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME) ./internal/ingest
 
 # Regenerate every table and figure of the paper on the default corpus.
 experiments:

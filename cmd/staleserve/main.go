@@ -5,11 +5,22 @@
 // Endpoints:
 //
 //	GET /healthz                            liveness + field count
+//	GET /readyz                             readiness (503 until a detector is installed)
 //	GET /v1/stale?asof=2019-09-01&window=7  everything stale in the window
 //	GET /v1/field?page=P&property=X&...     marker lookup for one field
 //	GET /v1/stats                           corpus and rule statistics
+//	GET /v1/ingest/stats                    live-feed progress (live mode only)
 //	GET /metrics                            Prometheus text (?format=json for JSON)
 //	GET /debug/pprof/                       Go profiling endpoints
+//
+// Batch mode (the default) trains once on -i and serves that detector
+// forever. Live mode (-live) consumes a change-event feed, retrains in
+// the background, and hot-swaps the serving detector with zero downtime:
+//
+//	staleserve -live -source sim                 # simulated EventStreams feed
+//	staleserve -live -source events.jsonl        # replay a JSONL dump, then keep serving
+//	staleserve -live -source events.jsonl -follow # tail the file as it grows
+//	staleserve -live -source feed.jsonl -i corpus.wcc  # warm start from a corpus
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, in-flight requests get up to -drain to finish, then the
@@ -34,7 +45,9 @@ import (
 
 	"github.com/wikistale/wikistale/internal/changecube"
 	"github.com/wikistale/wikistale/internal/core"
+	"github.com/wikistale/wikistale/internal/dataset"
 	"github.com/wikistale/wikistale/internal/filter"
+	"github.com/wikistale/wikistale/internal/ingest"
 	"github.com/wikistale/wikistale/internal/staleserve"
 )
 
@@ -42,48 +55,133 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("staleserve: ")
 	var (
-		in      = flag.String("i", "corpus.wcc", "input binary change cube")
-		model   = flag.String("model", "", "model file: load it when it exists, train and write it when it does not")
+		in      = flag.String("i", "", "input binary change cube (batch mode default: corpus.wcc; live mode: optional warm start)")
+		model   = flag.String("model", "", "model file: load it when it exists, train and write it when it does not (batch mode)")
 		addr    = flag.String("addr", ":8080", "listen address")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 		verbose = flag.Bool("v", false, "print the training stage-timing report")
+
+		live           = flag.Bool("live", false, "live mode: stream a change feed, retrain in the background, hot-swap the detector")
+		source         = flag.String("source", "sim", `live feed: "sim" for a simulated EventStreams feed, or a JSONL file path`)
+		follow         = flag.Bool("follow", false, "tail the JSONL source for new events instead of stopping at its end")
+		retrainEvery   = flag.Duration("retrain-every", 15*time.Second, "live mode: retrain at most this often while changes are pending (0 disables)")
+		retrainChanges = flag.Int("retrain-changes", 5000, "live mode: retrain after this many new changes (0 disables)")
 	)
 	flag.Parse()
 
-	f, err := os.Open(*in)
-	if err != nil {
-		log.Fatal(err)
+	if *live {
+		runLive(*source, *in, *addr, *drain, *follow, *retrainEvery, *retrainChanges)
+		return
 	}
-	cube, err := changecube.ReadBinary(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("reading %s: %v", *in, err)
+	if *in == "" {
+		*in = "corpus.wcc"
 	}
+	runBatch(*in, *model, *addr, *drain, *verbose)
+}
+
+// runBatch is the original mode: train (or load) once, serve forever.
+func runBatch(in, model, addr string, drain time.Duration, verbose bool) {
+	cube := readCube(in)
 
 	start := time.Now()
-	det, how, err := trainOrLoad(cube, *model)
+	det, how, err := trainOrLoad(cube, model)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "%s on %d changes in %v; %d correlation rules, %d association rules\n",
 		how, cube.NumChanges(), time.Since(start).Round(time.Millisecond),
 		det.FieldCorrelations().NumRules(), det.AssociationRules().NumRules())
-	if *verbose {
+	if verbose {
 		fmt.Fprint(os.Stderr, det.TrainReport())
 	}
 
+	serve(staleserve.New(det), addr, drain, nil)
+}
+
+// runLive wires feed → staging → background retrains → epoch hot-swaps.
+func runLive(source, warmCube, addr string, drain time.Duration, follow bool, retrainEvery time.Duration, retrainChanges int) {
+	cfg := core.DefaultConfig()
+
+	var src ingest.Source
+	switch {
+	case source == "sim":
+		cube, _, err := dataset.Generate(dataset.Default())
+		if err != nil {
+			log.Fatalf("generating simulated feed: %v", err)
+		}
+		src = ingest.NewStream(cube)
+		fmt.Fprintf(os.Stderr, "live: simulated feed of %d change events\n", cube.NumChanges())
+	default:
+		f, err := os.Open(source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		js := ingest.NewJSONLSource(f)
+		if follow {
+			js.Follow(0)
+		}
+		src = js
+		fmt.Fprintf(os.Stderr, "live: reading events from %s (follow=%v)\n", source, follow)
+	}
+
+	srv := staleserve.NewLive()
+	var st *ingest.Staging
+	var err error
+	if warmCube != "" {
+		cube := readCube(warmCube)
+		if st, err = ingest.NewStagingFromCube(cube, cfg.Filter); err != nil {
+			log.Fatal(err)
+		}
+		// Serve the warm-start corpus immediately; the feed refreshes it.
+		det, terr := core.Train(cube, cfg)
+		if terr != nil {
+			log.Fatalf("warm-start training: %v", terr)
+		}
+		srv.Swap(det)
+		fmt.Fprintf(os.Stderr, "live: warm start from %s (%d changes); serving while the feed streams\n",
+			warmCube, cube.NumChanges())
+	} else if st, err = ingest.NewStaging(cfg.Filter); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Fprintln(os.Stderr, "live: cold start; not ready until enough history has streamed in")
+	}
+
+	mcfg := ingest.Config{Train: cfg, RetrainInterval: retrainEvery, RetrainChanges: retrainChanges}
+	mgr := ingest.NewManager(src, st, srv.Swap, mcfg)
+	srv.SetIngestStats(func() any { return mgr.Stats() })
+
+	serve(srv, addr, drain, mgr)
+}
+
+// serve runs the HTTP server (and, in live mode, the ingest manager)
+// until SIGINT/SIGTERM, then drains.
+func serve(s *staleserve.Server, addr string, drain time.Duration, mgr *ingest.Manager) {
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           staleserve.New(det).Handler(),
+		Addr:              addr,
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if mgr != nil {
+		go func() {
+			if err := mgr.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("ingest stopped: %v", err)
+				return
+			}
+			stats := mgr.Stats()
+			if stats.SourceDone {
+				fmt.Fprintf(os.Stderr, "live: feed ended after %d events; serving the final detector\n",
+					stats.Staging.Events)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "listening on %s\n", addr)
 
 	select {
 	case err := <-errCh:
@@ -92,8 +190,8 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills immediately
-		fmt.Fprintf(os.Stderr, "shutting down, draining for up to %v\n", *drain)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		fmt.Fprintf(os.Stderr, "shutting down, draining for up to %v\n", drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Fatalf("shutdown: %v", err)
@@ -103,6 +201,19 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "bye")
 	}
+}
+
+func readCube(path string) *changecube.Cube {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	cube, err := changecube.ReadBinary(f)
+	if err != nil {
+		log.Fatalf("reading %s: %v", path, err)
+	}
+	return cube
 }
 
 // trainOrLoad loads the model file when it exists; otherwise it trains,

@@ -1,0 +1,115 @@
+package changecube
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestCubeCloneIsDeep: mutating the clone must leave the original
+// untouched, and vice versa.
+func TestCubeCloneIsDeep(t *testing.T) {
+	c := New()
+	e := c.AddEntityNamed("tmpl", "Page A")
+	p := PropertyID(c.Properties.Intern("pop"))
+	c.Add(Change{Time: 100, Entity: e, Property: p, Value: "1", Kind: Update})
+	c.Add(Change{Time: 200, Entity: e, Property: p, Value: "2", Kind: Update})
+
+	clone := c.Clone()
+	if clone.NumChanges() != 2 || clone.NumEntities() != 1 {
+		t.Fatalf("clone shape: %d changes, %d entities", clone.NumChanges(), clone.NumEntities())
+	}
+	if !reflect.DeepEqual(clone.Changes(), c.Changes()) {
+		t.Fatal("clone changes differ")
+	}
+
+	// Grow the clone: new entity, new name, new change.
+	e2 := clone.AddEntityNamed("tmpl2", "Page B")
+	p2 := PropertyID(clone.Properties.Intern("area"))
+	clone.Add(Change{Time: 300, Entity: e2, Property: p2, Value: "3", Kind: Update})
+
+	if c.NumChanges() != 2 || c.NumEntities() != 1 {
+		t.Fatalf("original mutated: %d changes, %d entities", c.NumChanges(), c.NumEntities())
+	}
+	if _, ok := c.Properties.Lookup("area"); ok {
+		t.Fatal("original dictionary grew with the clone")
+	}
+	if _, ok := clone.Properties.Lookup("area"); !ok {
+		t.Fatal("clone dictionary lost its new name")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneKeepsSortedFlag: a sorted cube's clone must not re-sort.
+func TestCloneKeepsSortedFlag(t *testing.T) {
+	c := New()
+	e := c.AddEntityNamed("t", "p")
+	p := PropertyID(c.Properties.Intern("x"))
+	c.Add(Change{Time: 200, Entity: e, Property: p, Kind: Update})
+	c.Add(Change{Time: 100, Entity: e, Property: p, Kind: Update})
+	c.Sort()
+	clone := c.Clone()
+	if got := clone.Changes(); got[0].Time != 100 || got[1].Time != 200 {
+		t.Fatalf("clone order: %v", got)
+	}
+}
+
+// TestChangeKindText: the kind round-trips through its text form, and
+// invalid values are rejected in both directions.
+func TestChangeKindText(t *testing.T) {
+	for _, k := range []ChangeKind{Update, Create, Delete} {
+		b, err := k.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseChangeKind(string(b))
+		if err != nil || parsed != k {
+			t.Fatalf("round trip %v -> %s -> %v (%v)", k, b, parsed, err)
+		}
+	}
+	if _, err := ParseChangeKind("rename"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := ChangeKind(42).MarshalText(); err == nil {
+		t.Fatal("out-of-range kind marshalled")
+	}
+
+	// JSON integration: the kind serializes as its name.
+	type wrap struct {
+		Kind ChangeKind `json:"kind"`
+	}
+	b, err := json.Marshal(wrap{Kind: Create})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"kind":"create"}` {
+		t.Fatalf("json form: %s", b)
+	}
+	var w wrap
+	if err := json.Unmarshal([]byte(`{"kind":"delete"}`), &w); err != nil || w.Kind != Delete {
+		t.Fatalf("json parse: %+v, %v", w, err)
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"bogus"}`), &w); err == nil {
+		t.Fatal("bogus kind accepted from json")
+	}
+}
+
+// TestDictClone: the copied dictionary is independent.
+func TestDictClone(t *testing.T) {
+	d := NewDict()
+	d.Intern("a")
+	d.Intern("b")
+	clone := d.Clone()
+	clone.Intern("c")
+	if d.Len() != 2 || clone.Len() != 3 {
+		t.Fatalf("lens: original %d, clone %d", d.Len(), clone.Len())
+	}
+	if id, ok := clone.Lookup("a"); !ok || d.Name(id) != "a" {
+		t.Fatal("clone lost shared names")
+	}
+}

@@ -54,6 +54,39 @@ func (k ChangeKind) String() string {
 	}
 }
 
+// MarshalText renders the kind as its lower-case name, making ChangeKind
+// usable directly in JSON event feeds (see internal/ingest).
+func (k ChangeKind) MarshalText() ([]byte, error) {
+	if k > Delete {
+		return nil, fmt.Errorf("changecube: invalid change kind %d", uint8(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText parses a lower-case kind name.
+func (k *ChangeKind) UnmarshalText(text []byte) error {
+	parsed, err := ParseChangeKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// ParseChangeKind maps a lower-case kind name back to its ChangeKind.
+func ParseChangeKind(s string) (ChangeKind, error) {
+	switch s {
+	case "update":
+		return Update, nil
+	case "create":
+		return Create, nil
+	case "delete":
+		return Delete, nil
+	default:
+		return 0, fmt.Errorf("changecube: unknown change kind %q", s)
+	}
+}
+
 // Change is one tuple of the change cube.
 type Change struct {
 	// Time is the Unix timestamp (seconds, UTC) of the revision that
@@ -242,6 +275,22 @@ func (c *Cube) EntitiesByTemplate() map[TemplateID][]EntityID {
 		out[info.Template] = append(out[info.Template], EntityID(i))
 	}
 	return out
+}
+
+// Clone returns a deep copy of the cube: dictionaries, entity metadata and
+// the change list are all freshly allocated, so the copy can be read (and
+// even mutated) independently of the original. Live ingestion uses this to
+// hand a frozen snapshot to a background retrain while appends continue on
+// the original.
+func (c *Cube) Clone() *Cube {
+	return &Cube{
+		Properties: c.Properties.Clone(),
+		Templates:  c.Templates.Clone(),
+		Pages:      c.Pages.Clone(),
+		entities:   append([]EntityInfo(nil), c.entities...),
+		changes:    append([]Change(nil), c.changes...),
+		sorted:     c.sorted,
+	}
 }
 
 // Validate checks internal consistency: all referenced entities and

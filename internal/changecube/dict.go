@@ -45,6 +45,18 @@ func (d *Dict) Name(id int32) string {
 // Len returns the number of interned strings.
 func (d *Dict) Len() int { return len(d.names) }
 
+// Clone returns an independent copy of the dictionary.
+func (d *Dict) Clone() *Dict {
+	out := &Dict{
+		names: append([]string(nil), d.names...),
+		index: make(map[string]int32, len(d.index)),
+	}
+	for name, id := range d.index {
+		out.index[name] = id
+	}
+	return out
+}
+
 // Names returns the interned strings in id order. The returned slice is the
 // dictionary's backing storage and must not be modified.
 func (d *Dict) Names() []string { return d.names }

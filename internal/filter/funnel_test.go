@@ -1,0 +1,89 @@
+package filter
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+)
+
+// TestApplyFieldMatchesApply: summing every field's FieldFunnel over a
+// random cube must reproduce the batch pipeline's per-stage counts and
+// histories exactly — this is the contract live ingestion's incremental
+// refiltering is built on.
+func TestApplyFieldMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cube := changecube.New()
+	props := make([]changecube.PropertyID, 6)
+	for i := range props {
+		props[i] = changecube.PropertyID(cube.Properties.Intern(string(rune('a' + i))))
+	}
+	for e := 0; e < 8; e++ {
+		ent := cube.AddEntityNamed("tmpl", string(rune('A'+e)))
+		for _, p := range props[:1+rng.Intn(len(props))] {
+			n := rng.Intn(12)
+			for i := 0; i < n; i++ {
+				kind := changecube.Update
+				switch rng.Intn(10) {
+				case 0:
+					kind = changecube.Create
+				case 1:
+					kind = changecube.Delete
+				}
+				cube.Add(changecube.Change{
+					Time:     int64(rng.Intn(400)) * day,
+					Entity:   ent,
+					Property: p,
+					Value:    string(rune('0' + rng.Intn(3))),
+					Kind:     kind,
+					Bot:      rng.Intn(5) == 0,
+				})
+			}
+		}
+	}
+	cfg := Config{MinChanges: 3, BotRevertHorizonDays: 2}
+
+	hs, stats, err := Apply(cube, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw, afterBots, afterDedup, afterCD, afterMin int
+	var histories []changecube.History
+	for key, chs := range cube.FieldChanges() {
+		f := ApplyField(chs, cfg)
+		raw += f.Raw
+		afterBots += f.AfterBotReverts
+		afterDedup += f.AfterDayDedup
+		afterCD += len(f.Days)
+		if len(f.Days) >= cfg.MinChanges {
+			afterMin += len(f.Days)
+			histories = append(histories, changecube.History{Field: key, Days: f.Days})
+		}
+	}
+	got := [][2]int{{raw, afterBots}, {afterBots, afterDedup}, {afterDedup, afterCD}, {afterCD, afterMin}}
+	for i, st := range stats.Stages {
+		if got[i][0] != st.In || got[i][1] != st.Out {
+			t.Fatalf("stage %q: summed funnels say %d->%d, Apply says %d->%d",
+				st.Name, got[i][0], got[i][1], st.In, st.Out)
+		}
+	}
+	perField, err := changecube.NewHistorySet(cube, histories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(perField.Histories(), hs.Histories()) {
+		t.Fatal("per-field histories differ from Apply's")
+	}
+}
+
+// TestFieldDaysIsApplyFieldDays: the legacy helper stays a pure view.
+func TestFieldDaysIsApplyFieldDays(t *testing.T) {
+	cube := fieldCube(upd(0, "a"), upd(day, "b"), upd(3*day, "c"))
+	for _, chs := range cube.FieldChanges() {
+		cfg := Default()
+		if !reflect.DeepEqual(FieldDays(chs, cfg), ApplyField(chs, cfg).Days) {
+			t.Fatal("FieldDays diverges from ApplyField().Days")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package ingest is the online layer over the batch stale-detection stack:
+// it consumes a live feed of change events (a simulated Wikipedia
+// EventStreams feed, or a JSONL replay of a real dump), applies the §4
+// noise-filter stages incrementally per touched field into a mutable
+// staging cube, and runs a background retrain loop that produces fresh
+// core.Detector instances off the request hot path. The serving side
+// (internal/staleserve) swaps detectors in atomically per epoch, so the
+// model stays fresh under sustained traffic with zero downtime.
+//
+// The subsystem is three pieces:
+//
+//   - Source: a batch-oriented event feed (JSONLSource here,
+//     dataset.Stream for simulation).
+//   - Staging: the mutable staging cube with incremental per-field
+//     filtering; Snapshot freezes it into the immutable HistorySet the
+//     batch trainer consumes.
+//   - Manager: the consume/retrain/swap loop with feed-lag, batch-size,
+//     retrain-duration and swap metrics.
+//
+// Incremental filtering is exactly equivalent to batch filtering: for any
+// event sequence, Snapshot yields the same HistorySet and funnel counts as
+// filter.Apply over a cube holding the same changes (see the equivalence
+// tests).
+package ingest
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+)
+
+// Event is one observed infobox change, identified by names rather than
+// cube ids — the shape a Wikipedia EventStreams consumer or dump replayer
+// produces before any interning has happened.
+type Event struct {
+	// Time is the Unix timestamp (seconds, UTC) of the revision.
+	Time int64 `json:"time"`
+	// Page is the page title the infobox appears on.
+	Page string `json:"page"`
+	// Template is the infobox template name.
+	Template string `json:"template"`
+	// Infobox distinguishes multiple infoboxes of the same template on the
+	// same page: the ordinal (0, 1, ...) of the box among them. Pages with
+	// a single box of a template leave it 0.
+	Infobox int `json:"infobox,omitempty"`
+	// Property is the changed attribute name.
+	Property string `json:"property"`
+	// Value is the newly assigned value (empty for deletes).
+	Value string `json:"value,omitempty"`
+	// Kind classifies the change; serialized as "update", "create" or
+	// "delete".
+	Kind changecube.ChangeKind `json:"kind"`
+	// Bot marks changes performed by known Wikipedia bots.
+	Bot bool `json:"bot,omitempty"`
+}
+
+// Validate checks that the event can be staged.
+func (e Event) Validate() error {
+	if e.Page == "" {
+		return fmt.Errorf("ingest: event without page")
+	}
+	if e.Template == "" {
+		return fmt.Errorf("ingest: event without template")
+	}
+	if e.Property == "" {
+		return fmt.Errorf("ingest: event without property")
+	}
+	if e.Infobox < 0 {
+		return fmt.Errorf("ingest: negative infobox ordinal %d", e.Infobox)
+	}
+	if e.Kind > changecube.Delete {
+		return fmt.Errorf("ingest: invalid change kind %d", uint8(e.Kind))
+	}
+	return nil
+}
+
+// Source is a batch-oriented event feed. Next blocks until at least one
+// event is available (or ctx is done) and returns events in feed order; it
+// returns io.EOF after the final batch of a finite feed. Implementations
+// need not be safe for concurrent use — the Manager consumes from a single
+// goroutine.
+type Source interface {
+	Next(ctx context.Context) ([]Event, error)
+}

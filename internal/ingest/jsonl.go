@@ -1,0 +1,139 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// DefaultBatchSize is the maximum number of events a JSONLSource returns
+// per Next call.
+const DefaultBatchSize = 256
+
+// JSONLSource reads events from a JSON-lines stream — the replay format
+// for real dumps. One event per line; blank lines are skipped; a malformed
+// line is a hard error (a dump replay should never silently drop data).
+//
+// With Follow enabled the source tails the stream like `tail -f`: on
+// reaching the end it polls for more data instead of reporting io.EOF, and
+// a trailing partial line (a write in progress) is held back until its
+// newline arrives.
+type JSONLSource struct {
+	r       *bufio.Reader
+	batch   int
+	follow  bool
+	poll    time.Duration
+	pending []byte // partial final line held back in follow mode
+	line    int
+}
+
+// NewJSONLSource returns a source over r with the default batch size.
+func NewJSONLSource(r io.Reader) *JSONLSource {
+	return &JSONLSource{r: bufio.NewReader(r), batch: DefaultBatchSize}
+}
+
+// SetBatchSize caps the number of events per Next call (minimum 1).
+func (s *JSONLSource) SetBatchSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.batch = n
+}
+
+// Follow switches the source to tail mode, polling every interval for new
+// data instead of ending at io.EOF.
+func (s *JSONLSource) Follow(interval time.Duration) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	s.follow = true
+	s.poll = interval
+}
+
+// Next returns the next batch of events. It returns io.EOF when the stream
+// is exhausted (never in follow mode, unless ctx ends first).
+func (s *JSONLSource) Next(ctx context.Context) ([]Event, error) {
+	var out []Event
+	for len(out) < s.batch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		chunk, err := s.r.ReadBytes('\n')
+		if len(chunk) > 0 {
+			s.pending = append(s.pending, chunk...)
+		}
+		complete := len(s.pending) > 0 && s.pending[len(s.pending)-1] == '\n'
+		if complete || (err == io.EOF && !s.follow && len(s.pending) > 0) {
+			line := s.pending
+			s.pending = nil
+			s.line++
+			ev, perr := parseEventLine(line)
+			if perr != nil {
+				if !errors.Is(perr, errBlankLine) {
+					return nil, fmt.Errorf("ingest: line %d: %w", s.line, perr)
+				}
+			} else {
+				out = append(out, ev)
+			}
+		}
+		if err == nil {
+			continue
+		}
+		if err != io.EOF {
+			return out, err
+		}
+		// io.EOF: the underlying stream has no more data right now.
+		if !s.follow {
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, io.EOF
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(s.poll):
+		}
+	}
+	return out, nil
+}
+
+var errBlankLine = errors.New("blank line")
+
+func parseEventLine(line []byte) (Event, error) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return Event{}, errBlankLine
+	}
+	var ev Event
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return Event{}, err
+	}
+	if err := ev.Validate(); err != nil {
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// WriteEvents encodes events as JSON lines — the format JSONLSource reads.
+func WriteEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := ev.Validate(); err != nil {
+			return err
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,284 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/core"
+	"github.com/wikistale/wikistale/internal/obs"
+)
+
+// batchBuckets sizes the batch-size histogram (events per source batch).
+var batchBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Config tunes the manager's retrain loop.
+type Config struct {
+	// Train is the detector configuration every retrain uses.
+	Train core.Config
+	// RetrainInterval retrains at most this often on wall-clock time while
+	// new changes are pending (0 disables the time trigger).
+	RetrainInterval time.Duration
+	// RetrainChanges triggers a retrain once this many events accumulated
+	// since the last one (0 disables the count trigger).
+	RetrainChanges int
+}
+
+// DefaultConfig retrains every 15 seconds or 5000 changes, whichever comes
+// first, with the paper's training configuration.
+func DefaultConfig() Config {
+	return Config{
+		Train:           core.DefaultConfig(),
+		RetrainInterval: 15 * time.Second,
+		RetrainChanges:  5000,
+	}
+}
+
+// Stats is the manager's point-in-time summary, served on
+// /v1/ingest/stats.
+type Stats struct {
+	Staging StagingStats `json:"staging"`
+	// Batches is the number of source batches consumed.
+	Batches uint64 `json:"batches"`
+	// LastBatchEvents is the size of the most recent batch.
+	LastBatchEvents int `json:"last_batch_events"`
+	// LastEventTime is the timestamp of the newest event seen (RFC 3339).
+	LastEventTime string `json:"last_event_time,omitempty"`
+	// FeedLagSeconds is the wall-clock age of the newest event — large on
+	// historical replays, near zero on a live feed.
+	FeedLagSeconds float64 `json:"feed_lag_seconds"`
+	// PendingChanges counts events appended since the last retrain began.
+	PendingChanges uint64 `json:"pending_changes"`
+	// Retrains and RetrainErrors count background training runs.
+	Retrains      uint64 `json:"retrains"`
+	RetrainErrors uint64 `json:"retrain_errors"`
+	// Swaps counts detectors handed to the swap callback.
+	Swaps uint64 `json:"swaps"`
+	// LastRetrainSeconds is the duration of the last successful retrain.
+	LastRetrainSeconds float64 `json:"last_retrain_seconds,omitempty"`
+	// LastError is the most recent retrain failure ("span too short" until
+	// a cold start has accumulated enough history).
+	LastError string `json:"last_error,omitempty"`
+	// SourceDone reports that the feed ended (io.EOF); the serving layer
+	// stays up on the final model.
+	SourceDone bool `json:"source_done"`
+}
+
+// Manager runs the online loop: consume batches from a Source into a
+// Staging buffer, retrain in the background when the time or change-count
+// trigger fires, and hand every fresh detector to the swap callback.
+// Appends never wait for training: retrains run on a snapshot in a
+// separate goroutine, one at a time.
+type Manager struct {
+	src  Source
+	st   *Staging
+	cfg  Config
+	swap func(*core.Detector)
+
+	pending   atomic.Uint64 // events since the last retrain started
+	retrainMu sync.Mutex    // held for the duration of one retrain
+	wg        sync.WaitGroup
+
+	mu    sync.Mutex
+	stats Stats
+
+	eventsTotal    *obs.Counter
+	batchesTotal   *obs.Counter
+	batchSize      *obs.Histogram
+	feedLag        *obs.Gauge
+	stagedChanges  *obs.Gauge
+	retrainSeconds *obs.Histogram
+	retrainsTotal  *obs.Counter
+	retrainErrors  *obs.Counter
+}
+
+// NewManager wires a source and staging buffer to a swap callback. The
+// callback receives every freshly trained detector; it must be safe to
+// call from a background goroutine (staleserve's epoch swap is).
+func NewManager(src Source, st *Staging, swap func(*core.Detector), cfg Config) *Manager {
+	reg := obs.Default
+	reg.SetHelp("wikistale_ingest_events_total", "Change events consumed from the live feed.")
+	reg.SetHelp("wikistale_ingest_batches_total", "Source batches consumed from the live feed.")
+	reg.SetHelp("wikistale_ingest_batch_events", "Events per consumed source batch.")
+	reg.SetHelp("wikistale_ingest_feed_lag_seconds", "Wall-clock age of the newest ingested event.")
+	reg.SetHelp("wikistale_ingest_staged_changes", "Raw changes in the staging cube.")
+	reg.SetHelp("wikistale_ingest_retrain_seconds", "Background retrain duration (snapshot + train).")
+	reg.SetHelp("wikistale_ingest_retrains_total", "Background retrains that produced a detector.")
+	reg.SetHelp("wikistale_ingest_retrain_errors_total", "Background retrains that failed.")
+	return &Manager{
+		src:            src,
+		st:             st,
+		cfg:            cfg,
+		swap:           swap,
+		eventsTotal:    reg.Counter("wikistale_ingest_events_total", nil),
+		batchesTotal:   reg.Counter("wikistale_ingest_batches_total", nil),
+		batchSize:      reg.Histogram("wikistale_ingest_batch_events", batchBuckets, nil),
+		feedLag:        reg.Gauge("wikistale_ingest_feed_lag_seconds", nil),
+		stagedChanges:  reg.Gauge("wikistale_ingest_staged_changes", nil),
+		retrainSeconds: reg.Histogram("wikistale_ingest_retrain_seconds", obs.DurationBuckets, nil),
+		retrainsTotal:  reg.Counter("wikistale_ingest_retrains_total", nil),
+		retrainErrors:  reg.Counter("wikistale_ingest_retrain_errors_total", nil),
+	}
+}
+
+// Stats returns the manager's current summary.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Staging = m.st.Stats()
+	s.PendingChanges = m.pending.Load()
+	if s.LastEventTime != "" {
+		if t, err := time.Parse(time.RFC3339, s.LastEventTime); err == nil {
+			s.FeedLagSeconds = time.Since(t).Seconds()
+		}
+	}
+	return s
+}
+
+// Run consumes the feed until it ends (io.EOF, returning nil after one
+// final flush retrain) or ctx is cancelled (returning ctx.Err after
+// waiting for any in-flight retrain). A time trigger runs alongside so a
+// trickling feed still retrains on schedule.
+func (m *Manager) Run(ctx context.Context) error {
+	defer m.wg.Wait()
+	if m.cfg.RetrainInterval > 0 {
+		tickCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			ticker := time.NewTicker(m.cfg.RetrainInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-tickCtx.Done():
+					return
+				case <-ticker.C:
+					if m.pending.Load() > 0 {
+						m.tryRetrain()
+					}
+				}
+			}
+		}()
+	}
+	for {
+		events, err := m.src.Next(ctx)
+		if len(events) > 0 {
+			if aerr := m.consume(events); aerr != nil {
+				return aerr
+			}
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			m.mu.Lock()
+			m.stats.SourceDone = true
+			m.mu.Unlock()
+			// Final flush: fold everything still pending into one last
+			// detector before reporting the feed done.
+			if m.pending.Load() > 0 {
+				m.retrain()
+			}
+			return nil
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return ctx.Err()
+		default:
+			return fmt.Errorf("ingest: source: %w", err)
+		}
+		if n := m.cfg.RetrainChanges; n > 0 && m.pending.Load() >= uint64(n) {
+			m.tryRetrain()
+		}
+	}
+}
+
+// consume appends one batch and updates metrics and stats.
+func (m *Manager) consume(events []Event) error {
+	if _, err := m.st.Append(events); err != nil {
+		return err
+	}
+	m.pending.Add(uint64(len(events)))
+	m.eventsTotal.Add(uint64(len(events)))
+	m.batchesTotal.Inc()
+	m.batchSize.Observe(float64(len(events)))
+	newest := events[0].Time
+	for _, ev := range events[1:] {
+		if ev.Time > newest {
+			newest = ev.Time
+		}
+	}
+	lag := time.Since(time.Unix(newest, 0)).Seconds()
+	m.feedLag.Set(lag)
+	m.stagedChanges.Set(float64(m.st.Stats().Changes))
+	m.mu.Lock()
+	m.stats.Batches++
+	m.stats.LastBatchEvents = len(events)
+	m.stats.LastEventTime = time.Unix(newest, 0).UTC().Format(time.RFC3339)
+	m.mu.Unlock()
+	return nil
+}
+
+// tryRetrain starts a background retrain unless one is already running —
+// the triggers re-fire, so a skipped attempt is never lost.
+func (m *Manager) tryRetrain() {
+	if !m.retrainMu.TryLock() {
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer m.retrainMu.Unlock()
+		m.retrainLocked()
+	}()
+}
+
+// retrain runs one synchronous retrain (used for the EOF flush).
+func (m *Manager) retrain() {
+	m.retrainMu.Lock()
+	defer m.retrainMu.Unlock()
+	m.retrainLocked()
+}
+
+// retrainLocked snapshots, trains, and swaps. Caller holds retrainMu.
+func (m *Manager) retrainLocked() {
+	m.pending.Store(0)
+	start := time.Now()
+	det, err := m.train()
+	elapsed := time.Since(start)
+	if err != nil {
+		m.retrainErrors.Inc()
+		m.mu.Lock()
+		m.stats.RetrainErrors++
+		m.stats.LastError = err.Error()
+		m.mu.Unlock()
+		return
+	}
+	m.retrainSeconds.Observe(elapsed.Seconds())
+	m.retrainsTotal.Inc()
+	m.mu.Lock()
+	m.stats.Retrains++
+	m.stats.LastRetrainSeconds = elapsed.Seconds()
+	m.stats.LastError = ""
+	m.mu.Unlock()
+	if m.swap != nil {
+		m.swap(det)
+		m.mu.Lock()
+		m.stats.Swaps++
+		m.mu.Unlock()
+	}
+}
+
+// train builds a detector from the current staging snapshot.
+func (m *Manager) train() (*core.Detector, error) {
+	span := obs.StartSpan("ingest/retrain")
+	defer span.End()
+	hs, stats, err := m.st.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return core.TrainFiltered(hs, stats, m.cfg.Train)
+}

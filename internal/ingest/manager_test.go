@@ -1,0 +1,171 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/core"
+	"github.com/wikistale/wikistale/internal/dataset"
+	"github.com/wikistale/wikistale/internal/filter"
+)
+
+// swapRecorder captures every detector the manager hands to the serving
+// layer.
+type swapRecorder struct {
+	mu   sync.Mutex
+	dets []*core.Detector
+}
+
+func (r *swapRecorder) swap(d *core.Detector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dets = append(r.dets, d)
+}
+
+func (r *swapRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.dets)
+}
+
+func (r *swapRecorder) last() *core.Detector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.dets) == 0 {
+		return nil
+	}
+	return r.dets[len(r.dets)-1]
+}
+
+// TestManagerEOFFlush: a finite replay must end with one synchronous
+// final retrain so nothing pending is lost, then report the source done.
+func TestManagerEOFFlush(t *testing.T) {
+	cube, _, err := dataset.Generate(dataset.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStaging(filter.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &swapRecorder{}
+	cfg := Config{Train: core.DefaultConfig()} // no triggers: only the EOF flush
+	m := NewManager(NewStream(cube), st, rec.swap, cfg)
+
+	if err := m.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 1 {
+		t.Fatalf("swaps = %d, want exactly the EOF flush", rec.count())
+	}
+	stats := m.Stats()
+	if !stats.SourceDone {
+		t.Fatal("SourceDone not reported")
+	}
+	if stats.Retrains != 1 || stats.Swaps != 1 {
+		t.Fatalf("retrains = %d, swaps = %d, want 1/1", stats.Retrains, stats.Swaps)
+	}
+	if stats.PendingChanges != 0 {
+		t.Fatalf("pending = %d after flush", stats.PendingChanges)
+	}
+	if stats.Staging.Changes != cube.NumChanges() {
+		t.Fatalf("staged %d changes, corpus has %d", stats.Staging.Changes, cube.NumChanges())
+	}
+	if rec.last().Histories().Len() == 0 {
+		t.Fatal("final detector has no fields")
+	}
+}
+
+// TestManagerCountTrigger: the change-count trigger must fire mid-stream.
+// Early attempts fail while the streamed span is still too short for the
+// split protocol — those must surface as retrain errors, not crashes —
+// and the run must still end with a working detector.
+func TestManagerCountTrigger(t *testing.T) {
+	cube, _, err := dataset.Generate(dataset.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStaging(filter.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &swapRecorder{}
+	cfg := Config{Train: core.DefaultConfig(), RetrainChanges: cube.NumChanges() / 4}
+	m := NewManager(NewStream(cube), st, rec.swap, cfg)
+
+	if err := m.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stats := m.Stats()
+	if stats.Retrains+stats.RetrainErrors < 2 {
+		t.Fatalf("count trigger never fired mid-stream: %d retrains, %d errors",
+			stats.Retrains, stats.RetrainErrors)
+	}
+	if rec.count() == 0 || rec.last().Histories().Len() == 0 {
+		t.Fatal("no usable final detector")
+	}
+	if uint64(rec.count()) != stats.Swaps {
+		t.Fatalf("recorder saw %d swaps, stats claim %d", rec.count(), stats.Swaps)
+	}
+}
+
+// errSource fails after one batch.
+type errSource struct{ sent bool }
+
+func (s *errSource) Next(ctx context.Context) ([]Event, error) {
+	if s.sent {
+		return nil, fmt.Errorf("feed connection lost")
+	}
+	s.sent = true
+	return sampleEvents(), nil
+}
+
+// TestManagerSourceError: a broken feed must stop the loop with the error.
+func TestManagerSourceError(t *testing.T) {
+	st, err := NewStaging(filter.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(&errSource{}, st, nil, Config{Train: core.DefaultConfig()})
+	if err := m.Run(context.Background()); err == nil ||
+		err.Error() != "ingest: source: feed connection lost" {
+		t.Fatalf("err = %v", err)
+	}
+	if got := m.Stats().Staging.Events; got != uint64(len(sampleEvents())) {
+		t.Fatalf("events before failure = %d", got)
+	}
+}
+
+// blockSource delivers nothing until cancelled.
+type blockSource struct{}
+
+func (blockSource) Next(ctx context.Context) ([]Event, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestManagerCancel: cancelling the context must end Run promptly with
+// the context error.
+func TestManagerCancel(t *testing.T) {
+	st, err := NewStaging(filter.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(blockSource{}, st, nil, Config{Train: core.DefaultConfig(), RetrainInterval: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Run(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}

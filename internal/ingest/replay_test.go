@@ -1,0 +1,81 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/dataset"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// TestStreamReplaysWholeCorpus: the replay must deliver every change,
+// batched strictly by calendar day, in chronological order.
+func TestStreamReplaysWholeCorpus(t *testing.T) {
+	cube, _, err := dataset.Generate(dataset.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(cube)
+	total := 0
+	lastDay := timeline.Day(-1 << 30)
+	for {
+		batch, err := s.Next(context.Background())
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 {
+			t.Fatal("empty batch")
+		}
+		day := timeline.DayOfUnix(batch[0].Time)
+		if day <= lastDay {
+			t.Fatalf("batch day %v not after previous %v", day, lastDay)
+		}
+		for _, ev := range batch {
+			if timeline.DayOfUnix(ev.Time) != day {
+				t.Fatalf("batch mixes days %v and %v", day, timeline.DayOfUnix(ev.Time))
+			}
+			if err := ev.Validate(); err != nil {
+				t.Fatalf("replayed event invalid: %v", err)
+			}
+		}
+		lastDay = day
+		total += len(batch)
+	}
+	if total != cube.NumChanges() {
+		t.Fatalf("replayed %d events, corpus has %d changes", total, cube.NumChanges())
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after EOF", s.Remaining())
+	}
+}
+
+// TestCubeEventsOrdinals: entities sharing a (page, template) pair must
+// get distinct infobox ordinals so the staging side can tell them apart.
+func TestCubeEventsOrdinals(t *testing.T) {
+	cube, _, err := dataset.Generate(dataset.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type box struct {
+		page, template string
+		ordinal        int
+	}
+	seen := make(map[box]bool)
+	boxes := 0
+	for _, ev := range CubeEvents(cube) {
+		b := box{ev.Page, ev.Template, ev.Infobox}
+		if !seen[b] {
+			seen[b] = true
+			boxes++
+		}
+	}
+	if boxes != cube.NumEntities() {
+		t.Fatalf("events describe %d distinct infoboxes, cube has %d entities",
+			boxes, cube.NumEntities())
+	}
+}

@@ -1,0 +1,286 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/filter"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// entityKey is the stream-side identity of an infobox: page + template +
+// ordinal among the page's boxes of that template. It is stable across
+// replay order, unlike the dense EntityID the cube assigns on first sight.
+type entityKey struct {
+	page     changecube.PageID
+	template changecube.TemplateID
+	ordinal  int
+}
+
+// pageTemplate keys the next-free-ordinal table.
+type pageTemplate struct {
+	page     changecube.PageID
+	template changecube.TemplateID
+}
+
+// fieldBuf is the per-field staging state: the raw chronological change
+// list plus the cached result of the per-field filter stages over it.
+type fieldBuf struct {
+	raw    []changecube.Change
+	funnel filter.FieldFunnel
+}
+
+// Staging is the mutable ingestion buffer: a change cube that grows as
+// events arrive, with the §4 per-field noise stages (bot-revert removal,
+// day dedup, creation/deletion removal) re-applied incrementally to every
+// touched field and the corpus-level MinChanges gate re-checked on append.
+// Snapshot freezes the current state into an immutable HistorySet over a
+// cloned cube, which is what the background retrainer feeds to
+// core.TrainFiltered.
+//
+// All methods are safe for concurrent use; Append and Snapshot serialize
+// on one mutex, so appends pause only for the O(changes) cube clone, never
+// for a retrain.
+type Staging struct {
+	mu  sync.Mutex
+	cfg filter.Config
+
+	cube    *changecube.Cube
+	entIdx  map[entityKey]changecube.EntityID
+	ordinal map[pageTemplate]int // next free ordinal per (page, template)
+	fields  map[changecube.FieldKey]*fieldBuf
+
+	// Aggregate funnel counters, maintained by per-field delta so they
+	// always match what a batch filter.Apply over the same changes reports.
+	raw, afterBots, afterDedup, afterCD, afterMin int
+	eligible                                      int // fields clearing MinChanges
+	appended                                      uint64
+}
+
+// NewStaging returns an empty staging buffer (a cold start).
+func NewStaging(cfg filter.Config) (*Staging, error) {
+	if cfg.MinChanges < 1 {
+		return nil, fmt.Errorf("ingest: MinChanges must be >= 1, got %d", cfg.MinChanges)
+	}
+	if cfg.BotRevertHorizonDays < 0 {
+		return nil, fmt.Errorf("ingest: negative BotRevertHorizonDays")
+	}
+	return &Staging{
+		cfg:     cfg,
+		cube:    changecube.New(),
+		entIdx:  make(map[entityKey]changecube.EntityID),
+		ordinal: make(map[pageTemplate]int),
+		fields:  make(map[changecube.FieldKey]*fieldBuf),
+	}, nil
+}
+
+// NewStagingFromCube returns a staging buffer warm-started from an
+// existing corpus cube: every recorded change is staged as if it had just
+// streamed in. The cube is cloned — the caller's copy is never mutated, so
+// a detector trained on it can keep serving while the staging copy grows.
+func NewStagingFromCube(cube *changecube.Cube, cfg filter.Config) (*Staging, error) {
+	st, err := NewStaging(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.cube = cube.Clone()
+	for e := 0; e < st.cube.NumEntities(); e++ {
+		id := changecube.EntityID(e)
+		info := st.cube.Entity(id)
+		pt := pageTemplate{info.Page, info.Template}
+		st.entIdx[entityKey{info.Page, info.Template, st.ordinal[pt]}] = id
+		st.ordinal[pt]++
+	}
+	for key, chs := range st.cube.FieldChanges() {
+		// FieldChanges aliases cube storage; copy so later appends can
+		// insert without disturbing the cube's own change list.
+		buf := &fieldBuf{raw: append([]changecube.Change(nil), chs...)}
+		st.fields[key] = buf
+		st.refilter(buf)
+	}
+	return st, nil
+}
+
+// Append stages a batch of events: names are interned, unseen infoboxes
+// registered, and every touched field's filter funnel recomputed. It
+// returns the number of distinct fields the batch touched. An invalid
+// event fails the whole batch with nothing staged.
+func (st *Staging) Append(events []Event) (touched int, err error) {
+	for i, ev := range events {
+		if err := ev.Validate(); err != nil {
+			return 0, fmt.Errorf("ingest: event %d: %w", i, err)
+		}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	dirty := make(map[changecube.FieldKey]*fieldBuf)
+	for _, ev := range events {
+		key := st.stage(ev)
+		dirty[key] = st.fields[key]
+	}
+	for _, buf := range dirty {
+		st.refilter(buf)
+	}
+	st.appended += uint64(len(events))
+	return len(dirty), nil
+}
+
+// stage interns one event into the cube and its field buffer. Caller holds
+// the mutex.
+func (st *Staging) stage(ev Event) changecube.FieldKey {
+	templateID := changecube.TemplateID(st.cube.Templates.Intern(ev.Template))
+	pageID := changecube.PageID(st.cube.Pages.Intern(ev.Page))
+	propID := changecube.PropertyID(st.cube.Properties.Intern(ev.Property))
+	ek := entityKey{pageID, templateID, ev.Infobox}
+	entity, ok := st.entIdx[ek]
+	if !ok {
+		entity = st.cube.AddEntity(templateID, pageID)
+		st.entIdx[ek] = entity
+		pt := pageTemplate{pageID, templateID}
+		if ev.Infobox >= st.ordinal[pt] {
+			st.ordinal[pt] = ev.Infobox + 1
+		}
+	}
+	ch := changecube.Change{
+		Time:     ev.Time,
+		Entity:   entity,
+		Property: propID,
+		Value:    ev.Value,
+		Kind:     ev.Kind,
+		Bot:      ev.Bot,
+	}
+	st.cube.Add(ch)
+	fk := changecube.FieldKey{Entity: entity, Property: propID}
+	buf, ok := st.fields[fk]
+	if !ok {
+		buf = &fieldBuf{}
+		st.fields[fk] = buf
+	}
+	// Insert preserving chronological order; equal timestamps keep arrival
+	// order, matching the cube's canonical stable sort within a field.
+	i := len(buf.raw)
+	for i > 0 && buf.raw[i-1].Time > ch.Time {
+		i--
+	}
+	buf.raw = append(buf.raw, changecube.Change{})
+	copy(buf.raw[i+1:], buf.raw[i:])
+	buf.raw[i] = ch
+	return fk
+}
+
+// refilter recomputes one field's funnel and folds the delta into the
+// aggregate counters. Caller holds the mutex. The funnel's Days slice is
+// freshly allocated on every recompute, so slices handed out by earlier
+// Snapshots stay valid.
+func (st *Staging) refilter(buf *fieldBuf) {
+	old := buf.funnel
+	oldEligible := len(old.Days) >= st.cfg.MinChanges
+	buf.funnel = filter.ApplyField(buf.raw, st.cfg)
+	newEligible := len(buf.funnel.Days) >= st.cfg.MinChanges
+
+	st.raw += buf.funnel.Raw - old.Raw
+	st.afterBots += buf.funnel.AfterBotReverts - old.AfterBotReverts
+	st.afterDedup += buf.funnel.AfterDayDedup - old.AfterDayDedup
+	st.afterCD += len(buf.funnel.Days) - len(old.Days)
+	if oldEligible {
+		st.afterMin -= len(old.Days)
+		st.eligible--
+	}
+	if newEligible {
+		st.afterMin += len(buf.funnel.Days)
+		st.eligible++
+	}
+}
+
+// Snapshot freezes the staging state: a deep clone of the cube plus the
+// HistorySet of every field currently clearing the MinChanges gate, with
+// funnel statistics identical (up to stage durations) to what a batch
+// filter.Apply over the same changes would report. The result is immutable
+// and safe to train on while appends continue.
+func (st *Staging) Snapshot() (*changecube.HistorySet, filter.Stats, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	clone := st.cube.Clone()
+	histories := make([]changecube.History, 0, st.eligible)
+	for key, buf := range st.fields {
+		if len(buf.funnel.Days) >= st.cfg.MinChanges {
+			histories = append(histories, changecube.History{Field: key, Days: buf.funnel.Days})
+		}
+	}
+	stats := filter.Stats{Stages: []filter.StageStats{
+		{Name: "bot reverts", In: st.raw, Out: st.afterBots},
+		{Name: "day dedup", In: st.afterBots, Out: st.afterDedup},
+		{Name: "create/delete", In: st.afterDedup, Out: st.afterCD},
+		{Name: "min changes", In: st.afterCD, Out: st.afterMin},
+	}}
+	if len(histories) == 0 {
+		return nil, stats, fmt.Errorf("ingest: no fields clear the %d-change gate yet", st.cfg.MinChanges)
+	}
+	hs, err := changecube.NewHistorySet(clone, histories)
+	if err != nil {
+		return nil, stats, fmt.Errorf("ingest: snapshot: %w", err)
+	}
+	return hs, stats, nil
+}
+
+// StagingStats is the point-in-time summary surfaced on /v1/ingest/stats.
+type StagingStats struct {
+	// Events is the total number of events appended.
+	Events uint64 `json:"events"`
+	// Changes is the number of raw staged changes (warm-start corpus
+	// included).
+	Changes int `json:"changes"`
+	// Fields is the number of distinct fields seen.
+	Fields int `json:"fields"`
+	// EligibleFields counts fields currently clearing the MinChanges gate.
+	EligibleFields int `json:"eligible_fields"`
+	// FilteredChanges is the day-level change count over eligible fields —
+	// the training-set size of the next retrain.
+	FilteredChanges int `json:"filtered_changes"`
+	// SpanStart/SpanEnd delimit the staged data (ISO dates; empty when no
+	// changes are staged).
+	SpanStart string `json:"span_start,omitempty"`
+	SpanEnd   string `json:"span_end,omitempty"`
+}
+
+// Stats returns the current staging summary.
+func (st *Staging) Stats() StagingStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := StagingStats{
+		Events:          st.appended,
+		Changes:         st.cube.NumChanges(),
+		Fields:          len(st.fields),
+		EligibleFields:  st.eligible,
+		FilteredChanges: st.afterMin,
+	}
+	if span := st.span(); span.Len() > 0 {
+		s.SpanStart = span.Start.String()
+		s.SpanEnd = span.End.String()
+	}
+	return s
+}
+
+// span is the day span over all filtered days. Caller holds the mutex.
+func (st *Staging) span() timeline.Span {
+	var first, last timeline.Day
+	seen := false
+	for _, buf := range st.fields {
+		if len(buf.funnel.Days) == 0 {
+			continue
+		}
+		f, l := buf.funnel.Days[0], buf.funnel.Days[len(buf.funnel.Days)-1]
+		if !seen || f < first {
+			first = f
+		}
+		if !seen || l > last {
+			last = l
+		}
+		seen = true
+	}
+	if !seen {
+		return timeline.Span{}
+	}
+	return timeline.Span{Start: first, End: last + 1}
+}

@@ -1,0 +1,268 @@
+package ingest
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/dataset"
+	"github.com/wikistale/wikistale/internal/filter"
+)
+
+// smallCube generates the shared test corpus.
+func smallCube(t *testing.T) *changecube.Cube {
+	t.Helper()
+	cube, _, err := dataset.Generate(dataset.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+// inOut strips a funnel report to the per-stage (In, Out) pairs — the part
+// that must match exactly between incremental and batch filtering
+// (durations never will).
+func inOut(s filter.Stats) [][2]int {
+	out := make([][2]int, len(s.Stages))
+	for i, st := range s.Stages {
+		out[i] = [2]int{st.In, st.Out}
+	}
+	return out
+}
+
+// fieldsOf strips a HistorySet to its (field, days) content.
+func fieldsOf(hs *changecube.HistorySet) []changecube.History {
+	return hs.Histories()
+}
+
+// TestStagingMatchesBatchFilter is the incremental-filter equivalence
+// check: streaming a corpus through Append in arbitrary batch sizes must
+// produce exactly the histories and funnel counts a batch filter.Apply
+// over the same cube reports.
+func TestStagingMatchesBatchFilter(t *testing.T) {
+	cube := smallCube(t)
+	events := CubeEvents(cube)
+	cfg := filter.Default()
+
+	st, err := NewStaging(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < len(events); {
+		n := 1 + rng.Intn(400)
+		if i+n > len(events) {
+			n = len(events) - i
+		}
+		if _, err := st.Append(events[i : i+n]); err != nil {
+			t.Fatal(err)
+		}
+		i += n
+	}
+
+	hs, stats, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchHS, batchStats, err := filter.Apply(hs.Cube(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := inOut(stats), inOut(batchStats); !reflect.DeepEqual(got, want) {
+		t.Fatalf("funnel mismatch:\nincremental %v\nbatch       %v", got, want)
+	}
+	if got, want := fieldsOf(hs), fieldsOf(batchHS); !reflect.DeepEqual(got, want) {
+		t.Fatalf("history mismatch: %d incremental vs %d batch fields", len(got), len(want))
+	}
+	if hs.Cube().NumChanges() != cube.NumChanges() {
+		t.Fatalf("staged %d changes, corpus has %d", hs.Cube().NumChanges(), cube.NumChanges())
+	}
+}
+
+// TestStagingWarmStartMatchesStream: seeding a Staging from an existing
+// cube must be indistinguishable from streaming that cube event by event.
+func TestStagingWarmStartMatchesStream(t *testing.T) {
+	cube := smallCube(t)
+	cfg := filter.Default()
+
+	warm, err := NewStagingFromCube(cube, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewStaging(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Append(CubeEvents(cube)); err != nil {
+		t.Fatal(err)
+	}
+
+	warmHS, warmStats, err := warm.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldHS, coldStats, err := cold.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inOut(warmStats), inOut(coldStats)) {
+		t.Fatalf("funnel mismatch:\nwarm %v\ncold %v", inOut(warmStats), inOut(coldStats))
+	}
+	if len(fieldsOf(warmHS)) != len(fieldsOf(coldHS)) {
+		t.Fatalf("field count mismatch: warm %d, cold %d", warmHS.Len(), coldHS.Len())
+	}
+	// Entity numbering can differ (generator order vs first-sight order),
+	// so compare day content keyed by names rather than raw FieldKeys.
+	type namedField struct{ page, template, property string }
+	days := func(hs *changecube.HistorySet) map[namedField]int {
+		c := hs.Cube()
+		m := make(map[namedField]int)
+		for _, h := range hs.Histories() {
+			info := c.Entity(h.Field.Entity)
+			k := namedField{
+				page:     c.Pages.Name(int32(info.Page)),
+				template: c.Templates.Name(int32(info.Template)),
+				property: c.Properties.Name(int32(h.Field.Property)),
+			}
+			m[k] += len(h.Days)
+		}
+		return m
+	}
+	if got, want := days(coldHS), days(warmHS); !reflect.DeepEqual(got, want) {
+		t.Fatal("per-field day counts differ between warm start and stream replay")
+	}
+}
+
+// TestStagingWarmStartDoesNotMutateCube: the seed cube must stay frozen
+// while the staging copy grows — the serving detector keeps reading it.
+func TestStagingWarmStartDoesNotMutateCube(t *testing.T) {
+	cube := smallCube(t)
+	before := cube.NumChanges()
+	st, err := NewStagingFromCube(cube, filter.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Event{
+		Time: cube.Span().End.Unix() + 3600, Page: "Fresh page", Template: "fresh template",
+		Property: "prop", Value: "v", Kind: changecube.Update,
+	}
+	if _, err := st.Append([]Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	if cube.NumChanges() != before {
+		t.Fatalf("seed cube grew from %d to %d changes", before, cube.NumChanges())
+	}
+	if st.Stats().Changes != before+1 {
+		t.Fatalf("staging has %d changes, want %d", st.Stats().Changes, before+1)
+	}
+}
+
+// TestStagingAppendAllOrNothing: one invalid event fails the whole batch
+// with nothing staged.
+func TestStagingAppendAllOrNothing(t *testing.T) {
+	st, err := NewStaging(filter.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Event{Time: 1000, Page: "p", Template: "t", Property: "x", Kind: changecube.Update}
+	bad := Event{Time: 1000, Page: "", Template: "t", Property: "x", Kind: changecube.Update}
+	if _, err := st.Append([]Event{good, bad}); err == nil {
+		t.Fatal("batch with invalid event accepted")
+	}
+	if got := st.Stats().Changes; got != 0 {
+		t.Fatalf("partial batch staged: %d changes", got)
+	}
+	if _, err := st.Append([]Event{good}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Changes; got != 1 {
+		t.Fatalf("changes = %d, want 1", got)
+	}
+}
+
+// TestSnapshotIsolation: a snapshot must be immune to later appends.
+func TestSnapshotIsolation(t *testing.T) {
+	cube := smallCube(t)
+	st, err := NewStagingFromCube(cube, filter.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, _, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	changesBefore := hs.Cube().NumChanges()
+	daysBefore := make([]int, hs.Len())
+	for i, h := range hs.Histories() {
+		daysBefore[i] = len(h.Days)
+	}
+
+	// Hammer every known field with fresh changes.
+	base := cube.Span().End.Unix()
+	var evs []Event
+	for i, ev := range CubeEvents(cube)[:200] {
+		ev.Time = base + int64(i+1)*3600
+		evs = append(evs, ev)
+	}
+	if _, err := st.Append(evs); err != nil {
+		t.Fatal(err)
+	}
+
+	if hs.Cube().NumChanges() != changesBefore {
+		t.Fatalf("snapshot cube grew: %d -> %d", changesBefore, hs.Cube().NumChanges())
+	}
+	for i, h := range hs.Histories() {
+		if len(h.Days) != daysBefore[i] {
+			t.Fatalf("snapshot history %d grew: %d -> %d days", i, daysBefore[i], len(h.Days))
+		}
+	}
+}
+
+// TestStagingOutOfOrderAppend: late-arriving events must land in
+// chronological position, not at the end.
+func TestStagingOutOfOrderAppend(t *testing.T) {
+	st, err := NewStaging(filter.Config{MinChanges: 1, BotRevertHorizonDays: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(day int64) Event {
+		return Event{Time: day * 86400, Page: "p", Template: "t", Property: "x",
+			Value: "v", Kind: changecube.Update}
+	}
+	if _, err := st.Append([]Event{mk(10), mk(5), mk(20), mk(15)}); err != nil {
+		t.Fatal(err)
+	}
+	hs, _, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hs.Histories()[0]
+	for i := 1; i < len(h.Days); i++ {
+		if h.Days[i] <= h.Days[i-1] {
+			t.Fatalf("days not increasing: %v", h.Days)
+		}
+	}
+	if len(h.Days) != 4 {
+		t.Fatalf("got %d days, want 4", len(h.Days))
+	}
+}
+
+// TestStagingStatsSpan: the staged span must cover the filtered days.
+func TestStagingStatsSpan(t *testing.T) {
+	cube := smallCube(t)
+	st, err := NewStagingFromCube(cube, filter.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if s.SpanStart == "" || s.SpanEnd == "" {
+		t.Fatalf("span missing from stats: %+v", s)
+	}
+	if s.EligibleFields == 0 || s.FilteredChanges < s.EligibleFields {
+		t.Fatalf("implausible stats: %+v", s)
+	}
+	if s.Changes != cube.NumChanges() {
+		t.Fatalf("changes = %d, want %d", s.Changes, cube.NumChanges())
+	}
+}

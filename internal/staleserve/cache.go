@@ -1,0 +1,107 @@
+package staleserve
+
+import (
+	"sync"
+
+	"github.com/wikistale/wikistale/internal/core"
+)
+
+// alertCacheSize bounds the per-epoch alert cache. A handful of dashboards
+// each polling their own (asof, window) key fit comfortably; an unbounded
+// map would let a crawler walking asof values pin every result set.
+const alertCacheSize = 8
+
+// alertCache memoizes DetectStale results for one epoch under a bounded
+// LRU, with singleflight collapsing of concurrent computations for the
+// same key. The cache lives inside its epoch, so a detector swap discards
+// it wholesale — no explicit invalidation protocol.
+type alertCache struct {
+	mu       sync.Mutex
+	cap      int
+	entries  map[string][]core.StaleAlert
+	order    []string // LRU order, least recent first
+	inflight map[string]*call
+}
+
+// call tracks one in-flight DetectStale computation.
+type call struct {
+	done chan struct{}
+	val  []core.StaleAlert
+}
+
+func newAlertCache(capacity int) *alertCache {
+	return &alertCache{
+		cap:      capacity,
+		entries:  make(map[string][]core.StaleAlert, capacity),
+		inflight: make(map[string]*call),
+	}
+}
+
+// counter is the subset of obs.Counter the cache needs; it keeps the
+// cache decoupled from metric registration, which stays in the Server.
+type counter interface{ Inc() }
+
+// get returns the cached alerts for key, computing them at most once per
+// key across concurrent callers. compute runs outside the cache lock.
+func (c *alertCache) get(key string, hits, misses, waits counter, compute func() []core.StaleAlert) []core.StaleAlert {
+	c.mu.Lock()
+	if val, ok := c.entries[key]; ok {
+		c.touch(key)
+		c.mu.Unlock()
+		hits.Inc()
+		return val
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		waits.Inc()
+		<-cl.done
+		return cl.val
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	misses.Inc()
+	cl.val = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.insert(key, cl.val)
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.val
+}
+
+// touch moves key to the most-recent end. Caller holds the lock.
+func (c *alertCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// insert stores a computed value, evicting the least recently used entry
+// when full. Caller holds the lock.
+func (c *alertCache) insert(key string, val []core.StaleAlert) {
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = val
+		c.touch(key)
+		return
+	}
+	if len(c.entries) >= c.cap && len(c.order) > 0 {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, evict)
+	}
+	c.entries[key] = val
+	c.order = append(c.order, key)
+}
+
+// len reports the number of cached entries (test hook).
+func (c *alertCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -54,17 +54,21 @@ type demoData struct {
 }
 
 func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
+	ep := s.requireEpoch(w)
+	if ep == nil {
+		return
+	}
 	page := r.URL.Query().Get("page")
 	if page == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("page is required"))
 		return
 	}
-	asOf, window, err := s.parseWindow(r)
+	asOf, window, err := ep.parseWindow(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	pageID, ok := s.cube.Pages.Lookup(page)
+	pageID, ok := ep.cube.Pages.Lookup(page)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown page"))
 		return
@@ -72,15 +76,15 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 
 	// Collect the page's fields from the observed histories.
 	data := demoData{Page: page, Window: window, AsOf: asOf.String()}
-	for _, h := range s.det.Histories().Histories() {
-		if s.cube.Page(h.Field.Entity) != changecube.PageID(pageID) {
+	for _, h := range ep.det.Histories().Histories() {
+		if ep.cube.Page(h.Field.Entity) != changecube.PageID(pageID) {
 			continue
 		}
 		if data.Template == "" {
-			data.Template = s.cube.Templates.Name(int32(s.cube.Template(h.Field.Entity)))
+			data.Template = ep.cube.Templates.Name(int32(ep.cube.Template(h.Field.Entity)))
 		}
 		data.Fields = append(data.Fields, demoField{
-			Property:    s.cube.Properties.Name(int32(h.Field.Property)),
+			Property:    ep.cube.Properties.Name(int32(h.Field.Property)),
 			LastChanged: h.Days[len(h.Days)-1].String(),
 		})
 	}
@@ -92,11 +96,11 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 	for i := range data.Fields {
 		byProp[data.Fields[i].Property] = &data.Fields[i]
 	}
-	for _, a := range s.alerts(asOf, window) {
-		if s.cube.Page(a.Field.Entity) != changecube.PageID(pageID) {
+	for _, a := range s.alerts(ep, asOf, window) {
+		if ep.cube.Page(a.Field.Entity) != changecube.PageID(pageID) {
 			continue
 		}
-		prop := s.cube.Properties.Name(int32(a.Field.Property))
+		prop := ep.cube.Properties.Name(int32(a.Field.Property))
 		f, ok := byProp[prop]
 		if !ok {
 			// Rule consequents without history still deserve a row.

@@ -286,15 +286,22 @@ func TestFieldHistoryIndexMatchesScan(t *testing.T) {
 	if s == nil {
 		t.Skip("shared server not initialized")
 	}
-	if len(s.histIdx) == 0 {
+	ep := s.epoch()
+	if ep == nil {
+		t.Fatal("no epoch installed")
+	}
+	if len(ep.histIdx) == 0 {
 		t.Fatal("history index empty")
 	}
-	for k, h := range s.histIdx {
-		if s.cube.Page(h.Field.Entity) != k.page || h.Field.Property != k.prop {
+	for k, h := range ep.histIdx {
+		if ep.cube.Page(h.Field.Entity) != k.page || h.Field.Property != k.prop {
 			t.Fatalf("index entry %+v holds mismatched history %+v", k, h.Field)
 		}
+		if !ep.known[k] {
+			t.Fatalf("index entry %+v missing from known-field set", k)
+		}
 	}
-	if len(s.histIdx) > s.det.Histories().Len() {
-		t.Fatalf("index larger than history set: %d > %d", len(s.histIdx), s.det.Histories().Len())
+	if len(ep.histIdx) > ep.det.Histories().Len() {
+		t.Fatalf("index larger than history set: %d > %d", len(ep.histIdx), ep.det.Histories().Len())
 	}
 }

@@ -1,8 +1,15 @@
 // Package staleserve exposes a trained detector over HTTP — the service
 // behind the paper's Figure 1: a reader-facing marker asking "is this
 // infobox value possibly out of date?", plus editor-facing listings of
-// everything currently stale. Responses are JSON; all state is read-only
-// after construction, so handlers are safe for concurrent use.
+// everything currently stale. Responses are JSON.
+//
+// The detector is held in an atomically swappable epoch: the trained
+// model, its (page, property) → history index, and its alert cache travel
+// together behind one atomic pointer, so a live retrain (internal/ingest)
+// can hot-swap a fresh model with zero downtime and no request ever
+// observing a mixed detector/index state. Handlers load the epoch once per
+// request and use it throughout; all per-epoch state is read-only after
+// construction apart from the alert cache, which has its own lock.
 //
 // Every request passes through a metrics middleware (request counts,
 // status classes, a latency histogram, an in-flight gauge); GET /metrics
@@ -18,7 +25,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/wikistale/wikistale/internal/changecube"
@@ -54,56 +61,63 @@ type pageProp struct {
 	prop changecube.PropertyID
 }
 
-// call is one in-flight DetectStale computation; waiters block on done
-// and then read val (written before done is closed).
-type call struct {
-	done chan struct{}
-	val  []core.StaleAlert
-}
-
-// Server serves a trained detector.
-type Server struct {
+// epoch is one served detector generation. Everything a request needs —
+// the detector, the cube it references, the lookup indexes, and the alert
+// cache — lives together, so an atomic swap replaces all of it at once: a
+// swap invalidates cached alerts and field lookups as a unit.
+type epoch struct {
+	seq  uint64
 	det  *core.Detector
 	cube *changecube.Cube
-	mux  *http.ServeMux
-	reg  *obs.Registry
 
-	// histIdx resolves /v1/field lookups in O(1); built once in New.
-	// Where a page carries several infoboxes sharing a property name, the
-	// first history in field order wins, matching the previous scan.
+	// histIdx resolves /v1/field lookups in O(1). Where a page carries
+	// several infoboxes sharing a property name, the first history in
+	// field order wins.
 	histIdx map[pageProp]changecube.History
+	// known marks every (page, property) pair the detector can say
+	// anything about: observed histories plus history-less rule
+	// consequents. Pairs outside this set 404 on /v1/field.
+	known map[pageProp]bool
 
-	// mu guards the single-entry alert cache and the in-flight table. The
-	// DetectStale computation itself runs outside the lock; duplicate
-	// requests for the same key wait on the existing call instead of
-	// recomputing (singleflight).
-	mu       sync.Mutex
-	cacheKey string
-	cacheVal []core.StaleAlert
-	inflight map[string]*call
+	cache *alertCache
+}
+
+// Server serves a trained detector behind an atomically swappable epoch.
+type Server struct {
+	mux *http.ServeMux
+	reg *obs.Registry
+
+	// ep is nil until the first Swap (live cold start); handlers answer
+	// 503 in that state.
+	ep   atomic.Pointer[epoch]
+	seqs atomic.Uint64
+
+	// ingestStats, when set, backs /v1/ingest/stats.
+	ingestStats func() any
 
 	inFlightGauge *obs.Gauge
 	cacheHits     *obs.Counter
 	cacheMisses   *obs.Counter
 	cacheWaits    *obs.Counter
+	swapsTotal    *obs.Counter
+	epochGauge    *obs.Gauge
 }
 
 // New constructs a server over a trained detector, recording metrics into
 // the default obs registry.
 func New(det *core.Detector) *Server {
+	s := NewLive()
+	s.Swap(det)
+	return s
+}
+
+// NewLive constructs a server with no detector yet: every data endpoint
+// answers 503 and /readyz reports not-ready until the first Swap. This is
+// the cold-start entry point for live ingestion.
+func NewLive() *Server {
 	s := &Server{
-		det:      det,
-		cube:     det.Histories().Cube(),
-		mux:      http.NewServeMux(),
-		reg:      obs.Default,
-		inflight: make(map[string]*call),
-	}
-	s.histIdx = make(map[pageProp]changecube.History, det.Histories().Len())
-	for _, h := range det.Histories().Histories() {
-		k := pageProp{page: s.cube.Page(h.Field.Entity), prop: h.Field.Property}
-		if _, ok := s.histIdx[k]; !ok {
-			s.histIdx[k] = h
-		}
+		mux: http.NewServeMux(),
+		reg: obs.Default,
 	}
 
 	s.reg.SetHelp("wikistale_http_requests_total", "HTTP requests served, by route and method.")
@@ -113,15 +127,21 @@ func New(det *core.Detector) *Server {
 	s.reg.SetHelp("wikistale_alert_cache_hits_total", "DetectStale calls answered from the alert cache.")
 	s.reg.SetHelp("wikistale_alert_cache_misses_total", "DetectStale calls that ran the detector.")
 	s.reg.SetHelp("wikistale_alert_cache_waits_total", "DetectStale calls that waited on an identical in-flight computation.")
+	s.reg.SetHelp("wikistale_detector_swaps_total", "Detector epochs installed (initial load included).")
+	s.reg.SetHelp("wikistale_detector_epoch", "Sequence number of the currently served detector epoch.")
 	s.inFlightGauge = s.reg.Gauge("wikistale_http_in_flight", nil)
 	s.cacheHits = s.reg.Counter("wikistale_alert_cache_hits_total", nil)
 	s.cacheMisses = s.reg.Counter("wikistale_alert_cache_misses_total", nil)
 	s.cacheWaits = s.reg.Counter("wikistale_alert_cache_waits_total", nil)
+	s.swapsTotal = s.reg.Counter("wikistale_detector_swaps_total", nil)
+	s.epochGauge = s.reg.Gauge("wikistale_detector_epoch", nil)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /v1/stale", s.handleStale)
 	s.mux.HandleFunc("GET /v1/field", s.handleField)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/ingest/stats", s.handleIngestStats)
 	s.mux.HandleFunc("GET /demo", s.handleDemo)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -132,18 +152,66 @@ func New(det *core.Detector) *Server {
 	return s
 }
 
+// Swap atomically installs a freshly trained detector as the new serving
+// epoch. In-flight requests finish on the epoch they started with; new
+// requests see the new detector, a new field index, and an empty alert
+// cache. Safe to call from any goroutine — this is the callback live
+// ingestion hands to ingest.NewManager.
+func (s *Server) Swap(det *core.Detector) {
+	cube := det.Histories().Cube()
+	ep := &epoch{
+		seq:     s.seqs.Add(1),
+		det:     det,
+		cube:    cube,
+		histIdx: make(map[pageProp]changecube.History, det.Histories().Len()),
+		known:   make(map[pageProp]bool, det.Histories().Len()),
+		cache:   newAlertCache(alertCacheSize),
+	}
+	for _, h := range det.Histories().Histories() {
+		k := pageProp{page: cube.Page(h.Field.Entity), prop: h.Field.Property}
+		if _, ok := ep.histIdx[k]; !ok {
+			ep.histIdx[k] = h
+		}
+		ep.known[k] = true
+	}
+	// History-less rule consequents are also answerable: association rules
+	// cover them without any recorded history (a freshly created infobox
+	// gets coverage from day one).
+	consequents := make(map[changecube.TemplateID][]changecube.PropertyID)
+	for _, r := range det.AssociationRules().Rules() {
+		consequents[r.Template] = append(consequents[r.Template], r.Consequent)
+	}
+	for entity := range det.Histories().ByEntity() {
+		for _, prop := range consequents[cube.Template(entity)] {
+			ep.known[pageProp{page: cube.Page(entity), prop: prop}] = true
+		}
+	}
+	s.ep.Store(ep)
+	s.swapsTotal.Inc()
+	s.epochGauge.Set(float64(ep.seq))
+}
+
+// SetIngestStats wires the /v1/ingest/stats payload (typically
+// ingest.Manager.Stats); without it the endpoint 404s.
+func (s *Server) SetIngestStats(fn func() any) { s.ingestStats = fn }
+
+// epoch returns the current serving epoch, or nil before the first Swap.
+func (s *Server) epoch() *epoch { return s.ep.Load() }
+
 // Handler returns the HTTP handler, wrapped in the metrics middleware.
 func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 
 // knownRoutes bounds the cardinality of the route label: anything not
 // listed (scans, typos) is reported as "other".
 var knownRoutes = map[string]bool{
-	"/healthz":  true,
-	"/v1/stale": true,
-	"/v1/field": true,
-	"/v1/stats": true,
-	"/demo":     true,
-	"/metrics":  true,
+	"/healthz":         true,
+	"/readyz":          true,
+	"/v1/stale":        true,
+	"/v1/field":        true,
+	"/v1/stats":        true,
+	"/v1/ingest/stats": true,
+	"/demo":            true,
+	"/metrics":         true,
 }
 
 func routeLabel(path string) string {
@@ -209,17 +277,57 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.reg.WritePrometheus(w)
 }
 
+// requireEpoch returns the serving epoch, answering 503 when none is
+// installed yet (live cold start before the first successful retrain).
+func (s *Server) requireEpoch(w http.ResponseWriter) *epoch {
+	ep := s.epoch()
+	if ep == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("no detector yet: live ingestion is still warming up"))
+	}
+	return ep
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{"status": "ok"}
+	if ep := s.epoch(); ep != nil {
+		body["fields"] = ep.det.Histories().Len()
+		body["epoch"] = ep.seq
+	} else {
+		body["fields"] = 0
+		body["epoch"] = 0
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReady is the readiness probe: 200 once a detector is installed,
+// 503 while a live cold start is still accumulating data.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	ep := s.epoch()
+	if ep == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"fields": s.det.Histories().Len(),
+		"ready":  true,
+		"epoch":  ep.seq,
+		"fields": ep.det.Histories().Len(),
 	})
 }
 
+func (s *Server) handleIngestStats(w http.ResponseWriter, _ *http.Request) {
+	if s.ingestStats == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("not running in live mode"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ingestStats())
+}
+
 // parseWindow extracts the asof/window parameters shared by the staleness
-// endpoints. asof defaults to the end of the data; window to 7 days.
-func (s *Server) parseWindow(r *http.Request) (timeline.Day, int, error) {
-	asOf := s.det.Histories().Span().End
+// endpoints. asof defaults to the end of the epoch's data; window to 7
+// days.
+func (ep *epoch) parseWindow(r *http.Request) (timeline.Day, int, error) {
+	asOf := ep.det.Histories().Span().End
 	if v := r.URL.Query().Get("asof"); v != "" {
 		t, err := time.Parse("2006-01-02", v)
 		if err != nil {
@@ -238,42 +346,24 @@ func (s *Server) parseWindow(r *http.Request) (timeline.Day, int, error) {
 	return asOf, window, nil
 }
 
-// alerts runs DetectStale with a single-entry cache: dashboards poll the
-// same (asof, window) repeatedly. The computation runs outside the lock,
-// and concurrent requests for the same key share one computation instead
-// of piling up behind the mutex (cache hits never block on a slow miss).
-func (s *Server) alerts(asOf timeline.Day, window int) []core.StaleAlert {
+// alerts runs DetectStale through the epoch's bounded LRU cache:
+// dashboards poll a handful of (asof, window) keys repeatedly, and two
+// dashboards on different keys must not thrash each other. Concurrent
+// requests for the same key share one computation (singleflight), and the
+// computation runs outside the cache lock.
+func (s *Server) alerts(ep *epoch, asOf timeline.Day, window int) []core.StaleAlert {
 	key := fmt.Sprintf("%d/%d", asOf, window)
-	s.mu.Lock()
-	if s.cacheKey == key {
-		val := s.cacheVal
-		s.mu.Unlock()
-		s.cacheHits.Inc()
-		return val
-	}
-	if c, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
-		s.cacheWaits.Inc()
-		<-c.done
-		return c.val
-	}
-	c := &call{done: make(chan struct{})}
-	s.inflight[key] = c
-	s.mu.Unlock()
-
-	s.cacheMisses.Inc()
-	c.val = s.det.DetectStale(asOf, window)
-
-	s.mu.Lock()
-	s.cacheKey, s.cacheVal = key, c.val
-	delete(s.inflight, key)
-	s.mu.Unlock()
-	close(c.done)
-	return c.val
+	return ep.cache.get(key, s.cacheHits, s.cacheMisses, s.cacheWaits, func() []core.StaleAlert {
+		return ep.det.DetectStale(asOf, window)
+	})
 }
 
 func (s *Server) handleStale(w http.ResponseWriter, r *http.Request) {
-	asOf, window, err := s.parseWindow(r)
+	ep := s.requireEpoch(w)
+	if ep == nil {
+		return
+	}
+	asOf, window, err := ep.parseWindow(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -285,27 +375,28 @@ func (s *Server) handleStale(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	alerts := s.alerts(asOf, window)
+	alerts := s.alerts(ep, asOf, window)
 	out := make([]Alert, 0, len(alerts))
 	for i, a := range alerts {
 		if limit > 0 && i >= limit {
 			break
 		}
-		out = append(out, s.render(a))
+		out = append(out, ep.render(a))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"asof":   asOf.String(),
 		"window": window,
+		"epoch":  ep.seq,
 		"total":  len(alerts),
 		"alerts": out,
 	})
 }
 
-func (s *Server) render(a core.StaleAlert) Alert {
+func (ep *epoch) render(a core.StaleAlert) Alert {
 	return Alert{
-		Page:        s.cube.Pages.Name(int32(s.cube.Page(a.Field.Entity))),
-		Template:    s.cube.Templates.Name(int32(s.cube.Template(a.Field.Entity))),
-		Property:    s.cube.Properties.Name(int32(a.Field.Property)),
+		Page:        ep.cube.Pages.Name(int32(ep.cube.Page(a.Field.Entity))),
+		Template:    ep.cube.Templates.Name(int32(ep.cube.Template(a.Field.Entity))),
+		Property:    ep.cube.Properties.Name(int32(a.Field.Property)),
 		WindowStart: a.Window.Start.String(),
 		WindowEnd:   a.Window.End.String(),
 		Sources:     a.Sources,
@@ -316,30 +407,42 @@ func (s *Server) render(a core.StaleAlert) Alert {
 // handleField is the marker lookup: given page and property, is the value
 // possibly out of date right now?
 func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
+	ep := s.requireEpoch(w)
+	if ep == nil {
+		return
+	}
 	page := r.URL.Query().Get("page")
 	property := r.URL.Query().Get("property")
 	if page == "" || property == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("page and property are required"))
 		return
 	}
-	asOf, window, err := s.parseWindow(r)
+	asOf, window, err := ep.parseWindow(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	pageID, okPage := s.cube.Pages.Lookup(page)
-	propID, okProp := s.cube.Properties.Lookup(property)
+	pageID, okPage := ep.cube.Pages.Lookup(page)
+	propID, okProp := ep.cube.Properties.Lookup(property)
 	if !okPage || !okProp {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown page or property"))
 		return
 	}
+	k := pageProp{page: changecube.PageID(pageID), prop: changecube.PropertyID(propID)}
+	if !ep.known[k] {
+		// Both names exist somewhere in the corpus, but this page carries
+		// no such observed field — a zero-value 200 here would read as "not
+		// stale" when the detector actually knows nothing about the pair.
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("page %q has no observed field %q", page, property))
+		return
+	}
 	status := FieldStatus{Page: page, Property: property}
-	if h, ok := s.fieldHistory(changecube.PageID(pageID), changecube.PropertyID(propID)); ok {
+	if h, ok := ep.histIdx[k]; ok {
 		status.LastChanged = h.Days[len(h.Days)-1].String()
 	}
-	for _, a := range s.alerts(asOf, window) {
-		if s.cube.Page(a.Field.Entity) == changecube.PageID(pageID) &&
-			a.Field.Property == changecube.PropertyID(propID) {
+	for _, a := range s.alerts(ep, asOf, window) {
+		if ep.cube.Page(a.Field.Entity) == k.page && a.Field.Property == k.prop {
 			status.Stale = true
 			status.Explanation = a.Explanation
 			break
@@ -348,22 +451,22 @@ func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, status)
 }
 
-func (s *Server) fieldHistory(page changecube.PageID, prop changecube.PropertyID) (changecube.History, bool) {
-	h, ok := s.histIdx[pageProp{page: page, prop: prop}]
-	return h, ok
-}
-
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	stats := s.det.FilterStats()
+	ep := s.requireEpoch(w)
+	if ep == nil {
+		return
+	}
+	stats := ep.det.FilterStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"fields":            s.det.Histories().Len(),
-		"changes":           s.det.Histories().TotalChanges(),
+		"epoch":             ep.seq,
+		"fields":            ep.det.Histories().Len(),
+		"changes":           ep.det.Histories().TotalChanges(),
 		"survival":          stats.Survival(),
-		"correlation_rules": s.det.FieldCorrelations().NumRules(),
-		"association_rules": s.det.AssociationRules().NumRules(),
-		"covered_pages":     s.det.AssociationRules().CoveredPages(s.cube),
-		"span_start":        s.det.Histories().Span().Start.String(),
-		"span_end":          s.det.Histories().Span().End.String(),
+		"correlation_rules": ep.det.FieldCorrelations().NumRules(),
+		"association_rules": ep.det.AssociationRules().NumRules(),
+		"covered_pages":     ep.det.AssociationRules().CoveredPages(ep.cube),
+		"span_start":        ep.det.Histories().Span().Start.String(),
+		"span_end":          ep.det.Histories().Span().End.String(),
 	})
 }
 
