@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/wikistale/wikistale/internal/apriori"
 	"github.com/wikistale/wikistale/internal/assocrules"
 	"github.com/wikistale/wikistale/internal/changecube"
 	"github.com/wikistale/wikistale/internal/correlation"
@@ -21,6 +22,7 @@ import (
 	"github.com/wikistale/wikistale/internal/eval"
 	"github.com/wikistale/wikistale/internal/experiments"
 	"github.com/wikistale/wikistale/internal/filter"
+	"github.com/wikistale/wikistale/internal/ingest"
 	"github.com/wikistale/wikistale/internal/predict"
 	"github.com/wikistale/wikistale/internal/revision"
 	"github.com/wikistale/wikistale/internal/timeline"
@@ -184,17 +186,43 @@ func BenchmarkDatasetGenerate(b *testing.B) {
 	}
 }
 
-// BenchmarkCorrelationTrain measures the page-local pairwise correlation
-// search on the training span.
-func BenchmarkCorrelationTrain(b *testing.B) {
+// BenchmarkTrainCorrelation measures the page-local pairwise correlation
+// search on the training span — the dominant cost of one (re)train.
+func BenchmarkTrainCorrelation(b *testing.B) {
 	c := corpus(b)
 	b.ResetTimer()
+	var rules int
 	for i := 0; i < b.N; i++ {
-		_, err := correlation.Train(c.Filtered, c.Detector.Splits().TrainVal, c.CoreCfg.Correlation)
+		p, err := correlation.Train(c.Filtered, c.Detector.Splits().TrainVal, c.CoreCfg.Correlation)
 		if err != nil {
 			b.Fatal(err)
 		}
+		rules = p.NumRules()
 	}
+	b.ReportMetric(float64(rules), "rules")
+}
+
+// BenchmarkMineApriori measures the raw Apriori mining step over the
+// per-template (infobox, week) transactions of the training span — the
+// inner loop of assocrules.Train and of every Apriori grid point.
+func BenchmarkMineApriori(b *testing.B) {
+	c := corpus(b)
+	cfg := c.CoreCfg.AssocRules
+	txns := assocrules.BuildTransactions(c.Filtered, c.Detector.Splits().TrainVal, cfg.PeriodDays)
+	mineCfg := apriori.Config{MinSupport: cfg.MinSupport, MinConfidence: cfg.MinConfidence, MaxLen: 2}
+	b.ResetTimer()
+	var rules int
+	for i := 0; i < b.N; i++ {
+		rules = 0
+		for _, ts := range txns {
+			mined, err := apriori.Mine(ts, mineCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rules += len(mined)
+		}
+	}
+	b.ReportMetric(float64(rules), "rules")
 }
 
 // BenchmarkDetectStale measures the deployment operation: one full scan
@@ -410,6 +438,75 @@ func BenchmarkIngestDailyBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(batch)), "batch-changes")
+}
+
+// BenchmarkLiveRetrain measures the live path's retrain-to-swap latency
+// after a small daily delta: the full TrainFiltered pipeline over a warm
+// staging snapshot, comparing a forced full rebuild against the
+// incremental path that reuses untouched pages' correlation rules. Both
+// produce bit-identical detectors (see TestIncrementalRetrainEquivalence).
+func BenchmarkLiveRetrain(b *testing.B) {
+	c := corpus(b)
+	st, err := ingest.NewStagingFromCube(c.Cube, c.CoreCfg.Filter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs0, stats0, err := st.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev, err := core.TrainFiltered(hs0, stats0, c.CoreCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A small delta: one fresh update on every ~100th known field, one
+	// second past the corpus end.
+	cube := hs0.Cube()
+	end := hs0.Span().End
+	var events []ingest.Event
+	for i, h := range hs0.Histories() {
+		if i%100 != 0 {
+			continue
+		}
+		info := cube.Entity(h.Field.Entity)
+		events = append(events, ingest.Event{
+			Time:     end.Unix() + int64(i),
+			Page:     cube.Pages.Name(int32(info.Page)),
+			Template: cube.Templates.Name(int32(info.Template)),
+			Property: cube.Properties.Name(int32(h.Field.Property)),
+			Value:    "v",
+			Kind:     changecube.Update,
+		})
+	}
+	if _, err := st.Append(events); err != nil {
+		b.Fatal(err)
+	}
+	hs, stats, dirty, err := st.SnapshotDelta()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name      string
+		forceFull bool
+	}{{"full", true}, {"incremental", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var reused int
+			for i := 0; i < b.N; i++ {
+				det, err := core.TrainFilteredHinted(hs, stats, c.CoreCfg, core.TrainHints{
+					Incremental: true,
+					Prev:        prev,
+					DirtyFields: dirty,
+					ForceFull:   mode.forceFull,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reused = det.CorrelationRetrain().PagesReused
+			}
+			b.ReportMetric(float64(reused), "pages-reused")
+			b.ReportMetric(float64(len(dirty)), "dirty-fields")
+		})
+	}
 }
 
 // BenchmarkCubeStoreCommit measures committing a daily segment to the

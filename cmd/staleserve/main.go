@@ -66,11 +66,13 @@ func main() {
 		follow         = flag.Bool("follow", false, "tail the JSONL source for new events instead of stopping at its end")
 		retrainEvery   = flag.Duration("retrain-every", 15*time.Second, "live mode: retrain at most this often while changes are pending (0 disables)")
 		retrainChanges = flag.Int("retrain-changes", 5000, "live mode: retrain after this many new changes (0 disables)")
+		retrainInc     = flag.Bool("retrain-incremental", true, "live mode: reuse untouched pages' correlation rules between retrains (bit-identical, faster)")
+		retrainFull    = flag.Int("retrain-full-every", 32, "live mode: force a full rebuild after this many incremental retrains (0 never)")
 	)
 	flag.Parse()
 
 	if *live {
-		runLive(*source, *in, *addr, *drain, *follow, *retrainEvery, *retrainChanges)
+		runLive(*source, *in, *addr, *drain, *follow, *retrainEvery, *retrainChanges, *retrainInc, *retrainFull)
 		return
 	}
 	if *in == "" {
@@ -99,7 +101,7 @@ func runBatch(in, model, addr string, drain time.Duration, verbose bool) {
 }
 
 // runLive wires feed → staging → background retrains → epoch hot-swaps.
-func runLive(source, warmCube, addr string, drain time.Duration, follow bool, retrainEvery time.Duration, retrainChanges int) {
+func runLive(source, warmCube, addr string, drain time.Duration, follow bool, retrainEvery time.Duration, retrainChanges int, retrainInc bool, retrainFull int) {
 	cfg := core.DefaultConfig()
 
 	var src ingest.Source
@@ -146,7 +148,13 @@ func runLive(source, warmCube, addr string, drain time.Duration, follow bool, re
 		fmt.Fprintln(os.Stderr, "live: cold start; not ready until enough history has streamed in")
 	}
 
-	mcfg := ingest.Config{Train: cfg, RetrainInterval: retrainEvery, RetrainChanges: retrainChanges}
+	mcfg := ingest.Config{
+		Train:            cfg,
+		RetrainInterval:  retrainEvery,
+		RetrainChanges:   retrainChanges,
+		Incremental:      retrainInc,
+		FullRebuildEvery: retrainFull,
+	}
 	mgr := ingest.NewManager(src, st, srv.Swap, mcfg)
 	srv.SetIngestStats(func() any { return mgr.Stats() })
 

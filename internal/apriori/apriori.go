@@ -4,6 +4,14 @@
 // identifiers; transactions are sorted, duplicate-free item slices. The
 // association-rule predictor uses it with itemsets of size two to obtain
 // the paper's unary rules, but the miner is general.
+//
+// Candidate counting uses vertical TID bitmaps (see bitmap.go): items are
+// interned to dense IDs, each frequent item carries a bitmap of the
+// transactions containing it, and a candidate's support is the popcount
+// of the AND of its members' bitmaps, counted in parallel over a bounded
+// worker pool. The output is bit-identical to the classic horizontal
+// counting pass retained in classic.go as the differential-testing
+// reference.
 package apriori
 
 import (
@@ -20,15 +28,6 @@ type Transaction []Item
 
 // Itemset is a sorted, duplicate-free set of items.
 type Itemset []Item
-
-// key encodes an itemset as a map key.
-func (s Itemset) key() string {
-	b := make([]byte, 0, len(s)*4)
-	for _, it := range s {
-		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
-	}
-	return string(b)
-}
 
 // Contains reports whether the sorted itemset contains item.
 func (s Itemset) Contains(it Item) bool {
@@ -102,72 +101,80 @@ func (c Config) Validate() error {
 // count that is genuinely under the threshold.
 const supportEpsilon = 1e-9
 
+// minCountFor converts a relative support into the integer count
+// threshold, with an epsilon guard: at exact-support boundaries the
+// product can land a hair above the true integer (0.07 * 100 =
+// 7.000000000000001), and a naive ceiling would inflate the threshold by
+// one and silently drop qualifying itemsets.
+func minCountFor(minSupport float64, n int) int {
+	minCount := int(math.Ceil(minSupport*float64(n) - supportEpsilon))
+	if minCount < 1 {
+		minCount = 1
+	}
+	return minCount
+}
+
 // FrequentItemsets mines all itemsets with relative support >= minSupport
-// and size <= maxLen, level-wise with subset pruning. The result is sorted
-// by size, then lexicographically.
+// and size <= maxLen, level-wise with subset pruning over vertical TID
+// bitmaps. The result is sorted by size, then lexicographically.
 func FrequentItemsets(txns []Transaction, minSupport float64, maxLen int) []Support {
 	if len(txns) == 0 || minSupport <= 0 {
 		return nil
 	}
-	// minCount is ceil(minSupport * len(txns)), with an epsilon guard: at
-	// exact-support boundaries the product can land a hair above the true
-	// integer (0.07 * 100 = 7.000000000000001), and a naive ceiling would
-	// inflate the threshold by one and silently drop qualifying itemsets.
-	minCount := int(math.Ceil(minSupport*float64(len(txns)) - supportEpsilon))
-	if minCount < 1 {
-		minCount = 1
-	}
+	minCount := minCountFor(minSupport, len(txns))
+	v := newVertical(txns, minCount)
 
-	// L1.
-	singles := make(map[Item]int)
-	for _, t := range txns {
-		for _, it := range t {
-			singles[it]++
-		}
-	}
+	// L1: the vertical layout keeps only frequent singles, in item order.
 	var frequent []Support
-	level := make(map[string]int)
-	var levelSets []Itemset
-	for it, c := range singles {
-		if c >= minCount {
-			levelSets = append(levelSets, Itemset{it})
-			level[Itemset{it}.key()] = c
-		}
-	}
-	sortItemsets(levelSets)
-	for _, s := range levelSets {
-		frequent = append(frequent, Support{Items: s, Count: level[s.key()]})
+	prevSets := make([]Itemset, len(v.items))
+	for j := range v.items {
+		prevSets[j] = Itemset{Item(j)}
+		frequent = append(frequent, Support{Items: Itemset{v.items[j]}, Count: v.counts[j]})
 	}
 
-	prev := level
-	prevSets := levelSets
+	// Levels k >= 2 work entirely in dense-ID space. Dense IDs are
+	// assigned in ascending item order, so lexicographic order is
+	// preserved and candidate generation emits sorted levels.
 	for k := 2; k <= maxLen && len(prevSets) >= 2; k++ {
-		candidates := generateCandidates(prevSets, prev)
+		candidates := generateCandidates(prevSets)
 		if len(candidates) == 0 {
 			break
 		}
-		counts := countCandidates(txns, candidates, k)
-		level = make(map[string]int)
-		levelSets = levelSets[:0]
+		counts := v.countCandidates(candidates)
+		var level []Itemset
 		for i, c := range candidates {
 			if counts[i] >= minCount {
-				level[c.key()] = counts[i]
-				levelSets = append(levelSets, c)
+				level = append(level, c)
+				frequent = append(frequent, Support{Items: v.original(c), Count: counts[i]})
 			}
 		}
-		sortItemsets(levelSets)
-		for _, s := range levelSets {
-			frequent = append(frequent, Support{Items: s, Count: level[s.key()]})
-		}
-		prev = level
-		prevSets = append([]Itemset(nil), levelSets...)
+		prevSets = level
 	}
 	return frequent
 }
 
 // generateCandidates joins the (k-1)-itemsets that share their first k-2
-// items and prunes candidates having an infrequent (k-1)-subset.
-func generateCandidates(prevSets []Itemset, prev map[string]int) []Itemset {
+// items and prunes candidates having an infrequent (k-1)-subset. prevSets
+// must be lexicographically sorted; the output is too: the outer index
+// fixes the prefix in ascending order and the inner index appends
+// ascending last elements.
+func generateCandidates(prevSets []Itemset) []Itemset {
+	if len(prevSets) > 0 && len(prevSets[0]) == 1 {
+		// k == 2 fast path: every ordered pair of frequent singles joins
+		// (the empty prefixes trivially match), and both 1-subsets of a
+		// pair are frequent by construction, so subset pruning can never
+		// fire. One backing array serves all candidates.
+		m := len(prevSets)
+		out := make([]Itemset, 0, m*(m-1)/2)
+		backing := make([]Item, 0, m*(m-1))
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				backing = append(backing, prevSets[i][0], prevSets[j][0])
+				out = append(out, Itemset(backing[len(backing)-2:]))
+			}
+		}
+		return out
+	}
 	var out []Itemset
 	for i := 0; i < len(prevSets); i++ {
 		for j := i + 1; j < len(prevSets); j++ {
@@ -177,14 +184,14 @@ func generateCandidates(prevSets []Itemset, prev map[string]int) []Itemset {
 				// diverge, later j cannot match either.
 				break
 			}
-			cand := make(Itemset, len(a)+1)
-			copy(cand, a)
 			last := b[len(b)-1]
 			if last <= a[len(a)-1] {
 				continue
 			}
+			cand := make(Itemset, len(a)+1)
+			copy(cand, a)
 			cand[len(a)] = last
-			if hasInfrequentSubset(cand, prev) {
+			if hasInfrequentSubset(cand, prevSets) {
 				continue
 			}
 			out = append(out, cand)
@@ -203,8 +210,9 @@ func samePrefix(a, b Itemset) bool {
 }
 
 // hasInfrequentSubset checks the Apriori pruning condition: every (k-1)-
-// subset of cand must be frequent.
-func hasInfrequentSubset(cand Itemset, prev map[string]int) bool {
+// subset of cand must be frequent, i.e. present in the sorted previous
+// level.
+func hasInfrequentSubset(cand Itemset, prevSets []Itemset) bool {
 	sub := make(Itemset, len(cand)-1)
 	for skip := range cand {
 		sub = sub[:0]
@@ -213,61 +221,46 @@ func hasInfrequentSubset(cand Itemset, prev map[string]int) bool {
 				sub = append(sub, it)
 			}
 		}
-		if _, ok := prev[sub.key()]; !ok {
+		if !containsItemset(prevSets, sub) {
 			return true
 		}
 	}
 	return false
 }
 
-// countCandidates counts candidate occurrences by enumerating each
-// transaction's k-subsets against a candidate hash. Infobox-week
-// transactions are small, so the enumeration is cheap; k is typically 2.
-func countCandidates(txns []Transaction, candidates []Itemset, k int) []int {
-	index := make(map[string]int, len(candidates))
-	for i, c := range candidates {
-		index[c.key()] = i
-	}
-	counts := make([]int, len(candidates))
-	if k == 2 {
-		// Fast path for the common case.
-		pair := make(Itemset, 2)
-		for _, t := range txns {
-			for i := 0; i < len(t); i++ {
-				for j := i + 1; j < len(t); j++ {
-					pair[0], pair[1] = t[i], t[j]
-					if idx, ok := index[pair.key()]; ok {
-						counts[idx]++
-					}
-				}
-			}
-		}
-		return counts
-	}
-	comb := make(Itemset, k)
-	for _, t := range txns {
-		if len(t) < k {
-			continue
-		}
-		enumerate(t, comb, 0, 0, func(s Itemset) {
-			if idx, ok := index[s.key()]; ok {
-				counts[idx]++
-			}
-		})
-	}
-	return counts
+// containsItemset binary-searches a lexicographically sorted set list.
+func containsItemset(sets []Itemset, s Itemset) bool {
+	lo := sort.Search(len(sets), func(i int) bool { return !lessItemset(sets[i], s) })
+	return lo < len(sets) && equalItemset(sets[lo], s)
 }
 
-// enumerate visits all |comb|-subsets of t.
-func enumerate(t Transaction, comb Itemset, start, depth int, visit func(Itemset)) {
-	if depth == len(comb) {
-		visit(comb)
-		return
+// supportIndex looks up itemset supports in a FrequentItemsets result,
+// exploiting its ordering: sizes are contiguous and each size group is
+// lexicographically sorted, so a lookup is one binary search — no string
+// keys involved.
+type supportIndex struct {
+	groups map[int][]Support
+}
+
+func newSupportIndex(frequent []Support) supportIndex {
+	groups := make(map[int][]Support)
+	start := 0
+	for i := 1; i <= len(frequent); i++ {
+		if i == len(frequent) || len(frequent[i].Items) != len(frequent[start].Items) {
+			groups[len(frequent[start].Items)] = frequent[start:i]
+			start = i
+		}
 	}
-	for i := start; i <= len(t)-(len(comb)-depth); i++ {
-		comb[depth] = t[i]
-		enumerate(t, comb, i+1, depth+1, visit)
+	return supportIndex{groups: groups}
+}
+
+func (x supportIndex) count(s Itemset) (int, bool) {
+	g := x.groups[len(s)]
+	lo := sort.Search(len(g), func(i int) bool { return !lessItemset(g[i].Items, s) })
+	if lo < len(g) && equalItemset(g[lo].Items, s) {
+		return g[lo].Count, true
 	}
+	return 0, false
 }
 
 // Mine runs the full pipeline: frequent itemsets, then every rule A → C
@@ -279,18 +272,22 @@ func Mine(txns []Transaction, cfg Config) ([]Rule, error) {
 		return nil, err
 	}
 	frequent := FrequentItemsets(txns, cfg.MinSupport, cfg.MaxLen)
-	counts := make(map[string]int, len(frequent))
-	for _, f := range frequent {
-		counts[f.Items.key()] = f.Count
-	}
-	n := float64(len(txns))
+	return rulesFromFrequent(frequent, len(txns), cfg), nil
+}
+
+// rulesFromFrequent generates and ranks the rules of a frequent-itemset
+// result. Shared by Mine and the classic reference miner so the two can
+// differ only in how supports are counted.
+func rulesFromFrequent(frequent []Support, nTxns int, cfg Config) []Rule {
+	counts := newSupportIndex(frequent)
+	n := float64(nTxns)
 	var rules []Rule
 	for _, f := range frequent {
 		if len(f.Items) < 2 {
 			continue
 		}
 		partitions(f.Items, func(ante, cons Itemset) {
-			anteCount, ok := counts[ante.key()]
+			anteCount, ok := counts.count(ante)
 			if !ok || anteCount == 0 {
 				return
 			}
@@ -315,7 +312,7 @@ func Mine(txns []Transaction, cfg Config) ([]Rule, error) {
 		}
 		return lessItemset(rules[i].Antecedent, rules[j].Antecedent)
 	})
-	return rules, nil
+	return rules
 }
 
 // partitions visits every split of items into non-empty antecedent and
@@ -347,6 +344,18 @@ func lessItemset(a, b Itemset) bool {
 		}
 	}
 	return len(a) < len(b)
+}
+
+func equalItemset(a, b Itemset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // NormalizeTransaction sorts and deduplicates items in place, returning the

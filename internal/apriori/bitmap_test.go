@@ -1,0 +1,161 @@
+package apriori
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomTxns draws transactions over a universe of sparse, adversarially
+// chosen item values: small IDs, values whose little-endian bytes contain
+// common separator bytes (0x00, ',', 0xFF), and values near the int32
+// extremes.
+func randomTxns(rng *rand.Rand, maxTxns, maxUniverse int) []Transaction {
+	universe := []Item{
+		0, 1, 2, 3, 44, 0x2C, 0x2C2C, 0x2C2C2C, 0x2C0000, 0xFF, 0xFF00,
+		0x00FF00FF, 1 << 20, 1<<31 - 1, 1<<31 - 2, 256, 257, 65536,
+	}
+	if maxUniverse < len(universe) {
+		universe = universe[:maxUniverse]
+	}
+	txns := make([]Transaction, 1+rng.Intn(maxTxns))
+	for i := range txns {
+		var items []Item
+		for _, it := range universe {
+			if rng.Intn(3) == 0 {
+				items = append(items, it)
+			}
+		}
+		txns[i] = NormalizeTransaction(items)
+	}
+	return txns
+}
+
+// TestBitmapMatchesClassic is the fast path's correctness contract:
+// vertical-bitmap mining must be bit-identical to the classic horizontal
+// counting pass — same itemsets, same counts, same order — over
+// randomized transaction sets, supports, and depth caps.
+func TestBitmapMatchesClassic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 120; iter++ {
+		txns := randomTxns(rng, 40, 6+rng.Intn(12))
+		minSup := []float64{0.05, 0.1, 0.25, 0.5, 0.9}[rng.Intn(5)]
+		maxLen := 1 + rng.Intn(5)
+		got := FrequentItemsets(txns, minSup, maxLen)
+		want := frequentItemsetsClassic(txns, minSup, maxLen)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: bitmap %v != classic %v (txns=%v minSup=%v maxLen=%d)",
+				iter, got, want, txns, minSup, maxLen)
+		}
+	}
+}
+
+// TestMineBitmapMatchesClassic extends the equivalence through rule
+// generation: Mine over the bitmap counts must produce rule lists
+// reflect.DeepEqual to the classic miner's — identical floats included,
+// since both divide the same integer counts.
+func TestMineBitmapMatchesClassic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 80; iter++ {
+		txns := randomTxns(rng, 30, 8)
+		cfg := Config{
+			MinSupport:    []float64{0.1, 0.2, 0.4}[rng.Intn(3)],
+			MinConfidence: []float64{0.5, 0.7, 0.9}[rng.Intn(3)],
+			MaxLen:        1 + rng.Intn(4),
+		}
+		got, err := Mine(txns, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mineClassic(txns, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: bitmap rules %v != classic rules %v (txns=%v cfg=%+v)",
+				iter, got, want, txns, cfg)
+		}
+	}
+}
+
+// TestItemsetKeyAdversarial locks the injectivity of the classic
+// reference's map key. The itemsets below are built from items whose byte
+// encodings contain separator-like bytes (0x00, ',' = 0x2C, 0xFF): under
+// a separator-joined or length-truncating encoding several of them
+// collide into one key; under the length-prefixed fixed-width encoding
+// every pair must differ.
+func TestItemsetKeyAdversarial(t *testing.T) {
+	sets := []Itemset{
+		{},
+		{0},
+		{0, 0x2C},
+		{0x2C},
+		{0x2C2C},
+		{0x2C, 0x2C2C},
+		{0x2C, 0x2C2C2C},
+		{0x2C2C, 0x2C2C2C},
+		{0x2C0000, 0x2C00, 0x2C},
+		{0xFF},
+		{0xFF, 0xFF00},
+		{0xFF00FF},
+		{1, 256},
+		{257},
+		{1, 2, 3},
+		{0x010203},
+		{0x0102, 0x03},
+		{0x01, 0x0203},
+	}
+	seen := make(map[string]Itemset, len(sets))
+	for _, s := range sets {
+		k := s.key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("itemsets %v and %v collide on key %q", prev, s, k)
+		}
+		seen[k] = s
+	}
+}
+
+// TestAdversarialItemsMine runs the full miner over transactions whose
+// items carry the adversarial byte patterns, cross-checked against the
+// classic reference — a regression net for any future key or interning
+// change.
+func TestAdversarialItemsMine(t *testing.T) {
+	txns := []Transaction{
+		NormalizeTransaction([]Item{0x2C, 0x2C2C, 0x2C2C2C}),
+		NormalizeTransaction([]Item{0x2C, 0x2C2C}),
+		NormalizeTransaction([]Item{0x2C, 0x2C2C2C, 0xFF00}),
+		NormalizeTransaction([]Item{0x2C0000, 0x2C00, 0x2C}),
+		NormalizeTransaction([]Item{0x2C, 0x2C2C, 0x2C0000}),
+	}
+	cfg := Config{MinSupport: 0.2, MinConfidence: 0.5, MaxLen: 3}
+	got, err := Mine(txns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mineClassic(txns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("adversarial items: bitmap rules %v != classic rules %v", got, want)
+	}
+	// The three distinct single items 0x2C, 0x2C2C, 0x2C2C2C must be
+	// counted separately: 0x2C appears 5 times, 0x2C2C 3 times,
+	// 0x2C2C2C 2 times.
+	frequent := FrequentItemsets(txns, 0.2, 1)
+	wantCounts := map[Item]int{0x2C: 5, 0x2C2C: 3, 0x2C2C2C: 2, 0x2C0000: 2, 0x2C00: 1, 0xFF00: 1}
+	for it, wantC := range wantCounts {
+		found := false
+		for _, f := range frequent {
+			if len(f.Items) == 1 && f.Items[0] == it {
+				if f.Count != wantC {
+					t.Errorf("item %#x: count %d, want %d", it, f.Count, wantC)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("item %#x missing from frequent singles", it)
+		}
+	}
+}

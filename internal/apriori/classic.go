@@ -1,0 +1,139 @@
+package apriori
+
+// The classic horizontal-counting Apriori, retained verbatim (modulo the
+// shared candidate generator) as the differential-testing reference for
+// the vertical-bitmap fast path in bitmap.go. It is never used on the
+// production path; TestBitmapMatchesClassic asserts bit-identical output
+// over randomized transaction sets.
+
+// key encodes an itemset as a map key: a 4-byte little-endian length
+// prefix followed by each item in fixed-width 4-byte little-endian form.
+// Both parts matter for injectivity — a separator-joined or truncating
+// encoding lets items whose bytes contain the separator collide two
+// distinct itemsets into one key (see TestItemsetKeyAdversarial). The hot
+// path no longer uses string keys at all; this survives only for the
+// classic reference maps and tests.
+func (s Itemset) key() string {
+	b := make([]byte, 0, 4+len(s)*4)
+	n := len(s)
+	b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	for _, it := range s {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+// frequentItemsetsClassic is the original O(candidates × transactions)
+// level-wise miner: candidates are counted by enumerating each
+// transaction's k-subsets against a candidate hash.
+func frequentItemsetsClassic(txns []Transaction, minSupport float64, maxLen int) []Support {
+	if len(txns) == 0 || minSupport <= 0 {
+		return nil
+	}
+	minCount := minCountFor(minSupport, len(txns))
+
+	// L1.
+	singles := make(map[Item]int)
+	for _, t := range txns {
+		for _, it := range t {
+			singles[it]++
+		}
+	}
+	var frequent []Support
+	level := make(map[string]int)
+	var levelSets []Itemset
+	for it, c := range singles {
+		if c >= minCount {
+			levelSets = append(levelSets, Itemset{it})
+			level[Itemset{it}.key()] = c
+		}
+	}
+	sortItemsets(levelSets)
+	for _, s := range levelSets {
+		frequent = append(frequent, Support{Items: s, Count: level[s.key()]})
+	}
+
+	prevSets := levelSets
+	for k := 2; k <= maxLen && len(prevSets) >= 2; k++ {
+		candidates := generateCandidates(prevSets)
+		if len(candidates) == 0 {
+			break
+		}
+		counts := countCandidatesClassic(txns, candidates, k)
+		level = make(map[string]int)
+		levelSets = levelSets[:0]
+		for i, c := range candidates {
+			if counts[i] >= minCount {
+				level[c.key()] = counts[i]
+				levelSets = append(levelSets, c)
+			}
+		}
+		sortItemsets(levelSets)
+		for _, s := range levelSets {
+			frequent = append(frequent, Support{Items: s, Count: level[s.key()]})
+		}
+		prevSets = append([]Itemset(nil), levelSets...)
+	}
+	return frequent
+}
+
+// mineClassic is Mine over the classic counting pass; rule generation is
+// shared, so any divergence from Mine pins the blame on the itemset
+// miners.
+func mineClassic(txns []Transaction, cfg Config) ([]Rule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	frequent := frequentItemsetsClassic(txns, cfg.MinSupport, cfg.MaxLen)
+	return rulesFromFrequent(frequent, len(txns), cfg), nil
+}
+
+// countCandidatesClassic counts candidate occurrences by enumerating each
+// transaction's k-subsets against a candidate hash. Infobox-week
+// transactions are small, so the enumeration is cheap; k is typically 2.
+func countCandidatesClassic(txns []Transaction, candidates []Itemset, k int) []int {
+	index := make(map[string]int, len(candidates))
+	for i, c := range candidates {
+		index[c.key()] = i
+	}
+	counts := make([]int, len(candidates))
+	if k == 2 {
+		// Fast path for the common case.
+		pair := make(Itemset, 2)
+		for _, t := range txns {
+			for i := 0; i < len(t); i++ {
+				for j := i + 1; j < len(t); j++ {
+					pair[0], pair[1] = t[i], t[j]
+					if idx, ok := index[pair.key()]; ok {
+						counts[idx]++
+					}
+				}
+			}
+		}
+		return counts
+	}
+	comb := make(Itemset, k)
+	for _, t := range txns {
+		if len(t) < k {
+			continue
+		}
+		enumerate(t, comb, 0, 0, func(s Itemset) {
+			if idx, ok := index[s.key()]; ok {
+				counts[idx]++
+			}
+		})
+	}
+	return counts
+}
+
+// enumerate visits all |comb|-subsets of t.
+func enumerate(t Transaction, comb Itemset, start, depth int, visit func(Itemset)) {
+	if depth == len(comb) {
+		visit(comb)
+		return
+	}
+	for i := start; i <= len(t)-(len(comb)-depth); i++ {
+		comb[depth] = t[i]
+		enumerate(t, comb, i+1, depth+1, visit)
+	}
+}

@@ -175,8 +175,58 @@ func Train(hs *changecube.HistorySet, span timeline.Span, cfg Config) (*Predicto
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	pre, err := Prepare(hs, span, cfg.PeriodDays)
+	if err != nil {
+		return nil, err
+	}
+	return trainTagged(pre.tagged, span, cfg)
+}
+
+// Prepared caches the grouped (infobox, week) transactions of one
+// (corpus, span, period) combination. Grouping is the most expensive part
+// of training and depends on none of the mining parameters, so a grid
+// search over support/confidence/holdout shares one Prepared across all
+// its points. The cached transactions are read-only after Prepare;
+// concurrent TrainPrepared calls are safe.
+type Prepared struct {
+	span       timeline.Span
+	periodDays int
+	tagged     map[changecube.TemplateID][]taggedTxn
+}
+
+// Prepare groups the change days inside span into transactions once, for
+// reuse by TrainPrepared under any config with the same PeriodDays.
+func Prepare(hs *changecube.HistorySet, span timeline.Span, periodDays int) (*Prepared, error) {
+	if periodDays < 1 {
+		return nil, fmt.Errorf("assocrules: PeriodDays %d < 1", periodDays)
+	}
 	tspan := obs.StartSpan("train/assoc_transactions")
-	tagged := buildTagged(hs, span, cfg.PeriodDays)
+	defer tspan.End()
+	return &Prepared{
+		span:       span,
+		periodDays: periodDays,
+		tagged:     buildTagged(hs, span, periodDays),
+	}, nil
+}
+
+// TrainPrepared is Train over a precomputed transaction grouping. The
+// result is bit-identical to Train(hs, pre.span, cfg) for any cfg whose
+// PeriodDays matches the one given to Prepare.
+func TrainPrepared(pre *Prepared, cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PeriodDays != pre.periodDays {
+		return nil, fmt.Errorf("assocrules: prepared with PeriodDays=%d, config asks for %d",
+			pre.periodDays, cfg.PeriodDays)
+	}
+	return trainTagged(pre.tagged, pre.span, cfg)
+}
+
+// trainTagged is the shared mining+validation pipeline behind Train and
+// TrainPrepared. It never mutates tagged.
+func trainTagged(tagged map[changecube.TemplateID][]taggedTxn, span timeline.Span, cfg Config) (*Predictor, error) {
+	tspan := obs.StartSpan("train/assoc_holdout")
 	mining, validation := splitHoldout(tagged, span, cfg)
 	tspan.End()
 

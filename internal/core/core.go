@@ -116,6 +116,7 @@ type Detector struct {
 
 	filterStats filter.Stats
 	report      TrainReport
+	corrInc     correlation.IncrementalStats
 }
 
 // StageTiming is one named step of the training pipeline and its
@@ -180,6 +181,32 @@ func Train(cube *changecube.Cube, cfg Config) (*Detector, error) {
 
 // TrainFiltered is Train for data that already passed the filter pipeline.
 func TrainFiltered(hs *changecube.HistorySet, stats filter.Stats, cfg Config) (*Detector, error) {
+	return TrainFilteredHinted(hs, stats, cfg, TrainHints{})
+}
+
+// TrainHints carries optional incremental-retraining context into
+// TrainFilteredHinted. The zero value means a plain batch training run.
+type TrainHints struct {
+	// Incremental opts into rule reuse for the correlation predictor; the
+	// wikistale_train_incremental_* metrics are only recorded on this path.
+	Incremental bool
+	// Prev is the detector from the last successful training over the same
+	// configuration; its correlation rules may be reused for pages whose
+	// fields are untouched. Nil forces a cold (full) build.
+	Prev *Detector
+	// DirtyFields lists the fields whose change histories may differ from
+	// Prev's training input — typically the live ingester's staged fields
+	// since the previous retrain.
+	DirtyFields map[changecube.FieldKey]bool
+	// ForceFull re-searches every page even when Prev is usable — the
+	// periodic escape hatch against bookkeeping drift.
+	ForceFull bool
+}
+
+// TrainFilteredHinted is TrainFiltered with incremental-retraining hints;
+// the result is bit-identical to TrainFiltered on the same inputs, hints
+// only shortcut the work (see correlation.TrainIncremental).
+func TrainFilteredHinted(hs *changecube.HistorySet, stats filter.Stats, cfg Config, hints TrainHints) (*Detector, error) {
 	if hs.Len() == 0 {
 		return nil, fmt.Errorf("core: no fields survive filtering")
 	}
@@ -192,7 +219,17 @@ func TrainFiltered(hs *changecube.HistorySet, stats filter.Stats, cfg Config) (*
 	start := time.Now()
 
 	span := obs.StartSpan("train/correlation")
-	if d.fieldCorr, err = correlation.Train(hs, splits.TrainVal, cfg.Correlation); err != nil {
+	if hints.Incremental {
+		var prev correlation.Previous
+		if hints.Prev != nil {
+			prev = correlation.Previous{Predictor: hints.Prev.fieldCorr, Span: hints.Prev.splits.TrainVal}
+		}
+		d.fieldCorr, d.corrInc, err = correlation.TrainIncremental(
+			hs, splits.TrainVal, cfg.Correlation, prev, hints.DirtyFields, hints.ForceFull)
+	} else {
+		d.fieldCorr, err = correlation.Train(hs, splits.TrainVal, cfg.Correlation)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("core: field correlations: %w", err)
 	}
 	d.report.add("train/correlation", span.End())
@@ -246,6 +283,12 @@ func (d *Detector) FilterStats() filter.Stats { return d.filterStats }
 // built this detector. Detectors restored via LoadModel carry an empty
 // report apart from the filter stats.
 func (d *Detector) TrainReport() TrainReport { return d.report }
+
+// CorrelationRetrain reports what the correlation trainer did for this
+// detector — full rebuild or incremental reuse, and the page accounting.
+// Only meaningful for detectors built via TrainFilteredHinted with
+// Incremental set; otherwise it is the zero value.
+func (d *Detector) CorrelationRetrain() correlation.IncrementalStats { return d.corrInc }
 
 // FieldCorrelations returns the trained field-correlation predictor.
 func (d *Detector) FieldCorrelations() *correlation.Predictor { return d.fieldCorr }

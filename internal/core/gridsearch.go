@@ -155,14 +155,20 @@ func GridSearchApriori(hs *changecube.HistorySet, splits Splits,
 		}
 	}
 	rows := predict.PrecomputeRows(hs, splits.Validation, []int{windowSize})
+	// The transaction grouping depends only on the span and the period, so
+	// one Prepare feeds every grid point.
+	pre, err := assocrules.Prepare(hs, splits.Train, base.PeriodDays)
+	if err != nil {
+		return nil, fmt.Errorf("core: apriori grid: %w", err)
+	}
 	results := make([]AprioriResult, len(points))
-	err := runGrid(len(points), func(i int) error {
+	err = runGrid(len(points), func(i int) error {
 		pt := points[i]
 		cfg := base
 		cfg.MinSupport = pt.sup
 		cfg.MinConfidence = pt.conf
 		cfg.ValidationFraction = pt.vf
-		p, err := assocrules.Train(hs, splits.Train, cfg)
+		p, err := assocrules.TrainPrepared(pre, cfg)
 		if err != nil {
 			return fmt.Errorf("core: apriori grid (%v,%v,%v): %w", pt.sup, pt.conf, pt.vf, err)
 		}

@@ -2,6 +2,9 @@ package ingest
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"io"
 	"reflect"
 	"testing"
 
@@ -14,60 +17,161 @@ import (
 // streamed through the online path — day-batched feed, incremental
 // staging filter, snapshot, TrainFiltered — must yield a detector whose
 // DetectStale output is bit-identical to batch core.Train over the same
-// cube, at every probed horizon.
+// cube, at every probed horizon. The incremental subtest runs the same
+// contract through the rule-reuse retraining path.
 func TestStreamBatchEquivalence(t *testing.T) {
-	cube, truth, err := dataset.Generate(dataset.Small())
+	for _, inc := range []bool{false, true} {
+		t.Run(fmt.Sprintf("incremental=%v", inc), func(t *testing.T) {
+			cube, truth, err := dataset.Generate(dataset.Small())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig()
+
+			st, err := NewStaging(cfg.Filter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &swapRecorder{}
+			m := NewManager(NewStream(cube), st, rec.swap, Config{Train: cfg, Incremental: inc, FullRebuildEvery: 32})
+			if err := m.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			streamed := rec.last()
+			if streamed == nil {
+				t.Fatal("stream produced no detector")
+			}
+
+			// The batch reference trains over the staging cube itself (identical
+			// entity numbering by construction); its change content equals the
+			// original corpus, only reassembled from events.
+			batch, err := core.Train(streamed.Histories().Cube(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if streamed.Histories().Len() != batch.Histories().Len() {
+				t.Fatalf("field count: streamed %d, batch %d",
+					streamed.Histories().Len(), batch.Histories().Len())
+			}
+			if !reflect.DeepEqual(streamed.Histories().Histories(), batch.Histories().Histories()) {
+				t.Fatal("filtered histories differ between stream and batch")
+			}
+			if !reflect.DeepEqual(streamed.FieldCorrelations().Rules(), batch.FieldCorrelations().Rules()) {
+				t.Fatal("correlation rules differ between stream and batch")
+			}
+
+			end := streamed.Histories().Span().End
+			probes := []struct {
+				asOf   timeline.Day
+				window int
+			}{
+				{end, 7},
+				{end, 30},
+				{end - 100, 7},
+				{truth.CaseStudy.MissedDays[0] + 2, 3},
+			}
+			for _, p := range probes {
+				got := streamed.DetectStale(p.asOf, p.window)
+				want := batch.DetectStale(p.asOf, p.window)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("DetectStale(%v, %d): streamed %d alerts, batch %d; outputs differ",
+						p.asOf, p.window, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalRetrainEquivalence drives two managers over the identical
+// batch sequence with retrains forced at the same points — one cold, one
+// incremental — and asserts bit-identical correlation rules and DetectStale
+// output after every successful retrain. Early retrains fail on both sides
+// ("span too short") until enough history streamed in, which exercises the
+// dirty-carry-across-failures path; later ones must reuse pages.
+func TestIncrementalRetrainEquivalence(t *testing.T) {
+	cube, _, err := dataset.Generate(dataset.Small())
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := core.DefaultConfig()
 
-	st, err := NewStaging(cfg.Filter)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rec := &swapRecorder{}
-	m := NewManager(NewStream(cube), st, rec.swap, Config{Train: cfg})
-	if err := m.Run(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	streamed := rec.last()
-	if streamed == nil {
-		t.Fatal("stream produced no detector")
-	}
-
-	// The batch reference trains over the staging cube itself (identical
-	// entity numbering by construction); its change content equals the
-	// original corpus, only reassembled from events.
-	batch, err := core.Train(streamed.Histories().Cube(), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	if streamed.Histories().Len() != batch.Histories().Len() {
-		t.Fatalf("field count: streamed %d, batch %d",
-			streamed.Histories().Len(), batch.Histories().Len())
-	}
-	if !reflect.DeepEqual(streamed.Histories().Histories(), batch.Histories().Histories()) {
-		t.Fatal("filtered histories differ between stream and batch")
-	}
-
-	end := streamed.Histories().Span().End
-	probes := []struct {
-		asOf   timeline.Day
-		window int
-	}{
-		{end, 7},
-		{end, 30},
-		{end - 100, 7},
-		{truth.CaseStudy.MissedDays[0] + 2, 3},
-	}
-	for _, p := range probes {
-		got := streamed.DetectStale(p.asOf, p.window)
-		want := batch.DetectStale(p.asOf, p.window)
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("DetectStale(%v, %d): streamed %d alerts, batch %d; outputs differ",
-				p.asOf, p.window, len(got), len(want))
+	newSide := func(inc Config) (*Staging, *swapRecorder, *Manager) {
+		st, err := NewStaging(cfg.Filter)
+		if err != nil {
+			t.Fatal(err)
 		}
+		rec := &swapRecorder{}
+		return st, rec, NewManager(nil, st, rec.swap, inc)
+	}
+	stCold, recCold, mCold := newSide(Config{Train: cfg})
+	stInc, recInc, mInc := newSide(Config{Train: cfg, Incremental: true, FullRebuildEvery: 5})
+
+	compare := func(step int) {
+		t.Helper()
+		if recCold.count() != recInc.count() {
+			t.Fatalf("step %d: cold side swapped %d detectors, incremental side %d",
+				step, recCold.count(), recInc.count())
+		}
+		cold, inc := recCold.last(), recInc.last()
+		if cold == nil {
+			return // neither side has trained successfully yet
+		}
+		if !reflect.DeepEqual(cold.FieldCorrelations().Rules(), inc.FieldCorrelations().Rules()) {
+			t.Fatalf("step %d: correlation rules diverged (incremental stats %+v)",
+				step, inc.CorrelationRetrain())
+		}
+		end := cold.Histories().Span().End
+		for _, window := range []int{7, 30} {
+			if !reflect.DeepEqual(cold.DetectStale(end, window), inc.DetectStale(end, window)) {
+				t.Fatalf("step %d: DetectStale(%v, %d) diverged", step, end, window)
+			}
+		}
+	}
+
+	src := NewStream(cube)
+	ctx := context.Background()
+	batches, step, reusedRetrains := 0, 0, 0
+	for {
+		events, srcErr := src.Next(ctx)
+		if len(events) > 0 {
+			if _, err := stCold.Append(events); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := stInc.Append(events); err != nil {
+				t.Fatal(err)
+			}
+			batches++
+			if batches%150 == 0 {
+				step++
+				mCold.retrain()
+				mInc.retrain()
+				compare(step)
+				if s := mInc.Stats(); s.LastRetrainPagesReused > 0 {
+					reusedRetrains++
+				}
+			}
+		}
+		if errors.Is(srcErr, io.EOF) {
+			break
+		}
+		if srcErr != nil {
+			t.Fatal(srcErr)
+		}
+	}
+	step++
+	mCold.retrain()
+	mInc.retrain()
+	compare(step)
+
+	s := mInc.Stats()
+	if s.RetrainsIncremental == 0 {
+		t.Fatalf("no retrain ran incrementally: %+v", s)
+	}
+	if s.RetrainsFull == 0 {
+		t.Fatalf("neither the cold start nor the FullRebuildEvery=5 hatch forced a full rebuild: %+v", s)
+	}
+	if reusedRetrains == 0 {
+		t.Fatal("incremental retrains never reused a page's rules")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/wikistale/wikistale/internal/changecube"
 	"github.com/wikistale/wikistale/internal/core"
 	"github.com/wikistale/wikistale/internal/obs"
 )
@@ -26,15 +27,26 @@ type Config struct {
 	// RetrainChanges triggers a retrain once this many events accumulated
 	// since the last one (0 disables the count trigger).
 	RetrainChanges int
+	// Incremental reuses the previous detector's correlation rules for
+	// pages untouched since the last successful retrain (bit-identical to
+	// a cold retrain; see correlation.TrainIncremental).
+	Incremental bool
+	// FullRebuildEvery forces a full page search after this many
+	// consecutive incremental retrains — the escape hatch against
+	// bookkeeping drift (0 never forces one).
+	FullRebuildEvery int
 }
 
 // DefaultConfig retrains every 15 seconds or 5000 changes, whichever comes
-// first, with the paper's training configuration.
+// first, incrementally with a forced full rebuild every 32 retrains, with
+// the paper's training configuration.
 func DefaultConfig() Config {
 	return Config{
-		Train:           core.DefaultConfig(),
-		RetrainInterval: 15 * time.Second,
-		RetrainChanges:  5000,
+		Train:            core.DefaultConfig(),
+		RetrainInterval:  15 * time.Second,
+		RetrainChanges:   5000,
+		Incremental:      true,
+		FullRebuildEvery: 32,
 	}
 }
 
@@ -60,6 +72,15 @@ type Stats struct {
 	Swaps uint64 `json:"swaps"`
 	// LastRetrainSeconds is the duration of the last successful retrain.
 	LastRetrainSeconds float64 `json:"last_retrain_seconds,omitempty"`
+	// RetrainsIncremental and RetrainsFull break successful retrains down
+	// by correlation-training mode (only populated when Config.Incremental
+	// is set; full counts cold starts and forced rebuilds).
+	RetrainsIncremental uint64 `json:"retrains_incremental,omitempty"`
+	RetrainsFull        uint64 `json:"retrains_full,omitempty"`
+	// LastRetrainPagesReused / LastRetrainPagesRetrained is the page
+	// accounting of the most recent successful retrain.
+	LastRetrainPagesReused    int `json:"last_retrain_pages_reused,omitempty"`
+	LastRetrainPagesRetrained int `json:"last_retrain_pages_retrained,omitempty"`
 	// LastError is the most recent retrain failure ("span too short" until
 	// a cold start has accumulated enough history).
 	LastError string `json:"last_error,omitempty"`
@@ -82,6 +103,15 @@ type Manager struct {
 	pending   atomic.Uint64 // events since the last retrain started
 	retrainMu sync.Mutex    // held for the duration of one retrain
 	wg        sync.WaitGroup
+
+	// Incremental-retraining state, guarded by retrainMu: the last
+	// successfully trained detector (rule-reuse source), the dirty fields
+	// consumed from staging but not yet folded into a successful retrain
+	// (a failed retrain must not lose them), and the count of incremental
+	// retrains since the last full rebuild.
+	lastGood   *core.Detector
+	dirtyCarry map[changecube.FieldKey]bool
+	sinceFull  int
 
 	mu    sync.Mutex
 	stats Stats
@@ -263,6 +293,16 @@ func (m *Manager) retrainLocked() {
 	m.stats.Retrains++
 	m.stats.LastRetrainSeconds = elapsed.Seconds()
 	m.stats.LastError = ""
+	if m.cfg.Incremental {
+		inc := det.CorrelationRetrain()
+		if inc.Full {
+			m.stats.RetrainsFull++
+		} else {
+			m.stats.RetrainsIncremental++
+		}
+		m.stats.LastRetrainPagesReused = inc.PagesReused
+		m.stats.LastRetrainPagesRetrained = inc.PagesRetrained
+	}
 	m.mu.Unlock()
 	if m.swap != nil {
 		m.swap(det)
@@ -272,13 +312,47 @@ func (m *Manager) retrainLocked() {
 	}
 }
 
-// train builds a detector from the current staging snapshot.
+// train builds a detector from the current staging snapshot. In
+// incremental mode it threads the dirty-field delta and the last good
+// detector into the trainer; dirty fields consumed from staging are
+// carried across failed attempts so no delta is ever lost. Caller holds
+// retrainMu.
 func (m *Manager) train() (*core.Detector, error) {
 	span := obs.StartSpan("ingest/retrain")
 	defer span.End()
-	hs, stats, err := m.st.Snapshot()
+	if !m.cfg.Incremental {
+		hs, stats, err := m.st.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return core.TrainFiltered(hs, stats, m.cfg.Train)
+	}
+	hs, stats, dirty, err := m.st.SnapshotDelta()
 	if err != nil {
 		return nil, err
 	}
-	return core.TrainFiltered(hs, stats, m.cfg.Train)
+	if m.dirtyCarry == nil {
+		m.dirtyCarry = make(map[changecube.FieldKey]bool, len(dirty))
+	}
+	for f := range dirty {
+		m.dirtyCarry[f] = true
+	}
+	forceFull := m.cfg.FullRebuildEvery > 0 && m.sinceFull >= m.cfg.FullRebuildEvery
+	det, err := core.TrainFilteredHinted(hs, stats, m.cfg.Train, core.TrainHints{
+		Incremental: true,
+		Prev:        m.lastGood,
+		DirtyFields: m.dirtyCarry,
+		ForceFull:   forceFull,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.lastGood = det
+	m.dirtyCarry = nil
+	if det.CorrelationRetrain().Full {
+		m.sinceFull = 0
+	} else {
+		m.sinceFull++
+	}
+	return det, nil
 }

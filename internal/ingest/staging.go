@@ -56,6 +56,12 @@ type Staging struct {
 	raw, afterBots, afterDedup, afterCD, afterMin int
 	eligible                                      int // fields clearing MinChanges
 	appended                                      uint64
+
+	// dirty accumulates the fields touched by Append since the last
+	// successful SnapshotDelta — the input to incremental retraining.
+	// Warm-start corpus fields are NOT dirty: the first training over them
+	// is a cold build anyway.
+	dirty map[changecube.FieldKey]bool
 }
 
 // NewStaging returns an empty staging buffer (a cold start).
@@ -72,6 +78,7 @@ func NewStaging(cfg filter.Config) (*Staging, error) {
 		entIdx:  make(map[entityKey]changecube.EntityID),
 		ordinal: make(map[pageTemplate]int),
 		fields:  make(map[changecube.FieldKey]*fieldBuf),
+		dirty:   make(map[changecube.FieldKey]bool),
 	}, nil
 }
 
@@ -118,6 +125,7 @@ func (st *Staging) Append(events []Event) (touched int, err error) {
 	for _, ev := range events {
 		key := st.stage(ev)
 		dirty[key] = st.fields[key]
+		st.dirty[key] = true
 	}
 	for _, buf := range dirty {
 		st.refilter(buf)
@@ -201,6 +209,28 @@ func (st *Staging) refilter(buf *fieldBuf) {
 func (st *Staging) Snapshot() (*changecube.HistorySet, filter.Stats, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.snapshotLocked()
+}
+
+// SnapshotDelta is Snapshot plus the dirty-field set: the fields touched
+// by Append since the last successful SnapshotDelta, handed over
+// atomically with the snapshot that reflects them — the contract
+// incremental retraining needs. On error the dirty set stays staged for
+// the next attempt. Plain Snapshot leaves the dirty set untouched.
+func (st *Staging) SnapshotDelta() (*changecube.HistorySet, filter.Stats, map[changecube.FieldKey]bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	hs, stats, err := st.snapshotLocked()
+	if err != nil {
+		return nil, stats, nil, err
+	}
+	dirty := st.dirty
+	st.dirty = make(map[changecube.FieldKey]bool)
+	return hs, stats, dirty, nil
+}
+
+// snapshotLocked builds the frozen HistorySet. Caller holds the mutex.
+func (st *Staging) snapshotLocked() (*changecube.HistorySet, filter.Stats, error) {
 	clone := st.cube.Clone()
 	histories := make([]changecube.History, 0, st.eligible)
 	for key, buf := range st.fields {

@@ -1,0 +1,42 @@
+package obs
+
+// Metric names of the training fast path (DESIGN.md §10). The constants
+// live here so the producing packages (correlation, core, ingest) and the
+// serving layer agree on the spelling; registration happens lazily at the
+// first use, help strings eagerly below.
+const (
+	// PagesSkippedTotal counts pages dropped from the pairwise correlation
+	// search by Config.MaxFieldsPerPage, labeled by predictor
+	// ("correlation"). Before this counter the quadratic-bound skip was
+	// silent, which read as "covered everything" when it didn't.
+	PagesSkippedTotal = "wikistale_train_pages_skipped_total"
+
+	// IncrementalRetrainsTotal counts correlation trainings that ran in
+	// incremental mode (reusing rules of untouched pages).
+	IncrementalRetrainsTotal = "wikistale_train_incremental_retrains_total"
+
+	// IncrementalFullTotal counts trainings that fell back to a full
+	// rebuild, labeled by reason ("cold", "forced", "norm_span").
+	IncrementalFullTotal = "wikistale_train_incremental_full_rebuilds_total"
+
+	// IncrementalPagesReusedTotal counts pages whose rules were carried
+	// over from the previous predictor unchanged.
+	IncrementalPagesReusedTotal = "wikistale_train_incremental_pages_reused_total"
+
+	// IncrementalPagesRetrainedTotal counts pages whose pairwise search was
+	// actually re-run.
+	IncrementalPagesRetrainedTotal = "wikistale_train_incremental_pages_retrained_total"
+
+	// IncrementalDirtyFields is the dirty-field count of the most recent
+	// incremental training.
+	IncrementalDirtyFields = "wikistale_train_incremental_dirty_fields"
+)
+
+func init() {
+	Default.SetHelp(PagesSkippedTotal, "Pages dropped from the pairwise correlation search by MaxFieldsPerPage.")
+	Default.SetHelp(IncrementalRetrainsTotal, "Correlation trainings that ran incrementally, reusing untouched pages' rules.")
+	Default.SetHelp(IncrementalFullTotal, "Correlation trainings that rebuilt every page, by reason.")
+	Default.SetHelp(IncrementalPagesReusedTotal, "Pages whose correlation rules were reused from the previous predictor.")
+	Default.SetHelp(IncrementalPagesRetrainedTotal, "Pages whose pairwise correlation search was re-run.")
+	Default.SetHelp(IncrementalDirtyFields, "Dirty-field count of the most recent incremental training.")
+}
