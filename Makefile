@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench check fuzz experiments figures cover clean
+.PHONY: all build test race bench check lint fuzz experiments figures cover clean
 
 all: build test
 
@@ -11,6 +11,12 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+
+# Static analysis: vet always; staticcheck when installed (CI installs it).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
 
 build:
 	$(GO) build ./...

@@ -19,6 +19,7 @@ import (
 	"github.com/wikistale/wikistale/internal/changecube"
 	"github.com/wikistale/wikistale/internal/core"
 	"github.com/wikistale/wikistale/internal/cubestore"
+	"github.com/wikistale/wikistale/internal/obs/olog"
 	"github.com/wikistale/wikistale/internal/timeline"
 )
 
@@ -33,8 +34,15 @@ func main() {
 		stats  = flag.Bool("stats", false, "print filter-funnel and rule statistics")
 		timing = flag.Bool("timing", false, "print the training stage-timing report")
 		limit  = flag.Int("limit", 50, "maximum alerts to print (0 = all)")
+
+		logLevel  = flag.String("log-level", "info", "structured-log level: debug, info, warn, or error")
+		logFormat = flag.String("log-format", "text", `structured-log format: "text" or "json"`)
 	)
 	flag.Parse()
+
+	if _, err := olog.Setup(os.Stderr, *logLevel, *logFormat); err != nil {
+		log.Fatal(err)
+	}
 
 	var cube *changecube.Cube
 	if *store != "" {

@@ -8,9 +8,13 @@
 //	GET /readyz                             readiness (503 until a detector is installed)
 //	GET /v1/stale?asof=2019-09-01&window=7  everything stale in the window
 //	GET /v1/field?page=P&property=X&...     marker lookup for one field
+//	GET /v1/explain?page=P&property=X&...   full evidence audit for one field
+//	GET /v1/audit                           recent positive verdicts served
 //	GET /v1/stats                           corpus and rule statistics
 //	GET /v1/ingest/stats                    live-feed progress (live mode only)
+//	GET /statusz                            human-readable status page
 //	GET /metrics                            Prometheus text (?format=json for JSON)
+//	GET /debug/traces                       recent request/retrain traces (JSON)
 //	GET /debug/pprof/                       Go profiling endpoints
 //
 // Batch mode (the default) trains once on -i and serves that detector
@@ -48,8 +52,23 @@ import (
 	"github.com/wikistale/wikistale/internal/dataset"
 	"github.com/wikistale/wikistale/internal/filter"
 	"github.com/wikistale/wikistale/internal/ingest"
+	"github.com/wikistale/wikistale/internal/obs/olog"
+	"github.com/wikistale/wikistale/internal/obs/trace"
 	"github.com/wikistale/wikistale/internal/staleserve"
 )
+
+// tracedTrain trains under a root trace, so /debug/traces shows the
+// startup training's filter/train stage breakdown alongside request and
+// retrain traces.
+func tracedTrain(cube *changecube.Cube, cfg core.Config) (*core.Detector, error) {
+	ctx, span := trace.Start(context.Background(), "train")
+	det, err := core.TrainCtx(ctx, cube, cfg)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	return det, err
+}
 
 func main() {
 	log.SetFlags(0)
@@ -61,6 +80,9 @@ func main() {
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 		verbose = flag.Bool("v", false, "print the training stage-timing report")
 
+		logLevel  = flag.String("log-level", "info", "structured-log level: debug, info, warn, or error")
+		logFormat = flag.String("log-format", "text", `structured-log format: "text" or "json"`)
+
 		live           = flag.Bool("live", false, "live mode: stream a change feed, retrain in the background, hot-swap the detector")
 		source         = flag.String("source", "sim", `live feed: "sim" for a simulated EventStreams feed, or a JSONL file path`)
 		follow         = flag.Bool("follow", false, "tail the JSONL source for new events instead of stopping at its end")
@@ -70,6 +92,12 @@ func main() {
 		retrainFull    = flag.Int("retrain-full-every", 32, "live mode: force a full rebuild after this many incremental retrains (0 never)")
 	)
 	flag.Parse()
+
+	// Install the trace-aware slog handler before any server or manager is
+	// constructed — both capture slog.Default() at construction time.
+	if _, err := olog.Setup(os.Stderr, *logLevel, *logFormat); err != nil {
+		log.Fatal(err)
+	}
 
 	if *live {
 		runLive(*source, *in, *addr, *drain, *follow, *retrainEvery, *retrainChanges, *retrainInc, *retrainFull)
@@ -135,7 +163,7 @@ func runLive(source, warmCube, addr string, drain time.Duration, follow bool, re
 			log.Fatal(err)
 		}
 		// Serve the warm-start corpus immediately; the feed refreshes it.
-		det, terr := core.Train(cube, cfg)
+		det, terr := tracedTrain(cube, cfg)
 		if terr != nil {
 			log.Fatalf("warm-start training: %v", terr)
 		}
@@ -242,7 +270,7 @@ func trainOrLoad(cube *changecube.Cube, modelPath string) (*core.Detector, strin
 			return det, "loaded model", nil
 		}
 	}
-	det, err := core.Train(cube, cfg)
+	det, err := tracedTrain(cube, cfg)
 	if err != nil {
 		return nil, "", err
 	}

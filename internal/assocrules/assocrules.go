@@ -162,6 +162,10 @@ type templateProperty struct {
 type Predictor struct {
 	rules       []Rule
 	antecedents map[templateProperty][]changecube.PropertyID
+	// byConsequent carries the full rules per (template, consequent) so the
+	// explain path can report support/confidence evidence; parallel to
+	// antecedents (same keys, same order).
+	byConsequent map[templateProperty][]Rule
 }
 
 var (
@@ -286,17 +290,25 @@ func trainTagged(tagged map[changecube.TemplateID][]taggedTxn, span timeline.Spa
 
 	tspan = obs.StartSpan("train/assoc_validate")
 	defer tspan.End()
-	validated := validateRules(candidates, validation, cfg)
+	return buildPredictor(validateRules(candidates, validation, cfg)), nil
+}
+
+// buildPredictor sorts the rules and builds the consequent indexes — the
+// shared tail of trainTagged and FromRules, so both produce identical
+// predictors from identical rule sets. It takes ownership of rules.
+func buildPredictor(rules []Rule) *Predictor {
 	p := &Predictor{
-		rules:       validated,
-		antecedents: make(map[templateProperty][]changecube.PropertyID),
+		rules:        rules,
+		antecedents:  make(map[templateProperty][]changecube.PropertyID, len(rules)),
+		byConsequent: make(map[templateProperty][]Rule, len(rules)),
 	}
 	sort.Slice(p.rules, func(i, j int) bool { return ruleLess(p.rules[i], p.rules[j]) })
 	for _, r := range p.rules {
 		key := templateProperty{template: r.Template, property: r.Consequent}
 		p.antecedents[key] = append(p.antecedents[key], r.Antecedent)
+		p.byConsequent[key] = append(p.byConsequent[key], r)
 	}
-	return p, nil
+	return p
 }
 
 func ruleLess(a, b Rule) bool {
@@ -561,17 +573,26 @@ func (p *Predictor) Explain(ctx predict.Context) []changecube.PropertyID {
 	return out
 }
 
+// ExplainRules is Explain with the rule evidence attached: every rule
+// X → target of the entity's template whose antecedent X changed in the
+// window, with its mining support/confidence and validation precision.
+// Its non-emptiness is exactly Predict's verdict.
+func (p *Predictor) ExplainRules(ctx predict.Context) []Rule {
+	target := ctx.Target()
+	template := ctx.Cube().Template(target.Entity)
+	key := templateProperty{template: template, property: target.Property}
+	var fired []Rule
+	for _, r := range p.byConsequent[key] {
+		f := changecube.FieldKey{Entity: target.Entity, Property: r.Antecedent}
+		if ctx.FieldChangedIn(f, ctx.Window().Span) {
+			fired = append(fired, r)
+		}
+	}
+	return fired
+}
+
 // FromRules reconstructs a predictor from previously validated rules — the
 // deserialization path for model persistence.
 func FromRules(rules []Rule) *Predictor {
-	p := &Predictor{
-		rules:       append([]Rule(nil), rules...),
-		antecedents: make(map[templateProperty][]changecube.PropertyID, len(rules)),
-	}
-	sort.Slice(p.rules, func(i, j int) bool { return ruleLess(p.rules[i], p.rules[j]) })
-	for _, r := range p.rules {
-		key := templateProperty{template: r.Template, property: r.Consequent}
-		p.antecedents[key] = append(p.antecedents[key], r.Antecedent)
-	}
-	return p
+	return buildPredictor(append([]Rule(nil), rules...))
 }

@@ -28,26 +28,33 @@ var (
 // Name implements predict.Predictor.
 func (Mean) Name() string { return "mean baseline" }
 
-// meanFires is the shared prediction rule: with the field's changes before
-// the window start, the next changes are extrapolated at the mean gap n:
-// last + n, last + 2n, ...; the prediction fires if any extrapolated
-// change day falls inside the window.
-func meanFires(days []timeline.Day, w timeline.Window) bool {
+// meanNext extrapolates the field's next change from its changes before
+// the window start: with mean gap n, the next changes are scheduled at
+// last + n, last + 2n, ...; the first one at or after the window start is
+// the prediction. ok is false when the history is too short or degenerate
+// to extrapolate from.
+func meanNext(days []timeline.Day, w timeline.Window) (next, gap float64, ok bool) {
 	if len(days) < 2 {
-		return false
+		return 0, 0, false
 	}
 	last := float64(days[len(days)-1])
 	n := (float64(days[len(days)-1]) - float64(days[0])) / float64(len(days)-1)
 	if n <= 0 {
-		return false
+		return 0, 0, false
 	}
 	// Smallest k >= 1 with last + k*n >= w.Start.
 	k := math.Ceil((float64(w.Start) - last) / n)
 	if k < 1 {
 		k = 1
 	}
-	next := last + k*n
-	return next < float64(w.End)
+	return last + k*n, n, true
+}
+
+// meanFires is the shared prediction rule: fire when the extrapolated next
+// change day falls inside the window.
+func meanFires(days []timeline.Day, w timeline.Window) bool {
+	next, _, ok := meanNext(days, w)
+	return ok && next < float64(w.End)
 }
 
 // Predict implements predict.Predictor.
@@ -63,6 +70,33 @@ func (Mean) PredictWindows(b predict.Batch, out []bool) {
 	for i := range out {
 		out[i] = meanFires(b.TargetDaysBefore(i), windows[i])
 	}
+}
+
+// MeanEvidence is the mean baseline's explanation: the extrapolation that
+// did (or did not) land inside the window.
+type MeanEvidence struct {
+	// NextDay is the first extrapolated change day at or after the window
+	// start; MeanGapDays the mean inter-change gap it was scheduled with.
+	NextDay     float64
+	MeanGapDays float64
+	// Fired reports whether NextDay fell inside the window — the Predict
+	// verdict.
+	Fired bool
+}
+
+// Explain returns the extrapolation evidence behind Predict's verdict, and
+// ok=false when the target's visible history is too short to extrapolate
+// (in which case Predict is false).
+func (Mean) Explain(ctx predict.Context) (MeanEvidence, bool) {
+	next, gap, ok := meanNext(ctx.TargetDays(), ctx.Window())
+	if !ok {
+		return MeanEvidence{}, false
+	}
+	return MeanEvidence{
+		NextDay:     next,
+		MeanGapDays: gap,
+		Fired:       next < float64(ctx.Window().End),
+	}, true
 }
 
 // Threshold is the threshold baseline. For every window size it remembers
@@ -137,6 +171,17 @@ func (t *Threshold) PredictWindows(b predict.Batch, out []bool) {
 	for i := range out {
 		out[i] = v
 	}
+}
+
+// Explain reports whether the target is in the always-predict set for the
+// window's size — which is the whole of the threshold baseline's evidence —
+// and whether the size was trained at all.
+func (t *Threshold) Explain(ctx predict.Context) (inSet, sizeKnown bool) {
+	set, ok := t.always[ctx.Window().Size()]
+	if !ok {
+		return false, false
+	}
+	return set[ctx.Target()], true
 }
 
 // AlwaysPredicted returns how many fields are unconditionally predicted at

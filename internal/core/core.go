@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"github.com/wikistale/wikistale/internal/familycorr"
 	"github.com/wikistale/wikistale/internal/filter"
 	"github.com/wikistale/wikistale/internal/obs"
+	"github.com/wikistale/wikistale/internal/obs/trace"
 	"github.com/wikistale/wikistale/internal/predict"
 	"github.com/wikistale/wikistale/internal/seasonal"
 	"github.com/wikistale/wikistale/internal/timeline"
@@ -164,13 +166,20 @@ func (r TrainReport) String() string {
 // paper's protocol after hyper-parameters are fixed; use the GridSearch
 // functions for the tuning step).
 func Train(cube *changecube.Cube, cfg Config) (*Detector, error) {
-	span := obs.StartSpan("train/filter")
-	hs, stats, err := filter.Apply(cube, cfg.Filter)
+	return TrainCtx(context.Background(), cube, cfg)
+}
+
+// TrainCtx is Train with trace propagation: when ctx carries a trace (a
+// live retrain trigger), the filter and per-model stage timers become its
+// child spans, so /debug/traces shows where a retrain's time went.
+func TrainCtx(ctx context.Context, cube *changecube.Cube, cfg Config) (*Detector, error) {
+	fctx, span := obs.StartSpanCtx(ctx, "train/filter")
+	hs, stats, err := filter.ApplyCtx(fctx, cube, cfg.Filter)
 	if err != nil {
 		return nil, fmt.Errorf("core: filtering: %w", err)
 	}
 	filterDur := span.End()
-	d, err := TrainFiltered(hs, stats, cfg)
+	d, err := TrainFilteredHintedCtx(ctx, hs, stats, cfg, TrainHints{})
 	if err != nil {
 		return nil, err
 	}
@@ -207,6 +216,12 @@ type TrainHints struct {
 // the result is bit-identical to TrainFiltered on the same inputs, hints
 // only shortcut the work (see correlation.TrainIncremental).
 func TrainFilteredHinted(hs *changecube.HistorySet, stats filter.Stats, cfg Config, hints TrainHints) (*Detector, error) {
+	return TrainFilteredHintedCtx(context.Background(), hs, stats, cfg, hints)
+}
+
+// TrainFilteredHintedCtx is TrainFilteredHinted with trace propagation for
+// the per-model stage timers.
+func TrainFilteredHintedCtx(ctx context.Context, hs *changecube.HistorySet, stats filter.Stats, cfg Config, hints TrainHints) (*Detector, error) {
 	if hs.Len() == 0 {
 		return nil, fmt.Errorf("core: no fields survive filtering")
 	}
@@ -218,7 +233,7 @@ func TrainFilteredHinted(hs *changecube.HistorySet, stats filter.Stats, cfg Conf
 	d.report.Filter = stats
 	start := time.Now()
 
-	span := obs.StartSpan("train/correlation")
+	_, span := obs.StartSpanCtx(ctx, "train/correlation")
 	if hints.Incremental {
 		var prev correlation.Previous
 		if hints.Prev != nil {
@@ -234,31 +249,31 @@ func TrainFilteredHinted(hs *changecube.HistorySet, stats filter.Stats, cfg Conf
 	}
 	d.report.add("train/correlation", span.End())
 
-	span = obs.StartSpan("train/assocrules")
+	_, span = obs.StartSpanCtx(ctx, "train/assocrules")
 	if d.assocRules, err = assocrules.Train(hs, splits.TrainVal, cfg.AssocRules); err != nil {
 		return nil, fmt.Errorf("core: association rules: %w", err)
 	}
 	d.report.add("train/assocrules", span.End())
 
-	span = obs.StartSpan("train/seasonal")
+	_, span = obs.StartSpanCtx(ctx, "train/seasonal")
 	if d.seasonalP, err = seasonal.Train(hs, splits.TrainVal, cfg.Seasonal); err != nil {
 		return nil, fmt.Errorf("core: seasonal: %w", err)
 	}
 	d.report.add("train/seasonal", span.End())
 
-	span = obs.StartSpan("train/familycorr")
+	_, span = obs.StartSpanCtx(ctx, "train/familycorr")
 	if d.familyCorr, err = familycorr.Train(hs, splits.TrainVal, cfg.FamilyCorr); err != nil {
 		return nil, fmt.Errorf("core: family correlations: %w", err)
 	}
 	d.report.add("train/familycorr", span.End())
 
-	span = obs.StartSpan("train/threshold")
+	_, span = obs.StartSpanCtx(ctx, "train/threshold")
 	if d.threshBase, err = baseline.TrainThreshold(hs, splits.Validation, timeline.StandardSizes, cfg.ThresholdFraction); err != nil {
 		return nil, fmt.Errorf("core: threshold baseline: %w", err)
 	}
 	d.report.add("train/threshold", span.End())
 
-	span = obs.StartSpan("train/ensembles")
+	_, span = obs.StartSpanCtx(ctx, "train/ensembles")
 	d.andEns, d.orEns = ensemble.Paper(d.fieldCorr, d.assocRules)
 	d.extOrEns = ensemble.Or{
 		Members: []predict.Predictor{d.fieldCorr, d.assocRules, d.seasonalP, d.familyCorr},
@@ -350,6 +365,19 @@ type StaleAlert struct {
 	// Explanation is the human-readable evidence (which related field or
 	// rule demanded the change).
 	Explanation string
+}
+
+// DetectStaleCtx is DetectStale wrapped in a trace child span, so a
+// request trace shows the detector scan as one timed node with its window
+// and alert count attached. Without a trace in ctx it costs nothing extra.
+func (d *Detector) DetectStaleCtx(ctx context.Context, asOf timeline.Day, windowSize int) []StaleAlert {
+	_, span := trace.StartChild(ctx, "detect_stale")
+	span.SetAttr("asof", asOf.String())
+	span.SetAttr("window_days", windowSize)
+	alerts := d.DetectStale(asOf, windowSize)
+	span.SetAttr("alerts", len(alerts))
+	span.End()
+	return alerts
 }
 
 // DetectStale runs the OR-ensemble over the window [asOf-windowSize, asOf)

@@ -111,8 +111,17 @@ type Rule struct {
 
 // Predictor holds the learned correlation rules.
 type Predictor struct {
-	rules    []Rule
-	partners map[changecube.FieldKey][]changecube.FieldKey
+	rules []Rule
+	// partners indexes each field's rules from that field's point of view,
+	// keeping the learned distance so the explain path can report how far
+	// below θ a fired rule was.
+	partners map[changecube.FieldKey][]partnerRule
+}
+
+// partnerRule is one correlation rule seen from one of its two fields.
+type partnerRule struct {
+	field    changecube.FieldKey
+	distance float64
 }
 
 var (
@@ -435,7 +444,7 @@ func newPredictor(rules []Rule) *Predictor {
 	defer tspan.End()
 	p := &Predictor{
 		rules:    rules,
-		partners: make(map[changecube.FieldKey][]changecube.FieldKey, len(rules)),
+		partners: make(map[changecube.FieldKey][]partnerRule, len(rules)),
 	}
 	sort.Slice(p.rules, func(i, j int) bool {
 		if p.rules[i].A != p.rules[j].A {
@@ -444,8 +453,8 @@ func newPredictor(rules []Rule) *Predictor {
 		return fieldLess(p.rules[i].B, p.rules[j].B)
 	})
 	for _, r := range p.rules {
-		p.partners[r.A] = append(p.partners[r.A], r.B)
-		p.partners[r.B] = append(p.partners[r.B], r.A)
+		p.partners[r.A] = append(p.partners[r.A], partnerRule{field: r.B, distance: r.Distance})
+		p.partners[r.B] = append(p.partners[r.B], partnerRule{field: r.A, distance: r.Distance})
 	}
 	return p
 }
@@ -468,7 +477,15 @@ func (p *Predictor) NumRules() int { return len(p.rules) }
 
 // Partners returns the fields correlated with f.
 func (p *Predictor) Partners(f changecube.FieldKey) []changecube.FieldKey {
-	return p.partners[f]
+	prs := p.partners[f]
+	if len(prs) == 0 {
+		return nil
+	}
+	out := make([]changecube.FieldKey, len(prs))
+	for i, pr := range prs {
+		out[i] = pr.field
+	}
+	return out
 }
 
 // Covers reports whether f participates in at least one rule.
@@ -479,8 +496,8 @@ func (p *Predictor) Covers(f changecube.FieldKey) bool {
 // Predict implements predict.Predictor: the target should have changed in
 // the window if any correlated partner changed in it.
 func (p *Predictor) Predict(ctx predict.Context) bool {
-	for _, partner := range p.partners[ctx.Target()] {
-		if ctx.FieldChangedIn(partner, ctx.Window().Span) {
+	for _, pr := range p.partners[ctx.Target()] {
+		if ctx.FieldChangedIn(pr.field, ctx.Window().Span) {
 			return true
 		}
 	}
@@ -494,8 +511,8 @@ func (p *Predictor) PredictWindows(b predict.Batch, out []bool) {
 	for i := range out {
 		out[i] = false
 	}
-	for _, partner := range p.partners[b.Target()] {
-		for i, changed := range b.FieldChanged(partner) {
+	for _, pr := range p.partners[b.Target()] {
+		for i, changed := range b.FieldChanged(pr.field) {
 			if changed {
 				out[i] = true
 			}
@@ -508,12 +525,33 @@ func (p *Predictor) PredictWindows(b predict.Batch, out []bool) {
 // prediction is negative.
 func (p *Predictor) Explain(ctx predict.Context) []changecube.FieldKey {
 	var changed []changecube.FieldKey
-	for _, partner := range p.partners[ctx.Target()] {
-		if ctx.FieldChangedIn(partner, ctx.Window().Span) {
-			changed = append(changed, partner)
+	for _, pr := range p.partners[ctx.Target()] {
+		if ctx.FieldChangedIn(pr.field, ctx.Window().Span) {
+			changed = append(changed, pr.field)
 		}
 	}
 	return changed
+}
+
+// FiredRule is one correlation rule that fired for a prediction: the
+// partner that changed in the window, with the learned distance it cleared
+// θ by.
+type FiredRule struct {
+	Partner  changecube.FieldKey
+	Distance float64
+}
+
+// ExplainRules is Explain with the rule evidence attached: every partner
+// that changed in the window together with its learned distance. Its
+// non-emptiness is exactly Predict's verdict.
+func (p *Predictor) ExplainRules(ctx predict.Context) []FiredRule {
+	var fired []FiredRule
+	for _, pr := range p.partners[ctx.Target()] {
+		if ctx.FieldChangedIn(pr.field, ctx.Window().Span) {
+			fired = append(fired, FiredRule{Partner: pr.field, Distance: pr.distance})
+		}
+	}
+	return fired
 }
 
 // FromRules reconstructs a predictor from previously learned rules — the

@@ -10,6 +10,7 @@
 package filter
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -139,6 +140,13 @@ func FieldDays(chs []changecube.Change, cfg Config) []timeline.Day {
 // Apply runs the pipeline over cube and returns the surviving day-level
 // histories plus the funnel statistics.
 func Apply(cube *changecube.Cube, cfg Config) (*changecube.HistorySet, Stats, error) {
+	return ApplyCtx(context.Background(), cube, cfg)
+}
+
+// ApplyCtx is Apply with trace propagation: when ctx carries a trace (a
+// retrain trigger, typically), the four stage timers become child spans of
+// it in addition to their usual histogram observations.
+func ApplyCtx(ctx context.Context, cube *changecube.Cube, cfg Config) (*changecube.HistorySet, Stats, error) {
 	if cfg.MinChanges < 1 {
 		return nil, Stats{}, fmt.Errorf("filter: MinChanges must be >= 1, got %d", cfg.MinChanges)
 	}
@@ -151,7 +159,7 @@ func Apply(cube *changecube.Cube, cfg Config) (*changecube.HistorySet, Stats, er
 	total := cube.NumChanges()
 
 	// Stage 1: bot reverts.
-	span := obs.StartSpan("filter/bot_reverts")
+	_, span := obs.StartSpanCtx(ctx, "filter/bot_reverts")
 	afterBots := 0
 	botFiltered := make(map[changecube.FieldKey][]changecube.Change, len(fields))
 	for k, chs := range fields {
@@ -162,7 +170,7 @@ func Apply(cube *changecube.Cube, cfg Config) (*changecube.HistorySet, Stats, er
 	stats.record("bot reverts", span, total, afterBots)
 
 	// Stage 2: day-level dedup via mode.
-	span = obs.StartSpan("filter/day_dedup")
+	_, span = obs.StartSpanCtx(ctx, "filter/day_dedup")
 	afterDedup := 0
 	dayChanges := make(map[changecube.FieldKey][]DayRepresentative, len(fields))
 	for k, chs := range botFiltered {
@@ -173,7 +181,7 @@ func Apply(cube *changecube.Cube, cfg Config) (*changecube.HistorySet, Stats, er
 	stats.record("day dedup", span, afterBots, afterDedup)
 
 	// Stage 3: drop creations and deletions.
-	span = obs.StartSpan("filter/create_delete")
+	_, span = obs.StartSpanCtx(ctx, "filter/create_delete")
 	afterCD := 0
 	updatesOnly := make(map[changecube.FieldKey][]timeline.Day, len(fields))
 	for k, dc := range dayChanges {
@@ -191,7 +199,7 @@ func Apply(cube *changecube.Cube, cfg Config) (*changecube.HistorySet, Stats, er
 	stats.record("create/delete", span, afterDedup, afterCD)
 
 	// Stage 4: minimum change count per field.
-	span = obs.StartSpan("filter/min_changes")
+	_, span = obs.StartSpanCtx(ctx, "filter/min_changes")
 	afterMin := 0
 	var histories []changecube.History
 	for k, days := range updatesOnly {

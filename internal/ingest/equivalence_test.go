@@ -144,8 +144,8 @@ func TestIncrementalRetrainEquivalence(t *testing.T) {
 			batches++
 			if batches%150 == 0 {
 				step++
-				mCold.retrain()
-				mInc.retrain()
+				mCold.retrain("count")
+				mInc.retrain("count")
 				compare(step)
 				if s := mInc.Stats(); s.LastRetrainPagesReused > 0 {
 					reusedRetrains++
@@ -160,8 +160,8 @@ func TestIncrementalRetrainEquivalence(t *testing.T) {
 		}
 	}
 	step++
-	mCold.retrain()
-	mInc.retrain()
+	mCold.retrain("count")
+	mInc.retrain("count")
 	compare(step)
 
 	s := mInc.Stats()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"github.com/wikistale/wikistale/internal/changecube"
 	"github.com/wikistale/wikistale/internal/core"
 	"github.com/wikistale/wikistale/internal/obs"
+	"github.com/wikistale/wikistale/internal/obs/trace"
 )
 
 // batchBuckets sizes the batch-size histogram (events per source batch).
@@ -48,6 +50,26 @@ func DefaultConfig() Config {
 		Incremental:      true,
 		FullRebuildEvery: 32,
 	}
+}
+
+// recentRetrainCap bounds the retrain history kept in Stats — enough for
+// /statusz to show the last few minutes of a busy loop.
+const recentRetrainCap = 16
+
+// RetrainRecord is one background retrain attempt, kept in a bounded
+// history for /v1/ingest/stats and /statusz.
+type RetrainRecord struct {
+	Time    string  `json:"time"`
+	Trigger string  `json:"trigger"` // "interval", "count", or "flush"
+	Seconds float64 `json:"seconds"`
+	// Mode is "incremental" or "full" on success, empty on failure.
+	Mode           string `json:"mode,omitempty"`
+	PagesReused    int    `json:"pages_reused,omitempty"`
+	PagesRetrained int    `json:"pages_retrained,omitempty"`
+	Error          string `json:"error,omitempty"`
+	// TraceID links the attempt to its trace in /debug/traces while the
+	// trace is still buffered.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Stats is the manager's point-in-time summary, served on
@@ -87,6 +109,9 @@ type Stats struct {
 	// SourceDone reports that the feed ended (io.EOF); the serving layer
 	// stays up on the final model.
 	SourceDone bool `json:"source_done"`
+	// RecentRetrains is the bounded history of retrain attempts, newest
+	// first.
+	RecentRetrains []RetrainRecord `json:"recent_retrains,omitempty"`
 }
 
 // Manager runs the online loop: consume batches from a Source into a
@@ -116,11 +141,14 @@ type Manager struct {
 	mu    sync.Mutex
 	stats Stats
 
+	logger *slog.Logger
+
 	eventsTotal    *obs.Counter
 	batchesTotal   *obs.Counter
 	batchSize      *obs.Histogram
 	feedLag        *obs.Gauge
 	stagedChanges  *obs.Gauge
+	dirtyFields    *obs.Gauge
 	retrainSeconds *obs.Histogram
 	retrainsTotal  *obs.Counter
 	retrainErrors  *obs.Counter
@@ -134,8 +162,9 @@ func NewManager(src Source, st *Staging, swap func(*core.Detector), cfg Config) 
 	reg.SetHelp("wikistale_ingest_events_total", "Change events consumed from the live feed.")
 	reg.SetHelp("wikistale_ingest_batches_total", "Source batches consumed from the live feed.")
 	reg.SetHelp("wikistale_ingest_batch_events", "Events per consumed source batch.")
-	reg.SetHelp("wikistale_ingest_feed_lag_seconds", "Wall-clock age of the newest ingested event.")
+	reg.SetHelp("wikistale_ingest_lag_seconds", "Wall-clock age of the newest ingested event (now minus newest applied event time).")
 	reg.SetHelp("wikistale_ingest_staged_changes", "Raw changes in the staging cube.")
+	reg.SetHelp("wikistale_staging_dirty_fields", "Fields touched since the last successful snapshot — pending input of the next incremental retrain.")
 	reg.SetHelp("wikistale_ingest_retrain_seconds", "Background retrain duration (snapshot + train).")
 	reg.SetHelp("wikistale_ingest_retrains_total", "Background retrains that produced a detector.")
 	reg.SetHelp("wikistale_ingest_retrain_errors_total", "Background retrains that failed.")
@@ -144,14 +173,24 @@ func NewManager(src Source, st *Staging, swap func(*core.Detector), cfg Config) 
 		st:             st,
 		cfg:            cfg,
 		swap:           swap,
+		logger:         slog.Default(),
 		eventsTotal:    reg.Counter("wikistale_ingest_events_total", nil),
 		batchesTotal:   reg.Counter("wikistale_ingest_batches_total", nil),
 		batchSize:      reg.Histogram("wikistale_ingest_batch_events", batchBuckets, nil),
-		feedLag:        reg.Gauge("wikistale_ingest_feed_lag_seconds", nil),
+		feedLag:        reg.Gauge("wikistale_ingest_lag_seconds", nil),
 		stagedChanges:  reg.Gauge("wikistale_ingest_staged_changes", nil),
+		dirtyFields:    reg.Gauge("wikistale_staging_dirty_fields", nil),
 		retrainSeconds: reg.Histogram("wikistale_ingest_retrain_seconds", obs.DurationBuckets, nil),
 		retrainsTotal:  reg.Counter("wikistale_ingest_retrains_total", nil),
 		retrainErrors:  reg.Counter("wikistale_ingest_retrain_errors_total", nil),
+	}
+}
+
+// SetLogger replaces the structured logger (default: slog.Default() at
+// construction).
+func (m *Manager) SetLogger(l *slog.Logger) {
+	if l != nil {
+		m.logger = l
 	}
 }
 
@@ -160,6 +199,13 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := m.stats
+	if n := len(m.stats.RecentRetrains); n > 0 {
+		// Copy newest-first so callers never alias the mutable ring.
+		s.RecentRetrains = make([]RetrainRecord, n)
+		for i, r := range m.stats.RecentRetrains {
+			s.RecentRetrains[n-1-i] = r
+		}
+	}
 	s.Staging = m.st.Stats()
 	s.PendingChanges = m.pending.Load()
 	if s.LastEventTime != "" {
@@ -190,7 +236,7 @@ func (m *Manager) Run(ctx context.Context) error {
 					return
 				case <-ticker.C:
 					if m.pending.Load() > 0 {
-						m.tryRetrain()
+						m.tryRetrain("interval")
 					}
 				}
 			}
@@ -212,7 +258,7 @@ func (m *Manager) Run(ctx context.Context) error {
 			// Final flush: fold everything still pending into one last
 			// detector before reporting the feed done.
 			if m.pending.Load() > 0 {
-				m.retrain()
+				m.retrain("flush")
 			}
 			return nil
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -221,14 +267,15 @@ func (m *Manager) Run(ctx context.Context) error {
 			return fmt.Errorf("ingest: source: %w", err)
 		}
 		if n := m.cfg.RetrainChanges; n > 0 && m.pending.Load() >= uint64(n) {
-			m.tryRetrain()
+			m.tryRetrain("count")
 		}
 	}
 }
 
 // consume appends one batch and updates metrics and stats.
 func (m *Manager) consume(events []Event) error {
-	if _, err := m.st.Append(events); err != nil {
+	touched, err := m.st.Append(events)
+	if err != nil {
 		return err
 	}
 	m.pending.Add(uint64(len(events)))
@@ -244,17 +291,21 @@ func (m *Manager) consume(events []Event) error {
 	lag := time.Since(time.Unix(newest, 0)).Seconds()
 	m.feedLag.Set(lag)
 	m.stagedChanges.Set(float64(m.st.Stats().Changes))
+	m.dirtyFields.Set(float64(m.st.DirtyCount()))
 	m.mu.Lock()
 	m.stats.Batches++
 	m.stats.LastBatchEvents = len(events)
 	m.stats.LastEventTime = time.Unix(newest, 0).UTC().Format(time.RFC3339)
 	m.mu.Unlock()
+	m.logger.Debug("batch applied",
+		"events", len(events), "fields_touched", touched,
+		"pending", m.pending.Load(), "lag_seconds", lag)
 	return nil
 }
 
 // tryRetrain starts a background retrain unless one is already running —
 // the triggers re-fire, so a skipped attempt is never lost.
-func (m *Manager) tryRetrain() {
+func (m *Manager) tryRetrain(trigger string) {
 	if !m.retrainMu.TryLock() {
 		return
 	}
@@ -262,31 +313,61 @@ func (m *Manager) tryRetrain() {
 	go func() {
 		defer m.wg.Done()
 		defer m.retrainMu.Unlock()
-		m.retrainLocked()
+		m.retrainLocked(trigger)
 	}()
 }
 
 // retrain runs one synchronous retrain (used for the EOF flush).
-func (m *Manager) retrain() {
+func (m *Manager) retrain(trigger string) {
 	m.retrainMu.Lock()
 	defer m.retrainMu.Unlock()
-	m.retrainLocked()
+	m.retrainLocked(trigger)
 }
 
-// retrainLocked snapshots, trains, and swaps. Caller holds retrainMu.
-func (m *Manager) retrainLocked() {
+// retrainLocked snapshots, trains, and swaps under a fresh root trace, so
+// /debug/traces shows the trigger and the filter/train stage breakdown of
+// every retrain. Caller holds retrainMu.
+func (m *Manager) retrainLocked(trigger string) {
 	m.pending.Store(0)
+	ctx, root := trace.StartIn(trace.Default, context.Background(), "retrain")
+	root.SetAttr("trigger", trigger)
 	start := time.Now()
-	det, err := m.train()
+	det, err := m.train(ctx)
 	elapsed := time.Since(start)
+	m.dirtyFields.Set(float64(m.st.DirtyCount()))
+	rec := RetrainRecord{
+		Time:    start.UTC().Format(time.RFC3339),
+		Trigger: trigger,
+		Seconds: elapsed.Seconds(),
+		TraceID: root.TraceID(),
+	}
 	if err != nil {
+		root.SetAttr("error", err.Error())
+		root.End()
+		rec.Error = err.Error()
 		m.retrainErrors.Inc()
 		m.mu.Lock()
 		m.stats.RetrainErrors++
 		m.stats.LastError = err.Error()
+		m.pushRetrainLocked(rec)
 		m.mu.Unlock()
+		m.logger.LogAttrs(ctx, slog.LevelWarn, "retrain failed",
+			slog.String("trigger", trigger),
+			slog.Duration("elapsed", elapsed),
+			slog.String("error", err.Error()))
 		return
 	}
+	rec.Mode = "full"
+	if m.cfg.Incremental {
+		inc := det.CorrelationRetrain()
+		if !inc.Full {
+			rec.Mode = "incremental"
+		}
+		rec.PagesReused = inc.PagesReused
+		rec.PagesRetrained = inc.PagesRetrained
+	}
+	root.SetAttr("mode", rec.Mode)
+	root.End()
 	m.retrainSeconds.Observe(elapsed.Seconds())
 	m.retrainsTotal.Inc()
 	m.mu.Lock()
@@ -294,22 +375,41 @@ func (m *Manager) retrainLocked() {
 	m.stats.LastRetrainSeconds = elapsed.Seconds()
 	m.stats.LastError = ""
 	if m.cfg.Incremental {
-		inc := det.CorrelationRetrain()
-		if inc.Full {
+		if rec.Mode == "full" {
 			m.stats.RetrainsFull++
 		} else {
 			m.stats.RetrainsIncremental++
 		}
-		m.stats.LastRetrainPagesReused = inc.PagesReused
-		m.stats.LastRetrainPagesRetrained = inc.PagesRetrained
+		m.stats.LastRetrainPagesReused = rec.PagesReused
+		m.stats.LastRetrainPagesRetrained = rec.PagesRetrained
 	}
+	m.pushRetrainLocked(rec)
 	m.mu.Unlock()
+	m.logger.LogAttrs(ctx, slog.LevelInfo, "retrain done",
+		slog.String("trigger", trigger),
+		slog.Duration("elapsed", elapsed),
+		slog.String("mode", rec.Mode),
+		slog.Int("pages_reused", rec.PagesReused),
+		slog.Int("pages_retrained", rec.PagesRetrained))
 	if m.swap != nil {
 		m.swap(det)
 		m.mu.Lock()
 		m.stats.Swaps++
 		m.mu.Unlock()
+		m.logger.LogAttrs(ctx, slog.LevelDebug, "detector handed to swap",
+			slog.String("trigger", trigger))
 	}
+}
+
+// pushRetrainLocked appends one attempt to the bounded history (oldest
+// evicted first). Caller holds m.mu.
+func (m *Manager) pushRetrainLocked(r RetrainRecord) {
+	rr := m.stats.RecentRetrains
+	if len(rr) >= recentRetrainCap {
+		copy(rr, rr[1:])
+		rr = rr[:len(rr)-1]
+	}
+	m.stats.RecentRetrains = append(rr, r)
 }
 
 // train builds a detector from the current staging snapshot. In
@@ -317,15 +417,15 @@ func (m *Manager) retrainLocked() {
 // detector into the trainer; dirty fields consumed from staging are
 // carried across failed attempts so no delta is ever lost. Caller holds
 // retrainMu.
-func (m *Manager) train() (*core.Detector, error) {
-	span := obs.StartSpan("ingest/retrain")
+func (m *Manager) train(ctx context.Context) (*core.Detector, error) {
+	ctx, span := obs.StartSpanCtx(ctx, "ingest/retrain")
 	defer span.End()
 	if !m.cfg.Incremental {
 		hs, stats, err := m.st.Snapshot()
 		if err != nil {
 			return nil, err
 		}
-		return core.TrainFiltered(hs, stats, m.cfg.Train)
+		return core.TrainFilteredHintedCtx(ctx, hs, stats, m.cfg.Train, core.TrainHints{})
 	}
 	hs, stats, dirty, err := m.st.SnapshotDelta()
 	if err != nil {
@@ -338,7 +438,7 @@ func (m *Manager) train() (*core.Detector, error) {
 		m.dirtyCarry[f] = true
 	}
 	forceFull := m.cfg.FullRebuildEvery > 0 && m.sinceFull >= m.cfg.FullRebuildEvery
-	det, err := core.TrainFilteredHinted(hs, stats, m.cfg.Train, core.TrainHints{
+	det, err := core.TrainFilteredHintedCtx(ctx, hs, stats, m.cfg.Train, core.TrainHints{
 		Incremental: true,
 		Prev:        m.lastGood,
 		DirtyFields: m.dirtyCarry,

@@ -265,6 +265,9 @@ type StagingStats struct {
 	Fields int `json:"fields"`
 	// EligibleFields counts fields currently clearing the MinChanges gate.
 	EligibleFields int `json:"eligible_fields"`
+	// DirtyFields counts fields touched since the last successful
+	// SnapshotDelta — the pending input of the next incremental retrain.
+	DirtyFields int `json:"dirty_fields"`
 	// FilteredChanges is the day-level change count over eligible fields —
 	// the training-set size of the next retrain.
 	FilteredChanges int `json:"filtered_changes"`
@@ -272,6 +275,15 @@ type StagingStats struct {
 	// changes are staged).
 	SpanStart string `json:"span_start,omitempty"`
 	SpanEnd   string `json:"span_end,omitempty"`
+}
+
+// DirtyCount reports the number of fields touched since the last
+// successful SnapshotDelta (backs the wikistale_staging_dirty_fields
+// gauge).
+func (st *Staging) DirtyCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.dirty)
 }
 
 // Stats returns the current staging summary.
@@ -284,6 +296,7 @@ func (st *Staging) Stats() StagingStats {
 		Fields:          len(st.fields),
 		EligibleFields:  st.eligible,
 		FilteredChanges: st.afterMin,
+		DirtyFields:     len(st.dirty),
 	}
 	if span := st.span(); span.Len() > 0 {
 		s.SpanStart = span.Start.String()

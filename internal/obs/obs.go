@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Labels attaches dimensions to a metric series. A nil map means the
@@ -93,17 +94,46 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf overflow
 	sum    atomic.Uint64   // float64 bits, CAS-updated
 	count  atomic.Uint64
+	// ex holds the most recent exemplar per bucket (len(bounds)+1, last is
+	// the +Inf overflow) — the trace-linked tail-latency breadcrumbs behind
+	// ObserveExemplar. Entries stay nil until a traced observation lands.
+	ex []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it, so a
+// tail-latency bucket points at a concrete /debug/traces entry.
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	Time    time.Time `json:"time"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	bs := make([]float64, len(bounds))
 	copy(bs, bounds)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	return &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Uint64, len(bs)+1),
+		ex:     make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v) }
+
+// ObserveExemplar is Observe plus an exemplar: the observation's bucket
+// remembers (value, traceID, now) as its most recent traced sample. An
+// empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.observe(v)
+	if traceID != "" {
+		h.ex[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
+}
+
+// observe records the value and returns its bucket index.
+func (h *Histogram) observe(v float64) int {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. v <= bound
 	h.counts[i].Add(1)
 	h.count.Add(1)
@@ -111,9 +141,31 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, next) {
-			return
+			return i
 		}
 	}
+}
+
+// Exemplars returns the per-bucket exemplars keyed by the bucket's upper
+// bound ("+Inf" for the overflow bucket); buckets without a traced
+// observation are absent.
+func (h *Histogram) Exemplars() map[string]Exemplar {
+	var out map[string]Exemplar
+	for i := range h.ex {
+		e := h.ex[i].Load()
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]Exemplar)
+		}
+		key := "+Inf"
+		if i < len(h.bounds) {
+			key = formatFloat(h.bounds[i])
+		}
+		out[key] = *e
+	}
+	return out
 }
 
 // Count returns the total number of observations.

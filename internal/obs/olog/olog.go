@@ -1,0 +1,125 @@
+// Package olog is the repository's structured logging layer: log/slog with
+// a shared wrapping handler that injects the request/retrain correlation
+// fields every log line should carry — the trace and span IDs from
+// internal/obs/trace and the model epoch from the context — so one grep by
+// trace_id stitches a request's log lines to its /debug/traces entry.
+//
+// The binaries configure it once at startup (Setup, driven by -log-level
+// and -log-format flags) and everything else logs through slog.Default or
+// an injected *slog.Logger with plain slog calls; the correlation fields
+// appear automatically whenever the ctx-taking variants (InfoContext etc.)
+// are used with a traced context.
+package olog
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+
+	"github.com/wikistale/wikistale/internal/obs/trace"
+)
+
+type epochKey struct{}
+
+// WithEpoch returns a context whose log lines carry epoch=seq. The serving
+// and ingest layers stamp it when they resolve which model epoch a request
+// or retrain is acting on.
+func WithEpoch(ctx context.Context, seq uint64) context.Context {
+	return context.WithValue(ctx, epochKey{}, seq)
+}
+
+// EpochFrom returns the epoch stamped by WithEpoch, if any.
+func EpochFrom(ctx context.Context) (uint64, bool) {
+	seq, ok := ctx.Value(epochKey{}).(uint64)
+	return seq, ok
+}
+
+// Handler wraps any slog.Handler and appends trace_id, span_id, and epoch
+// attributes to records whose context carries them.
+type Handler struct {
+	inner slog.Handler
+}
+
+// Wrap returns a Handler injecting correlation fields in front of inner.
+func Wrap(inner slog.Handler) *Handler {
+	return &Handler{inner: inner}
+}
+
+// Enabled defers to the wrapped handler.
+func (h *Handler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle appends the context's correlation fields and delegates.
+func (h *Handler) Handle(ctx context.Context, rec slog.Record) error {
+	if s := trace.FromContext(ctx); s != nil {
+		rec.AddAttrs(
+			slog.String("trace_id", s.TraceID()),
+			slog.String("span_id", s.SpanID()),
+		)
+	}
+	if seq, ok := EpochFrom(ctx); ok {
+		rec.AddAttrs(slog.Uint64("epoch", seq))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+// WithAttrs wraps the inner handler's WithAttrs so correlation fields keep
+// being injected on derived loggers.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &Handler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup wraps the inner handler's WithGroup.
+func (h *Handler) WithGroup(name string) slog.Handler {
+	return &Handler{inner: h.inner.WithGroup(name)}
+}
+
+// ParseLevel maps the -log-level flag values (debug, info, warn, error,
+// case-insensitive) to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// New builds a logger writing to w at the given level in the given format
+// ("text" or "json"), with the correlation-injecting Handler installed.
+func New(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	var inner slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		inner = slog.NewTextHandler(w, opts)
+	case "json":
+		inner = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+	return slog.New(Wrap(inner)), nil
+}
+
+// Setup is New plus slog.SetDefault, parsing the level from its flag
+// string — the one call each binary makes at startup.
+func Setup(w io.Writer, levelFlag, format string) (*slog.Logger, error) {
+	level, err := ParseLevel(levelFlag)
+	if err != nil {
+		return nil, err
+	}
+	logger, err := New(w, level, format)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(logger)
+	return logger, nil
+}

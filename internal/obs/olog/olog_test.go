@@ -1,0 +1,111 @@
+package olog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/obs/trace"
+)
+
+func TestHandlerInjectsTraceAndEpoch(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := New(&buf, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := trace.New(4)
+	ctx, span := trace.StartIn(rec, context.Background(), "req")
+	ctx = WithEpoch(ctx, 7)
+	logger.InfoContext(ctx, "served", "status", 200)
+	span.End()
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if line["trace_id"] != span.TraceID() {
+		t.Errorf("trace_id = %v, want %s", line["trace_id"], span.TraceID())
+	}
+	if line["span_id"] != span.SpanID() {
+		t.Errorf("span_id = %v, want %s", line["span_id"], span.SpanID())
+	}
+	if line["epoch"] != float64(7) {
+		t.Errorf("epoch = %v, want 7", line["epoch"])
+	}
+	if line["msg"] != "served" || line["status"] != float64(200) {
+		t.Errorf("line = %v", line)
+	}
+}
+
+func TestHandlerPlainContext(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := New(&buf, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.InfoContext(context.Background(), "plain")
+	if strings.Contains(buf.String(), "trace_id") || strings.Contains(buf.String(), "epoch") {
+		t.Errorf("untraced line leaked correlation fields: %s", buf.String())
+	}
+}
+
+func TestHandlerWithAttrsKeepsInjection(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := New(&buf, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := logger.With("component", "ingest")
+
+	rec := trace.New(4)
+	ctx, span := trace.StartIn(rec, context.Background(), "retrain")
+	derived.InfoContext(ctx, "swap")
+	span.End()
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line["component"] != "ingest" || line["trace_id"] != span.TraceID() {
+		t.Errorf("line = %v", line)
+	}
+}
+
+func TestLevelsAndFormats(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want slog.Level
+		ok   bool
+	}{
+		{"debug", slog.LevelDebug, true},
+		{"INFO", slog.LevelInfo, true},
+		{"", slog.LevelInfo, true},
+		{"warn", slog.LevelWarn, true},
+		{"error", slog.LevelError, true},
+		{"loud", 0, false},
+	} {
+		got, err := ParseLevel(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParseLevel(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := New(&bytes.Buffer{}, slog.LevelInfo, "xml"); err == nil {
+		t.Error("format xml accepted")
+	}
+
+	var buf bytes.Buffer
+	logger, err := New(&buf, slog.LevelWarn, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("hidden")
+	logger.Warn("shown")
+	if strings.Contains(buf.String(), "hidden") || !strings.Contains(buf.String(), "shown") {
+		t.Errorf("level filtering broken: %s", buf.String())
+	}
+}

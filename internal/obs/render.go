@@ -69,13 +69,16 @@ func writeSeries(w io.Writer, f famView, s *series) error {
 // JSONSeries is the JSON shape of one labeled series. Value is set for
 // counters and gauges; Count, Sum, and Buckets for histograms (Buckets
 // maps upper bound to cumulative count, excluding +Inf which equals
-// Count).
+// Count). Exemplars maps bucket upper bounds to the most recent
+// trace-linked observation in that bucket, when any request or stage ran
+// under a trace.
 type JSONSeries struct {
-	Labels  map[string]string `json:"labels,omitempty"`
-	Value   *float64          `json:"value,omitempty"`
-	Count   *uint64           `json:"count,omitempty"`
-	Sum     *float64          `json:"sum,omitempty"`
-	Buckets map[string]uint64 `json:"buckets,omitempty"`
+	Labels    map[string]string   `json:"labels,omitempty"`
+	Value     *float64            `json:"value,omitempty"`
+	Count     *uint64             `json:"count,omitempty"`
+	Sum       *float64            `json:"sum,omitempty"`
+	Buckets   map[string]uint64   `json:"buckets,omitempty"`
+	Exemplars map[string]Exemplar `json:"exemplars,omitempty"`
 }
 
 // JSONFamily is the JSON shape of one metric family.
@@ -107,6 +110,7 @@ func (r *Registry) JSON() map[string]JSONFamily {
 				for i, b := range bounds {
 					js.Buckets[formatFloat(b)] = cum[i]
 				}
+				js.Exemplars = s.h.Exemplars()
 			}
 			jf.Series = append(jf.Series, js)
 		}

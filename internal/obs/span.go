@@ -1,6 +1,11 @@
 package obs
 
-import "time"
+import (
+	"context"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/obs/trace"
+)
 
 // StageHistogram is the histogram every pipeline stage span records into,
 // labeled by stage name. The acceptance surface of the repo's perf work:
@@ -18,12 +23,16 @@ func init() {
 	Default.SetHelp(StageHistogram, "Wall-clock seconds per named pipeline stage (filter/* and train/*).")
 }
 
-// Span measures one named pipeline stage. Obtain with StartSpan, finish
-// with End; a Span must not be ended twice.
+// Span measures one named pipeline stage. Obtain with StartSpan (a plain
+// stage timer) or StartSpanCtx (also a child of the context's trace);
+// finish with End. A Span must not be ended twice.
 type Span struct {
 	name  string
 	reg   *Registry
 	start time.Time
+	// ts is the trace child span of the ctx-aware path; nil for plain
+	// timers, and nil-safe throughout (trace.Span methods tolerate nil).
+	ts *trace.Span
 }
 
 // StartSpan starts a stage timer on the Default registry.
@@ -38,13 +47,32 @@ func (r *Registry) StartSpan(name string) *Span {
 	return &Span{name: name, reg: r, start: time.Now()}
 }
 
+// StartSpanCtx starts a stage timer that is additionally a child span of
+// the trace carried by ctx, if any — this is how the training and filter
+// stage timers become children of a real request or retrain trace instead
+// of free-floating timers. Without a trace in ctx it behaves exactly like
+// StartSpan (and costs the same), so batch paths pay nothing.
+func StartSpanCtx(ctx context.Context, name string) (context.Context, *Span) {
+	return Default.StartSpanCtx(ctx, name)
+}
+
+// StartSpanCtx starts a ctx-aware stage timer on this registry.
+func (r *Registry) StartSpanCtx(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, reg: r, start: time.Now()}
+	ctx, s.ts = trace.StartChild(ctx, name)
+	return ctx, s
+}
+
 // Name returns the stage name the span was started with.
 func (s *Span) Name() string { return s.name }
 
-// End records the elapsed time into StageHistogram and returns it.
+// End records the elapsed time into StageHistogram and returns it. When
+// the span rides a trace, the trace child span ends too and the histogram
+// observation carries the trace ID as an exemplar.
 func (s *Span) End() time.Duration {
 	d := time.Since(s.start)
-	s.reg.ObserveStage(s.name, d)
+	s.ts.End()
+	s.reg.observeStage(s.name, d, s.ts.TraceID())
 	return d
 }
 
@@ -54,5 +82,14 @@ func ObserveStage(name string, d time.Duration) { Default.ObserveStage(name, d) 
 
 // ObserveStage records a pre-measured stage duration into StageHistogram.
 func (r *Registry) ObserveStage(name string, d time.Duration) {
-	r.Histogram(StageHistogram, DurationBuckets, Labels{"stage": name}).Observe(d.Seconds())
+	r.observeStage(name, d, "")
+}
+
+func (r *Registry) observeStage(name string, d time.Duration, traceID string) {
+	h := r.Histogram(StageHistogram, DurationBuckets, Labels{"stage": name})
+	if traceID == "" {
+		h.Observe(d.Seconds())
+		return
+	}
+	h.ObserveExemplar(d.Seconds(), traceID)
 }

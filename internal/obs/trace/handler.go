@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// tracesResponse is the JSON shape of /debug/traces.
+type tracesResponse struct {
+	// Total counts every trace ever recorded, including evicted ones.
+	Total uint64 `json:"total"`
+	// Traces lists the buffered traces, newest first.
+	Traces []Trace `json:"traces"`
+}
+
+// Handler serves the recorder's buffered traces as JSON, newest first.
+// ?limit=N truncates the list; ?trace_id=<id> returns just that trace
+// (404 when it has been evicted).
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		traces := r.Traces()
+		if id := req.URL.Query().Get("trace_id"); id != "" {
+			for _, t := range traces {
+				if t.TraceID == id {
+					writeTraceJSON(w, http.StatusOK, t)
+					return
+				}
+			}
+			writeTraceJSON(w, http.StatusNotFound,
+				map[string]string{"error": "trace " + id + " not in the buffer (evicted or never recorded)"})
+			return
+		}
+		if v := req.URL.Query().Get("limit"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[:n]
+			}
+		}
+		writeTraceJSON(w, http.StatusOK, tracesResponse{Total: r.Total(), Traces: traces})
+	})
+}
+
+func writeTraceJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

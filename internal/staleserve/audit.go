@@ -1,0 +1,108 @@
+package staleserve
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/obs/trace"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// auditLogSize bounds the in-memory audit log of recent positive
+// predictions. Positive verdicts are the system's outward-facing claims
+// ("this value might be out of date"), so the last few hundred are kept
+// reviewable at /v1/audit without any storage dependency.
+const auditLogSize = 256
+
+// AuditEntry is one positive staleness verdict the server handed out.
+type AuditEntry struct {
+	Time     time.Time `json:"time"`
+	Route    string    `json:"route"`
+	Page     string    `json:"page"`
+	Property string    `json:"property"`
+	AsOf     string    `json:"asof"`
+	Window   int       `json:"window_days"`
+	Epoch    uint64    `json:"epoch"`
+	Summary  string    `json:"summary"`
+	// TraceID links the verdict to its request trace in /debug/traces,
+	// when the trace is still buffered.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// auditLog is a bounded ring of recent positive predictions.
+type auditLog struct {
+	mu    sync.Mutex
+	cap   int
+	buf   []AuditEntry
+	next  int
+	total uint64
+}
+
+func newAuditLog(capacity int) *auditLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &auditLog{cap: capacity}
+}
+
+func (l *auditLog) add(e AuditEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % l.cap
+}
+
+// entries returns the buffered entries, newest first.
+func (l *auditLog) entries() []AuditEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AuditEntry, 0, len(l.buf))
+	for i := len(l.buf) - 1; i >= 0; i-- {
+		out = append(out, l.buf[(l.next+i)%len(l.buf)])
+	}
+	return out
+}
+
+func (l *auditLog) totals() (buffered int, total uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf), l.total
+}
+
+// recordAudit appends one positive verdict served to a client.
+func (s *Server) recordAudit(r *http.Request, ep *epoch, page, property string, asOf timeline.Day, window int, summary string) {
+	s.audit.add(AuditEntry{
+		Time:     time.Now(),
+		Route:    routeLabel(r.URL.Path),
+		Page:     page,
+		Property: property,
+		AsOf:     asOf.String(),
+		Window:   window,
+		Epoch:    ep.seq,
+		Summary:  summary,
+		TraceID:  trace.FromContext(r.Context()).TraceID(),
+	})
+}
+
+// handleAudit serves the recent positive predictions, newest first.
+// ?limit=N truncates the list.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	entries := s.audit.entries()
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(entries) {
+			entries = entries[:n]
+		}
+	}
+	_, total := s.audit.totals()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":   total,
+		"entries": entries,
+	})
+}

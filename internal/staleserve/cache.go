@@ -42,20 +42,23 @@ func newAlertCache(capacity int) *alertCache {
 type counter interface{ Inc() }
 
 // get returns the cached alerts for key, computing them at most once per
-// key across concurrent callers. compute runs outside the cache lock.
-func (c *alertCache) get(key string, hits, misses, waits counter, compute func() []core.StaleAlert) []core.StaleAlert {
+// key across concurrent callers, plus the outcome ("hit", "wait", or
+// "miss") for the request's span and log line. compute runs outside the
+// cache lock, on the calling goroutine — which is what lets the caller's
+// trace context flow into the computation.
+func (c *alertCache) get(key string, hits, misses, waits counter, compute func() []core.StaleAlert) ([]core.StaleAlert, string) {
 	c.mu.Lock()
 	if val, ok := c.entries[key]; ok {
 		c.touch(key)
 		c.mu.Unlock()
 		hits.Inc()
-		return val
+		return val, "hit"
 	}
 	if cl, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		waits.Inc()
 		<-cl.done
-		return cl.val
+		return cl.val, "wait"
 	}
 	cl := &call{done: make(chan struct{})}
 	c.inflight[key] = cl
@@ -69,7 +72,7 @@ func (c *alertCache) get(key string, hits, misses, waits counter, compute func()
 	c.insert(key, cl.val)
 	c.mu.Unlock()
 	close(cl.done)
-	return cl.val
+	return cl.val, "miss"
 }
 
 // touch moves key to the most-recent end. Caller holds the lock.

@@ -54,23 +54,23 @@ type demoData struct {
 }
 
 func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
-	ep := s.requireEpoch(w)
+	ep := s.requireEpoch(w, r)
 	if ep == nil {
 		return
 	}
 	page := r.URL.Query().Get("page")
 	if page == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("page is required"))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("page is required"))
 		return
 	}
 	asOf, window, err := ep.parseWindow(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	pageID, ok := ep.cube.Pages.Lookup(page)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown page"))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown page"))
 		return
 	}
 
@@ -89,14 +89,14 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if len(data.Fields) == 0 {
-		writeError(w, http.StatusNotFound, fmt.Errorf("page has no observed fields"))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("page has no observed fields"))
 		return
 	}
 	byProp := make(map[string]*demoField, len(data.Fields))
 	for i := range data.Fields {
 		byProp[data.Fields[i].Property] = &data.Fields[i]
 	}
-	for _, a := range s.alerts(ep, asOf, window) {
+	for _, a := range s.alerts(r.Context(), ep, asOf, window) {
 		if ep.cube.Page(a.Field.Entity) != changecube.PageID(pageID) {
 			continue
 		}

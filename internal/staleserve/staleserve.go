@@ -11,16 +11,23 @@
 // request and use it throughout; all per-epoch state is read-only after
 // construction apart from the alert cache, which has its own lock.
 //
-// Every request passes through a metrics middleware (request counts,
-// status classes, a latency histogram, an in-flight gauge); GET /metrics
-// renders the process-wide obs registry in Prometheus text format (or
-// JSON with ?format=json) and /debug/pprof/* serves the standard Go
+// Every request passes through one observability middleware: a root trace
+// span (propagated through the alert-cache singleflight into DetectStale,
+// served at /debug/traces), request metrics with trace exemplars on the
+// latency histogram, and one structured request log line carrying status,
+// latency, cache outcome, and epoch. Error responses are structured JSON
+// with the request's trace ID, so a failing call can be looked up in the
+// trace buffer. GET /metrics renders the process-wide obs registry in
+// Prometheus text format (or JSON with ?format=json), /statusz is the
+// human-readable status page, and /debug/pprof/* serves the standard Go
 // profiles.
 package staleserve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -31,6 +38,8 @@ import (
 	"github.com/wikistale/wikistale/internal/changecube"
 	"github.com/wikistale/wikistale/internal/core"
 	"github.com/wikistale/wikistale/internal/obs"
+	"github.com/wikistale/wikistale/internal/obs/olog"
+	"github.com/wikistale/wikistale/internal/obs/trace"
 	"github.com/wikistale/wikistale/internal/timeline"
 )
 
@@ -74,6 +83,10 @@ type epoch struct {
 	// several infoboxes sharing a property name, the first history in
 	// field order wins.
 	histIdx map[pageProp]changecube.History
+	// entIdx resolves a (page, property) pair back to the entity the
+	// detector reasons about — the address /v1/explain needs. Same
+	// first-wins tie-break as histIdx.
+	entIdx map[pageProp]changecube.EntityID
 	// known marks every (page, property) pair the detector can say
 	// anything about: observed histories plus history-less rule
 	// consequents. Pairs outside this set 404 on /v1/field.
@@ -84,15 +97,23 @@ type epoch struct {
 
 // Server serves a trained detector behind an atomically swappable epoch.
 type Server struct {
-	mux *http.ServeMux
-	reg *obs.Registry
+	mux    *http.ServeMux
+	reg    *obs.Registry
+	tracer *trace.Recorder
+	logger *slog.Logger
+	audit  *auditLog
 
 	// ep is nil until the first Swap (live cold start); handlers answer
 	// 503 in that state.
 	ep   atomic.Pointer[epoch]
 	seqs atomic.Uint64
+	// swapNanos is the wall-clock time of the last Swap (unix nanoseconds),
+	// backing the wikistale_epoch_age_seconds gauge and /statusz.
+	swapNanos atomic.Int64
+	started   time.Time
 
-	// ingestStats, when set, backs /v1/ingest/stats.
+	// ingestStats, when set, backs /v1/ingest/stats and the ingest section
+	// of /statusz.
 	ingestStats func() any
 
 	inFlightGauge *obs.Gauge
@@ -101,6 +122,7 @@ type Server struct {
 	cacheWaits    *obs.Counter
 	swapsTotal    *obs.Counter
 	epochGauge    *obs.Gauge
+	epochAge      *obs.Gauge
 }
 
 // New constructs a server over a trained detector, recording metrics into
@@ -113,11 +135,18 @@ func New(det *core.Detector) *Server {
 
 // NewLive constructs a server with no detector yet: every data endpoint
 // answers 503 and /readyz reports not-ready until the first Swap. This is
-// the cold-start entry point for live ingestion.
+// the cold-start entry point for live ingestion. Traces record into
+// trace.Default and logs go to slog.Default() — binaries configure both
+// before constructing the server (olog.Setup); tests may override with
+// SetTraceRecorder and SetLogger.
 func NewLive() *Server {
 	s := &Server{
-		mux: http.NewServeMux(),
-		reg: obs.Default,
+		mux:     http.NewServeMux(),
+		reg:     obs.Default,
+		tracer:  trace.Default,
+		logger:  slog.Default(),
+		audit:   newAuditLog(auditLogSize),
+		started: time.Now(),
 	}
 
 	s.reg.SetHelp("wikistale_http_requests_total", "HTTP requests served, by route and method.")
@@ -129,21 +158,28 @@ func NewLive() *Server {
 	s.reg.SetHelp("wikistale_alert_cache_waits_total", "DetectStale calls that waited on an identical in-flight computation.")
 	s.reg.SetHelp("wikistale_detector_swaps_total", "Detector epochs installed (initial load included).")
 	s.reg.SetHelp("wikistale_detector_epoch", "Sequence number of the currently served detector epoch.")
+	s.reg.SetHelp("wikistale_epoch_age_seconds", "Seconds since the serving detector epoch was installed (computed at scrape time).")
 	s.inFlightGauge = s.reg.Gauge("wikistale_http_in_flight", nil)
 	s.cacheHits = s.reg.Counter("wikistale_alert_cache_hits_total", nil)
 	s.cacheMisses = s.reg.Counter("wikistale_alert_cache_misses_total", nil)
 	s.cacheWaits = s.reg.Counter("wikistale_alert_cache_waits_total", nil)
 	s.swapsTotal = s.reg.Counter("wikistale_detector_swaps_total", nil)
 	s.epochGauge = s.reg.Gauge("wikistale_detector_epoch", nil)
+	s.epochAge = s.reg.Gauge("wikistale_epoch_age_seconds", nil)
+	registerBuildInfo(s.reg)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /v1/stale", s.handleStale)
 	s.mux.HandleFunc("GET /v1/field", s.handleField)
+	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/audit", s.handleAudit)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/ingest/stats", s.handleIngestStats)
 	s.mux.HandleFunc("GET /demo", s.handleDemo)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -151,6 +187,14 @@ func NewLive() *Server {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
+
+// SetTraceRecorder replaces the recorder request traces are published to
+// (tests inject private recorders; the default is trace.Default).
+func (s *Server) SetTraceRecorder(rec *trace.Recorder) { s.tracer = rec }
+
+// SetLogger replaces the request logger (the default is the process
+// logger at construction time).
+func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
 
 // Swap atomically installs a freshly trained detector as the new serving
 // epoch. In-flight requests finish on the epoch they started with; new
@@ -164,6 +208,7 @@ func (s *Server) Swap(det *core.Detector) {
 		det:     det,
 		cube:    cube,
 		histIdx: make(map[pageProp]changecube.History, det.Histories().Len()),
+		entIdx:  make(map[pageProp]changecube.EntityID, det.Histories().Len()),
 		known:   make(map[pageProp]bool, det.Histories().Len()),
 		cache:   newAlertCache(alertCacheSize),
 	}
@@ -171,6 +216,7 @@ func (s *Server) Swap(det *core.Detector) {
 		k := pageProp{page: cube.Page(h.Field.Entity), prop: h.Field.Property}
 		if _, ok := ep.histIdx[k]; !ok {
 			ep.histIdx[k] = h
+			ep.entIdx[k] = h.Field.Entity
 		}
 		ep.known[k] = true
 	}
@@ -183,12 +229,23 @@ func (s *Server) Swap(det *core.Detector) {
 	}
 	for entity := range det.Histories().ByEntity() {
 		for _, prop := range consequents[cube.Template(entity)] {
-			ep.known[pageProp{page: cube.Page(entity), prop: prop}] = true
+			k := pageProp{page: cube.Page(entity), prop: prop}
+			if _, ok := ep.entIdx[k]; !ok {
+				ep.entIdx[k] = entity
+			}
+			ep.known[k] = true
 		}
 	}
 	s.ep.Store(ep)
+	s.swapNanos.Store(time.Now().UnixNano())
 	s.swapsTotal.Inc()
 	s.epochGauge.Set(float64(ep.seq))
+	s.logger.LogAttrs(context.Background(), slog.LevelInfo, "detector swapped",
+		slog.Uint64("epoch", ep.seq),
+		slog.Int("fields", det.Histories().Len()),
+		slog.Int("correlation_rules", det.FieldCorrelations().NumRules()),
+		slog.Int("association_rules", det.AssociationRules().NumRules()),
+	)
 }
 
 // SetIngestStats wires the /v1/ingest/stats payload (typically
@@ -198,7 +255,8 @@ func (s *Server) SetIngestStats(fn func() any) { s.ingestStats = fn }
 // epoch returns the current serving epoch, or nil before the first Swap.
 func (s *Server) epoch() *epoch { return s.ep.Load() }
 
-// Handler returns the HTTP handler, wrapped in the metrics middleware.
+// Handler returns the HTTP handler, wrapped in the observability
+// middleware.
 func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 
 // knownRoutes bounds the cardinality of the route label: anything not
@@ -208,10 +266,14 @@ var knownRoutes = map[string]bool{
 	"/readyz":          true,
 	"/v1/stale":        true,
 	"/v1/field":        true,
+	"/v1/explain":      true,
+	"/v1/audit":        true,
 	"/v1/stats":        true,
 	"/v1/ingest/stats": true,
 	"/demo":            true,
 	"/metrics":         true,
+	"/statusz":         true,
+	"/debug/traces":    true,
 }
 
 func routeLabel(path string) string {
@@ -248,26 +310,73 @@ func statusClass(code int) string {
 	}
 }
 
-// instrument is the metrics middleware: request/response counters, a
-// per-route latency histogram, and an in-flight gauge.
+// reqInfo travels through the request context so inner layers (the alert
+// cache) can report their outcome into the middleware's span and log line.
+// Handlers run synchronously on the request goroutine, so plain fields
+// suffice.
+type reqInfo struct {
+	cacheOutcome string // "hit", "miss", "wait", or "" when no cache ran
+}
+
+type reqInfoKey struct{}
+
+func infoFrom(ctx context.Context) *reqInfo {
+	i, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return i
+}
+
+// instrument is the observability middleware: a root trace span for the
+// request, request/response counters, a per-route latency histogram with
+// trace exemplars, an in-flight gauge, and one structured log line per
+// request.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.inFlightGauge.Inc()
 		defer s.inFlightGauge.Dec()
-		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		next.ServeHTTP(rec, r)
+
 		route := routeLabel(r.URL.Path)
+		ctx, span := trace.StartIn(s.tracer, r.Context(), route)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+		if ep := s.epoch(); ep != nil {
+			ctx = olog.WithEpoch(ctx, ep.seq)
+		}
+		info := &reqInfo{}
+		ctx = context.WithValue(ctx, reqInfoKey{}, info)
+
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r.WithContext(ctx))
+
+		elapsed := time.Since(start)
+		span.SetAttr("status", rec.code)
+		if info.cacheOutcome != "" {
+			span.SetAttr("cache", info.cacheOutcome)
+		}
+
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.Int("status", rec.code),
+			slog.Duration("latency", elapsed),
+		}
+		if info.cacheOutcome != "" {
+			attrs = append(attrs, slog.String("cache", info.cacheOutcome))
+		}
+		s.logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+		span.End()
+
 		s.reg.Counter("wikistale_http_requests_total",
 			obs.Labels{"route": route, "method": r.Method}).Inc()
 		s.reg.Counter("wikistale_http_responses_total",
 			obs.Labels{"class": statusClass(rec.code)}).Inc()
 		s.reg.Histogram("wikistale_http_request_seconds", obs.DurationBuckets,
-			obs.Labels{"route": route}).Observe(time.Since(start).Seconds())
+			obs.Labels{"route": route}).ObserveExemplar(elapsed.Seconds(), span.TraceID())
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshEpochAge()
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
 		_ = s.reg.WriteJSON(w)
@@ -277,12 +386,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.reg.WritePrometheus(w)
 }
 
+// refreshEpochAge recomputes the epoch-age gauge at scrape time — a gauge
+// set only at swap time would freeze while the model silently grows stale,
+// which is the exact condition it exists to expose.
+func (s *Server) refreshEpochAge() {
+	if nanos := s.swapNanos.Load(); nanos > 0 {
+		s.epochAge.Set(time.Since(time.Unix(0, nanos)).Seconds())
+	}
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	s.tracer.Handler().ServeHTTP(w, r)
+}
+
 // requireEpoch returns the serving epoch, answering 503 when none is
 // installed yet (live cold start before the first successful retrain).
-func (s *Server) requireEpoch(w http.ResponseWriter) *epoch {
+func (s *Server) requireEpoch(w http.ResponseWriter, r *http.Request) *epoch {
 	ep := s.epoch()
 	if ep == nil {
-		writeError(w, http.StatusServiceUnavailable,
+		writeError(w, r, http.StatusServiceUnavailable,
 			fmt.Errorf("no detector yet: live ingestion is still warming up"))
 	}
 	return ep
@@ -315,9 +437,9 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleIngestStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
 	if s.ingestStats == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("not running in live mode"))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("not running in live mode"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.ingestStats())
@@ -350,32 +472,42 @@ func (ep *epoch) parseWindow(r *http.Request) (timeline.Day, int, error) {
 // dashboards poll a handful of (asof, window) keys repeatedly, and two
 // dashboards on different keys must not thrash each other. Concurrent
 // requests for the same key share one computation (singleflight), and the
-// computation runs outside the cache lock.
-func (s *Server) alerts(ep *epoch, asOf timeline.Day, window int) []core.StaleAlert {
+// computation runs outside the cache lock — on the calling goroutine, so
+// the computing request's trace context flows into DetectStale and its
+// trace carries the detect_stale child span.
+func (s *Server) alerts(ctx context.Context, ep *epoch, asOf timeline.Day, window int) []core.StaleAlert {
 	key := fmt.Sprintf("%d/%d", asOf, window)
-	return ep.cache.get(key, s.cacheHits, s.cacheMisses, s.cacheWaits, func() []core.StaleAlert {
-		return ep.det.DetectStale(asOf, window)
+	cctx, span := trace.StartChild(ctx, "alert_cache")
+	span.SetAttr("key", key)
+	val, outcome := ep.cache.get(key, s.cacheHits, s.cacheMisses, s.cacheWaits, func() []core.StaleAlert {
+		return ep.det.DetectStaleCtx(cctx, asOf, window)
 	})
+	span.SetAttr("outcome", outcome)
+	span.End()
+	if info := infoFrom(ctx); info != nil {
+		info.cacheOutcome = outcome
+	}
+	return val
 }
 
 func (s *Server) handleStale(w http.ResponseWriter, r *http.Request) {
-	ep := s.requireEpoch(w)
+	ep := s.requireEpoch(w, r)
 	if ep == nil {
 		return
 	}
 	asOf, window, err := ep.parseWindow(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	limit := 0
 	if v := r.URL.Query().Get("limit"); v != "" {
 		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
 			return
 		}
 	}
-	alerts := s.alerts(ep, asOf, window)
+	alerts := s.alerts(r.Context(), ep, asOf, window)
 	out := make([]Alert, 0, len(alerts))
 	for i, a := range alerts {
 		if limit > 0 && i >= limit {
@@ -404,55 +536,115 @@ func (ep *epoch) render(a core.StaleAlert) Alert {
 	}
 }
 
-// handleField is the marker lookup: given page and property, is the value
-// possibly out of date right now?
-func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
-	ep := s.requireEpoch(w)
-	if ep == nil {
-		return
-	}
+// resolveField maps the page/property query parameters to the detector's
+// field address, writing the appropriate error response when it cannot.
+func (ep *epoch) resolveField(w http.ResponseWriter, r *http.Request) (changecube.FieldKey, pageProp, bool) {
 	page := r.URL.Query().Get("page")
 	property := r.URL.Query().Get("property")
 	if page == "" || property == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("page and property are required"))
-		return
-	}
-	asOf, window, err := ep.parseWindow(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("page and property are required"))
+		return changecube.FieldKey{}, pageProp{}, false
 	}
 	pageID, okPage := ep.cube.Pages.Lookup(page)
 	propID, okProp := ep.cube.Properties.Lookup(property)
 	if !okPage || !okProp {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown page or property"))
-		return
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown page or property"))
+		return changecube.FieldKey{}, pageProp{}, false
 	}
 	k := pageProp{page: changecube.PageID(pageID), prop: changecube.PropertyID(propID)}
 	if !ep.known[k] {
 		// Both names exist somewhere in the corpus, but this page carries
 		// no such observed field — a zero-value 200 here would read as "not
 		// stale" when the detector actually knows nothing about the pair.
-		writeError(w, http.StatusNotFound,
+		writeError(w, r, http.StatusNotFound,
 			fmt.Errorf("page %q has no observed field %q", page, property))
+		return changecube.FieldKey{}, pageProp{}, false
+	}
+	return changecube.FieldKey{Entity: ep.entIdx[k], Property: k.prop}, k, true
+}
+
+// handleField is the marker lookup: given page and property, is the value
+// possibly out of date right now?
+func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
+	ep := s.requireEpoch(w, r)
+	if ep == nil {
 		return
 	}
-	status := FieldStatus{Page: page, Property: property}
+	asOf, window, err := ep.parseWindow(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	_, k, ok := ep.resolveField(w, r)
+	if !ok {
+		return
+	}
+	status := FieldStatus{
+		Page:     r.URL.Query().Get("page"),
+		Property: r.URL.Query().Get("property"),
+	}
 	if h, ok := ep.histIdx[k]; ok {
 		status.LastChanged = h.Days[len(h.Days)-1].String()
 	}
-	for _, a := range s.alerts(ep, asOf, window) {
+	for _, a := range s.alerts(r.Context(), ep, asOf, window) {
 		if ep.cube.Page(a.Field.Entity) == k.page && a.Field.Property == k.prop {
 			status.Stale = true
 			status.Explanation = a.Explanation
 			break
 		}
 	}
+	if status.Stale {
+		s.recordAudit(r, ep, status.Page, status.Property, asOf, window, status.Explanation)
+	}
 	writeJSON(w, http.StatusOK, status)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	ep := s.requireEpoch(w)
+// explainResponse is the JSON shape of /v1/explain: the field address and
+// window echoed back, plus the detector's full audit record.
+type explainResponse struct {
+	Page     string `json:"page"`
+	Property string `json:"property"`
+	AsOf     string `json:"asof"`
+	Window   int    `json:"window_days"`
+	Epoch    uint64 `json:"epoch"`
+	core.Explanation
+}
+
+// handleExplain is the audit lookup: why does (or doesn't) the detector
+// consider this field stale? The response lists the fired correlation and
+// association rules with their learned statistics and every predictor's
+// vote; its stale verdict is exactly /v1/field's.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	ep := s.requireEpoch(w, r)
+	if ep == nil {
+		return
+	}
+	asOf, window, err := ep.parseWindow(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	field, _, ok := ep.resolveField(w, r)
+	if !ok {
+		return
+	}
+	ex := ep.det.ExplainCtx(r.Context(), field, asOf, window)
+	resp := explainResponse{
+		Page:        r.URL.Query().Get("page"),
+		Property:    r.URL.Query().Get("property"),
+		AsOf:        asOf.String(),
+		Window:      window,
+		Epoch:       ep.seq,
+		Explanation: ex,
+	}
+	if ex.Stale {
+		s.recordAudit(r, ep, resp.Page, resp.Property, asOf, window, ex.Summary)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ep := s.requireEpoch(w, r)
 	if ep == nil {
 		return
 	}
@@ -478,6 +670,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // the connection is the only failure mode here
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeError renders the structured error body. Every error response
+// carries the request's trace ID so a failing call can be looked up at
+// /debug/traces?trace_id=....
+func writeError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	body := map[string]string{"error": err.Error()}
+	if id := trace.FromContext(r.Context()).TraceID(); id != "" {
+		body["trace_id"] = id
+	}
+	writeJSON(w, code, body)
 }

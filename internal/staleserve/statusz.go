@@ -1,0 +1,95 @@
+package staleserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/obs"
+)
+
+// buildVersion resolves the module version and VCS revision from the
+// binary's embedded build info. "devel" when built outside a module
+// release (go test, local go run).
+func buildVersion() (version, revision string) {
+	version, revision = "devel", "unknown"
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, revision
+	}
+	if info.Main.Version != "" && info.Main.Version != "(devel)" {
+		version = info.Main.Version
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			revision = kv.Value
+		}
+	}
+	return version, revision
+}
+
+// registerBuildInfo publishes the classic build-info gauge: constant 1,
+// with the interesting facts in the labels.
+func registerBuildInfo(reg *obs.Registry) {
+	version, revision := buildVersion()
+	reg.SetHelp("wikistale_build_info",
+		"Constant 1; the binary's version, VCS revision, and Go runtime are in the labels.")
+	reg.Gauge("wikistale_build_info", obs.Labels{
+		"version":    version,
+		"revision":   revision,
+		"go_version": runtime.Version(),
+	}).Set(1)
+}
+
+// handleStatusz renders the human-readable status page: build identity,
+// serving epoch, cache and audit counters, and the live-ingestion state
+// when the server runs in live mode.
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	s.refreshEpochAge()
+	version, revision := buildVersion()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+
+	fmt.Fprintf(w, "wikistale staleserve\n")
+	fmt.Fprintf(w, "  version:    %s (%s)\n", version, revision)
+	fmt.Fprintf(w, "  go:         %s\n", runtime.Version())
+	fmt.Fprintf(w, "  uptime:     %s\n", time.Since(s.started).Round(time.Second))
+	fmt.Fprintf(w, "\n")
+
+	ep := s.epoch()
+	if ep == nil {
+		fmt.Fprintf(w, "detector: none yet (live cold start; /readyz is 503)\n")
+	} else {
+		fmt.Fprintf(w, "detector epoch %d\n", ep.seq)
+		fmt.Fprintf(w, "  installed:  %s ago\n",
+			time.Since(time.Unix(0, s.swapNanos.Load())).Round(time.Second))
+		fmt.Fprintf(w, "  fields:     %d\n", ep.det.Histories().Len())
+		fmt.Fprintf(w, "  corr rules: %d\n", ep.det.FieldCorrelations().NumRules())
+		fmt.Fprintf(w, "  assoc rules:%d\n", ep.det.AssociationRules().NumRules())
+		span := ep.det.Histories().Span()
+		fmt.Fprintf(w, "  data span:  %s .. %s\n", span.Start, span.End)
+	}
+	fmt.Fprintf(w, "\n")
+
+	fmt.Fprintf(w, "alert cache: %d hits, %d misses, %d waits\n",
+		s.cacheHits.Value(), s.cacheMisses.Value(), s.cacheWaits.Value())
+	buffered, total := s.audit.totals()
+	fmt.Fprintf(w, "audit log:   %d positive verdicts served (%d buffered; /v1/audit)\n", total, buffered)
+	fmt.Fprintf(w, "traces:      %d recorded (%d buffered; /debug/traces)\n",
+		s.tracer.Total(), s.tracer.Len())
+	fmt.Fprintf(w, "\n")
+
+	if s.ingestStats == nil {
+		fmt.Fprintf(w, "ingest: not running in live mode\n")
+		return
+	}
+	fmt.Fprintf(w, "ingest (see /v1/ingest/stats):\n")
+	out, err := json.MarshalIndent(s.ingestStats(), "  ", "  ")
+	if err != nil {
+		fmt.Fprintf(w, "  <unrenderable: %v>\n", err)
+		return
+	}
+	fmt.Fprintf(w, "  %s\n", out)
+}
