@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench check lint fuzz experiments figures cover clean
+.PHONY: all build test race bench check lint fuzz loadsmoke experiments figures cover clean
 
 all: build test
 
@@ -40,6 +40,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseInfoboxes$$' -fuzztime $(FUZZTIME) ./internal/wikitext
 	$(GO) test -run '^$$' -fuzz '^FuzzDetectCounterAnomalies$$' -fuzztime $(FUZZTIME) ./internal/values
 	$(GO) test -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME) ./internal/ingest
+
+# HTTP load smoke: boot a live staleserve on the simulated feed, drive
+# it with cmd/staleload in both loop modes, assert healthy throughput,
+# and leave the latency report in BENCH_HTTP.json (see scripts/loadsmoke.sh).
+loadsmoke:
+	sh scripts/loadsmoke.sh
 
 # Regenerate every table and figure of the paper on the default corpus.
 experiments:

@@ -12,9 +12,12 @@
 //	GET /v1/audit                           recent positive verdicts served
 //	GET /v1/stats                           corpus and rule statistics
 //	GET /v1/ingest/stats                    live-feed progress (live mode only)
+//	GET /v1/catalog                         servable (page, property) pairs (for load harnesses)
 //	GET /statusz                            human-readable status page
 //	GET /metrics                            Prometheus text (?format=json for JSON)
-//	GET /debug/traces                       recent request/retrain traces (JSON)
+//	GET /debug/traces                       recent request/retrain traces (?route=, ?min_ns=)
+//	GET /debug/slo                          SLO burn rates over rolling windows (JSON)
+//	GET /debug/profiles                     pprof profiles captured by burn-rate trips
 //	GET /debug/pprof/                       Go profiling endpoints
 //
 // Batch mode (the default) trains once on -i and serves that detector
@@ -185,6 +188,7 @@ func runLive(source, warmCube, addr string, drain time.Duration, follow bool, re
 	}
 	mgr := ingest.NewManager(src, st, srv.Swap, mcfg)
 	srv.SetIngestStats(func() any { return mgr.Stats() })
+	srv.SetLagSource(mgr.FeedLag)
 
 	serve(srv, addr, drain, mgr)
 }
@@ -197,6 +201,10 @@ func serve(s *staleserve.Server, addr string, drain time.Duration, mgr *ingest.M
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	// Keep the wikistale_go_* runtime gauges fresh between scrapes.
+	s.StartRuntimeSampler()
+	defer s.StopRuntimeSampler()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -216,6 +216,25 @@ func (m *Manager) Stats() Stats {
 	return s
 }
 
+// FeedLag returns the wall-clock age in seconds of the newest event the
+// manager has applied — the data-freshness number the serving layer puts
+// next to its SLO burn rates (staleserve.SetLagSource). Recomputed from
+// the newest event time so it keeps growing while the feed is silent;
+// zero before any event has arrived.
+func (m *Manager) FeedLag() float64 {
+	m.mu.Lock()
+	last := m.stats.LastEventTime
+	m.mu.Unlock()
+	if last == "" {
+		return 0
+	}
+	t, err := time.Parse(time.RFC3339, last)
+	if err != nil {
+		return 0
+	}
+	return time.Since(t).Seconds()
+}
+
 // Run consumes the feed until it ends (io.EOF, returning nil after one
 // final flush retrain) or ctx is cancelled (returning ctx.Err after
 // waiting for any in-flight retrain). A time trigger runs alongside so a

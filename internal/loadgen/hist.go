@@ -1,0 +1,118 @@
+// Package loadgen drives HTTP load at a staleserve instance and measures
+// serving latency: a zipf-over-catalog workload model, closed- and
+// open-loop arrival processes, and a log-bucketed histogram with enough
+// resolution for microsecond-scale quantiles.
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values below 2^subBits nanoseconds get exact
+// unit buckets; above that, every power-of-two octave is split into
+// 2^subBits sub-buckets, bounding quantile error at ~3% of the value —
+// the same trick HDR histograms use, without the dependency.
+const (
+	subBits    = 5
+	subBuckets = 1 << subBits
+	numBuckets = subBuckets + (63-subBits)*subBuckets // exact region + octaves
+)
+
+// Hist is a fixed-size concurrent latency histogram. Record is lock-free
+// (one atomic add per call plus a CAS loop for the max), so workers share
+// one instance without coordination.
+type Hist struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // position of the leading bit, >= subBits
+	// The sub-bucket is the subBits bits after the leading bit.
+	sub := (v >> (uint(exp) - subBits)) - subBuckets
+	idx := (exp-subBits)*subBuckets + subBuckets + int(sub)
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue returns the representative (midpoint) nanosecond value of a
+// bucket.
+func bucketValue(idx int) uint64 {
+	if idx < subBuckets {
+		return uint64(idx)
+	}
+	oct := (idx - subBuckets) / subBuckets // octave above the exact region
+	sub := uint64((idx - subBuckets) % subBuckets)
+	shift := uint(oct) // lower bound = (subBuckets+sub) << oct
+	lower := (subBuckets + sub) << shift
+	width := uint64(1) << shift
+	return lower + width/2
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	v := uint64(d)
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Max returns the largest recorded value.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean of recorded values.
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) as a duration. The
+// answer is the representative value of the bucket holding the q-th
+// observation, so it is within one bucket width (~3%) of exact.
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			v := bucketValue(i)
+			if m := h.max.Load(); v > m {
+				v = m // the top bucket's midpoint can overshoot the true max
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max()
+}

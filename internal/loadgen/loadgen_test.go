@@ -1,0 +1,332 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every bucket's representative value must map back to that bucket —
+	// otherwise quantiles drift.
+	for i := 0; i < numBuckets; i++ {
+		v := bucketValue(i)
+		if got := bucketIndex(v); got != i {
+			t.Fatalf("bucketIndex(bucketValue(%d)=%d) = %d", i, v, got)
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := &Hist{}
+	// 1..1000 µs uniformly: p50 ≈ 500µs, p99 ≈ 990µs within the ~3%
+	// bucket resolution.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.90, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if err := math.Abs(float64(got-c.want)) / float64(c.want); err > 0.05 {
+			t.Errorf("q%.2f = %v, want %v ±5%%", c.q, got, c.want)
+		}
+	}
+	if h.Max() != time.Millisecond {
+		t.Errorf("max = %v, want 1ms", h.Max())
+	}
+	// The top quantile is clamped to the true max, not the bucket
+	// midpoint above it.
+	if q := h.Quantile(1.0); q > h.Max() {
+		t.Errorf("q1.0 = %v exceeds max %v", q, h.Max())
+	}
+}
+
+func TestHistZero(t *testing.T) {
+	h := &Hist{}
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must answer zeros")
+	}
+	h.Record(-time.Second) // negative clock skew clamps to 0
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative record: count=%d max=%v", h.Count(), h.Max())
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("field=60, explain=20,stale=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["field"] != 60 || mix["explain"] != 20 || mix["stale"] != 20 {
+		t.Fatalf("mix = %v", mix)
+	}
+	for _, bad := range []string{"", "field", "field=-1", "bogus=10", "field=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPickerZipfHead(t *testing.T) {
+	w := &Workload{
+		BaseURL: "http://x",
+		Fields:  manyFields(100),
+		ZipfS:   1.3,
+		Mix:     map[string]int{"field": 1},
+	}
+	p := w.newPicker(42)
+	hits := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		_, u := p.next()
+		hits[u]++
+	}
+	// The rank-0 field must dominate any mid-tail field.
+	head := hits["http://x/v1/field?page=page000&property=prop000"]
+	if head < 200 {
+		t.Fatalf("zipf head got %d of 2000 hits; distribution not head-heavy: %d distinct", head, len(hits))
+	}
+}
+
+func TestPickerMixAndRoutes(t *testing.T) {
+	w := &Workload{
+		BaseURL: "http://x/",
+		Fields:  manyFields(5),
+		Mix:     map[string]int{"field": 1, "explain": 1, "stale": 1},
+	}
+	p := w.newPicker(1)
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		route, u := p.next()
+		seen[route] = true
+		switch route {
+		case "stale":
+			if !strings.HasPrefix(u, "http://x/v1/stale?window=") {
+				t.Fatalf("stale url = %s", u)
+			}
+		default:
+			if !strings.HasPrefix(u, "http://x/v1/"+route+"?page=") {
+				t.Fatalf("%s url = %s", route, u)
+			}
+		}
+	}
+	for _, r := range routeNames {
+		if !seen[r] {
+			t.Fatalf("route %s never picked with equal weights", r)
+		}
+	}
+}
+
+func manyFields(n int) []Field {
+	fields := make([]Field, n)
+	for i := range fields {
+		fields[i] = Field{
+			Page:     "page" + pad3(i),
+			Property: "prop" + pad3(i),
+		}
+	}
+	return fields
+}
+
+func pad3(i int) string {
+	s := "00" + strstr(i)
+	return s[len(s)-3:]
+}
+
+func strstr(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; i > 0; i /= 10 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+	}
+	return string(b)
+}
+
+// testServer answers every /v1/* route and counts requests.
+func testServer(t *testing.T, delay time.Duration, failEvery int) (*httptest.Server, *atomic.Uint64) {
+	t.Helper()
+	var n atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := n.Add(1)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if failEvery > 0 && i%uint64(failEvery) == 0 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &n
+}
+
+func testWorkload(u string) *Workload {
+	return &Workload{
+		BaseURL: u,
+		Fields:  manyFields(10),
+		Mix:     map[string]int{"field": 60, "explain": 20, "stale": 20},
+	}
+}
+
+func TestClosedLoop(t *testing.T) {
+	srv, hits := testServer(t, 0, 0)
+	res, err := Run(context.Background(), testWorkload(srv.URL), Options{
+		Mode:        ModeClosed,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Requests != hits.Load() {
+		t.Fatalf("requests = %d, server saw %d", res.Requests, hits.Load())
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.RPS() <= 0 {
+		t.Fatalf("rps = %f", res.RPS())
+	}
+	if res.Latency.Count() != res.Requests {
+		t.Fatalf("latency count %d != requests %d", res.Latency.Count(), res.Requests)
+	}
+	var routed uint64
+	for _, c := range res.Routes {
+		routed += c
+	}
+	if routed != res.Requests {
+		t.Fatalf("route counts sum %d != requests %d", routed, res.Requests)
+	}
+}
+
+func TestOpenLoopHitsTargetRate(t *testing.T) {
+	srv, _ := testServer(t, 0, 0)
+	res, err := Run(context.Background(), testWorkload(srv.URL), Options{
+		Mode:        ModeOpen,
+		Concurrency: 4,
+		TargetRPS:   200,
+		Duration:    500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 rps for 0.5 s schedules 100 arrivals; a fast server completes
+	// all of them with nothing dropped.
+	if res.Requests < 90 || res.Requests > 110 {
+		t.Fatalf("requests = %d, want ~100", res.Requests)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped = %d on an idle server", res.Dropped)
+	}
+}
+
+func TestOpenLoopChargesQueueDelay(t *testing.T) {
+	// 2 workers × 50 ms service time = 40 rps capacity; scheduling
+	// 200 rps must push the measured tail far above the 50 ms service
+	// time, because latency runs from the scheduled arrival.
+	srv, _ := testServer(t, 50*time.Millisecond, 0)
+	res, err := Run(context.Background(), testWorkload(srv.URL), Options{
+		Mode:        ModeOpen,
+		Concurrency: 2,
+		TargetRPS:   200,
+		Duration:    500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99 := res.Latency.Quantile(0.99); p99 < 100*time.Millisecond {
+		t.Fatalf("p99 = %v under 5x overload; queue delay not charged", p99)
+	}
+}
+
+func TestErrorCounting(t *testing.T) {
+	srv, _ := testServer(t, 0, 2) // every 2nd request is a 500
+	res, err := Run(context.Background(), testWorkload(srv.URL), Options{
+		Mode:        ModeClosed,
+		Concurrency: 2,
+		Duration:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("no errors counted against a failing server")
+	}
+	if r := res.ErrorRate(); r < 0.3 || r > 0.7 {
+		t.Fatalf("error rate = %f, want ~0.5", r)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w := testWorkload("http://localhost:0")
+	if _, err := Run(context.Background(), w, Options{Mode: "bogus"}); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if _, err := Run(context.Background(), w, Options{Mode: ModeOpen}); err == nil {
+		t.Fatal("open mode without rps accepted")
+	}
+}
+
+func TestReportEnvelope(t *testing.T) {
+	srv, _ := testServer(t, 0, 0)
+	w := testWorkload(srv.URL)
+	res, err := Run(context.Background(), w, Options{
+		Mode: ModeClosed, Concurrency: 2, Duration: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport("test", srv.URL, w)
+	rep.Add(res)
+	rr, ok := rep.Benchmarks["http_closed_c2"]
+	if !ok {
+		t.Fatalf("benchmark key missing: %v", rep.Benchmarks)
+	}
+	if rr.Requests != res.Requests || rr.RPS <= 0 || rr.Latency.P50 <= 0 {
+		t.Fatalf("report entry = %+v", rr)
+	}
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"benchmarks"`, `"p999_ns"`, `"go"`, `"date"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestFetchCatalog(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/catalog" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(`{"total": 2, "fields": [{"page":"A","property":"x"},{"page":"B","property":"y"}]}`))
+	}))
+	t.Cleanup(srv.Close)
+	fields, err := FetchCatalog(srv.Client(), srv.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 2 || fields[0].Page != "A" {
+		t.Fatalf("fields = %v", fields)
+	}
+}

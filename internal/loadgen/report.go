@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// LatencySummary is the quantile digest of one run, in nanoseconds so
+// the JSON diffs cleanly against ns_per_op numbers elsewhere in the
+// BENCH_* family.
+type LatencySummary struct {
+	P50  int64 `json:"p50_ns"`
+	P90  int64 `json:"p90_ns"`
+	P99  int64 `json:"p99_ns"`
+	P999 int64 `json:"p999_ns"`
+	Max  int64 `json:"max_ns"`
+	Mean int64 `json:"mean_ns"`
+}
+
+// RunReport is one run's entry under "benchmarks" in BENCH_HTTP.json.
+type RunReport struct {
+	Mode            string            `json:"mode"`
+	Concurrency     int               `json:"concurrency"`
+	TargetRPS       float64           `json:"target_rps,omitempty"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	Requests        uint64            `json:"requests"`
+	RPS             float64           `json:"rps"`
+	Errors          uint64            `json:"errors"`
+	ErrorRate       float64           `json:"error_rate"`
+	Dropped         uint64            `json:"dropped,omitempty"`
+	Routes          map[string]uint64 `json:"routes"`
+	Latency         LatencySummary    `json:"latency"`
+}
+
+// Report is the whole BENCH_HTTP.json document — the same envelope as
+// BENCH_PR2.json / BENCH_PR4.json (comment, go, date, benchmarks) so the
+// trajectory files read alike.
+type Report struct {
+	Comment    string               `json:"comment"`
+	Go         string               `json:"go"`
+	Date       string               `json:"date"`
+	Target     string               `json:"target"`
+	Catalog    int                  `json:"catalog_fields"`
+	ZipfS      float64              `json:"zipf_s"`
+	Mix        map[string]int       `json:"mix"`
+	Benchmarks map[string]RunReport `json:"benchmarks"`
+}
+
+// NewReport builds the report envelope.
+func NewReport(comment, target string, w *Workload) *Report {
+	return &Report{
+		Comment:    comment,
+		Go:         fmt.Sprintf("%s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH),
+		Date:       time.Now().Format("2006-01-02"),
+		Target:     target,
+		Catalog:    len(w.Fields),
+		ZipfS:      w.ZipfS,
+		Mix:        w.Mix,
+		Benchmarks: map[string]RunReport{},
+	}
+}
+
+// Name returns the benchmark key for a run: http_closed_c8,
+// http_open_500rps.
+func Name(r *Result) string {
+	if r.Mode == ModeOpen {
+		return fmt.Sprintf("http_open_%drps", int(r.TargetRPS))
+	}
+	return fmt.Sprintf("http_closed_c%d", r.Concurrency)
+}
+
+// Add folds one run into the report.
+func (rep *Report) Add(r *Result) {
+	rep.Benchmarks[Name(r)] = RunReport{
+		Mode:            r.Mode,
+		Concurrency:     r.Concurrency,
+		TargetRPS:       r.TargetRPS,
+		DurationSeconds: r.Elapsed.Seconds(),
+		Requests:        r.Requests,
+		RPS:             r.RPS(),
+		Errors:          r.Errors,
+		ErrorRate:       r.ErrorRate(),
+		Dropped:         r.Dropped,
+		Routes:          r.Routes,
+		Latency: LatencySummary{
+			P50:  r.Latency.Quantile(0.50).Nanoseconds(),
+			P90:  r.Latency.Quantile(0.90).Nanoseconds(),
+			P99:  r.Latency.Quantile(0.99).Nanoseconds(),
+			P999: r.Latency.Quantile(0.999).Nanoseconds(),
+			Max:  r.Latency.Max().Nanoseconds(),
+			Mean: r.Latency.Mean().Nanoseconds(),
+		},
+	}
+}
+
+// WriteJSON renders the report with stable indentation.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Summarize renders a human-readable table of one run.
+func Summarize(w io.Writer, r *Result) {
+	fmt.Fprintf(w, "%s: %d requests in %.1fs (%.0f req/s), %d errors (%.2f%%)",
+		Name(r), r.Requests, r.Elapsed.Seconds(), r.RPS(), r.Errors, 100*r.ErrorRate())
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, ", %d dropped arrivals", r.Dropped)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  latency p50 %v  p90 %v  p99 %v  p99.9 %v  max %v\n",
+		r.Latency.Quantile(0.5).Round(time.Microsecond),
+		r.Latency.Quantile(0.9).Round(time.Microsecond),
+		r.Latency.Quantile(0.99).Round(time.Microsecond),
+		r.Latency.Quantile(0.999).Round(time.Microsecond),
+		r.Latency.Max().Round(time.Microsecond))
+	names := make([]string, 0, len(r.Routes))
+	for n := range r.Routes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "  routes:")
+	for _, n := range names {
+		fmt.Fprintf(w, " %s=%d", n, r.Routes[n])
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,260 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Loop mode names.
+const (
+	ModeClosed = "closed" // N workers issue requests back-to-back
+	ModeOpen   = "open"   // requests arrive on a fixed schedule regardless of completions
+)
+
+// Options configures one measured run.
+type Options struct {
+	// Mode is ModeClosed or ModeOpen.
+	Mode string
+	// Concurrency is the worker count: the offered concurrency in closed
+	// mode, the service-pool size in open mode.
+	Concurrency int
+	// TargetRPS is the scheduled arrival rate (open mode only).
+	TargetRPS float64
+	// Duration is the measured phase length.
+	Duration time.Duration
+	// Warmup runs a closed-loop burn-in first and discards its numbers, so
+	// connection setup and server cache fills don't pollute the tail.
+	Warmup time.Duration
+	// Client is the HTTP client; nil gets a pooled transport sized to
+	// Concurrency.
+	Client *http.Client
+	// Seed varies the per-worker random streams; runs with the same seed
+	// and catalog replay the same key sequence.
+	Seed int64
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Mode        string
+	Concurrency int
+	TargetRPS   float64 // 0 in closed mode
+
+	Elapsed  time.Duration
+	Requests uint64
+	Errors   uint64 // transport failures + non-2xx responses
+	// Dropped counts open-loop arrivals abandoned because the dispatch
+	// queue was full — nonzero means the server (or pool) could not keep
+	// up with TargetRPS even with queueing.
+	Dropped uint64
+	Routes  map[string]uint64
+
+	// Latency holds every measured request. In open mode latencies run
+	// from the *scheduled* arrival time, so queue wait under overload is
+	// charged to the server (coordinated-omission correction), not hidden.
+	Latency *Hist
+}
+
+// RPS returns achieved requests per second.
+func (r *Result) RPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// ErrorRate returns the error fraction in [0, 1].
+func (r *Result) ErrorRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Requests)
+}
+
+func defaultClient(concurrency int) *http.Client {
+	return &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        concurrency * 2,
+			MaxIdleConnsPerHost: concurrency * 2,
+			DisableCompression:  true,
+		},
+	}
+}
+
+// Run executes one load run against the workload: warmup, then the
+// measured phase in the configured loop mode.
+func Run(ctx context.Context, w *Workload, o Options) (*Result, error) {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 1
+	}
+	if o.Mode == ModeOpen && o.TargetRPS <= 0 {
+		return nil, fmt.Errorf("open mode needs TargetRPS > 0")
+	}
+	if o.Mode != ModeOpen && o.Mode != ModeClosed {
+		return nil, fmt.Errorf("unknown mode %q", o.Mode)
+	}
+	client := o.Client
+	if client == nil {
+		client = defaultClient(o.Concurrency)
+	}
+
+	if o.Warmup > 0 {
+		warm := &Result{Latency: &Hist{}, Routes: map[string]uint64{}}
+		runClosed(ctx, w, o, client, o.Warmup, warm, o.Seed+7777)
+	}
+
+	res := &Result{
+		Mode:        o.Mode,
+		Concurrency: o.Concurrency,
+		TargetRPS:   o.TargetRPS,
+		Latency:     &Hist{},
+		Routes:      map[string]uint64{},
+	}
+	start := time.Now()
+	switch o.Mode {
+	case ModeClosed:
+		runClosed(ctx, w, o, client, o.Duration, res, o.Seed)
+	case ModeOpen:
+		runOpen(ctx, w, o, client, res)
+	}
+	res.Elapsed = time.Since(start)
+	if o.Mode == ModeClosed {
+		res.TargetRPS = 0
+	}
+	return res, nil
+}
+
+// routeCounter accumulates per-route hit counts without a map lock on the
+// hot path: one atomic counter per route, folded into the result at the
+// end.
+type routeCounter struct {
+	names  []string
+	counts []atomic.Uint64
+}
+
+func newRouteCounter() *routeCounter {
+	rc := &routeCounter{names: routeNames}
+	rc.counts = make([]atomic.Uint64, len(rc.names))
+	return rc
+}
+
+func (rc *routeCounter) add(route string) {
+	for i, n := range rc.names {
+		if n == route {
+			rc.counts[i].Add(1)
+			return
+		}
+	}
+}
+
+func (rc *routeCounter) fold(into map[string]uint64) {
+	for i, n := range rc.names {
+		if v := rc.counts[i].Load(); v > 0 {
+			into[n] += v
+		}
+	}
+}
+
+// doGet issues one request and fully drains the body so the connection
+// returns to the pool. A transport error or a non-2xx status is a failure.
+func doGet(client *http.Client, u string) bool {
+	resp, err := client.Get(u)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// runClosed drives Concurrency workers back-to-back for d. Each worker's
+// latency is pure service time — closed loops measure the server at the
+// concurrency the pool offers, and slow responses self-throttle the rate.
+func runClosed(ctx context.Context, w *Workload, o Options, client *http.Client, d time.Duration, res *Result, seed int64) {
+	deadline := time.Now().Add(d)
+	rc := newRouteCounter()
+	var wg sync.WaitGroup
+	for i := 0; i < o.Concurrency; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			p := w.newPicker(seed + int64(worker))
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				route, u := p.next()
+				start := time.Now()
+				ok := doGet(client, u)
+				res.Latency.Record(time.Since(start))
+				atomic.AddUint64(&res.Requests, 1)
+				if !ok {
+					atomic.AddUint64(&res.Errors, 1)
+				}
+				rc.add(route)
+			}
+		}(i)
+	}
+	wg.Wait()
+	rc.fold(res.Routes)
+}
+
+// runOpen schedules arrivals at TargetRPS and hands them to a fixed
+// worker pool. Latency is measured from the scheduled arrival, not from
+// when a worker got free: if the server falls behind, the queueing delay
+// lands in the histogram instead of silently stretching the arrival
+// schedule (the coordinated-omission trap closed-loop tools fall into).
+func runOpen(ctx context.Context, w *Workload, o Options, client *http.Client, res *Result) {
+	interval := time.Duration(float64(time.Second) / o.TargetRPS)
+	total := int(o.TargetRPS * o.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+
+	// The dispatch queue absorbs bursts; size it for one second of
+	// arrivals (min 64) so sustained overload surfaces as Dropped rather
+	// than unbounded memory.
+	qcap := int(o.TargetRPS)
+	if qcap < 64 {
+		qcap = 64
+	}
+	queue := make(chan time.Time, qcap)
+
+	rc := newRouteCounter()
+	var wg sync.WaitGroup
+	for i := 0; i < o.Concurrency; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			p := w.newPicker(o.Seed + int64(worker))
+			for scheduled := range queue {
+				route, u := p.next()
+				ok := doGet(client, u)
+				res.Latency.Record(time.Since(scheduled))
+				atomic.AddUint64(&res.Requests, 1)
+				if !ok {
+					atomic.AddUint64(&res.Errors, 1)
+				}
+				rc.add(route)
+			}
+		}(i)
+	}
+
+	start := time.Now()
+	for i := 0; i < total && ctx.Err() == nil; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if d := time.Until(scheduled); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case queue <- scheduled:
+		default:
+			atomic.AddUint64(&res.Dropped, 1)
+		}
+	}
+	close(queue)
+	wg.Wait()
+	rc.fold(res.Routes)
+}

@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Field is one servable (page, property) pair from /v1/catalog.
+type Field struct {
+	Page     string `json:"page"`
+	Property string `json:"property"`
+}
+
+// Workload models the request population: which fields exist, how
+// popularity concentrates (zipf), and how traffic splits across routes.
+type Workload struct {
+	BaseURL string
+	Fields  []Field
+	// ZipfS is the zipf skew (> 1). 1.1 is a gentle head-heavy web-like
+	// distribution; larger values concentrate traffic on fewer pages.
+	ZipfS float64
+	// Mix maps route name ("field", "explain", "stale") to an integer
+	// weight. Zero-weight and unknown routes never fire.
+	Mix map[string]int
+}
+
+// routeNames are the routes a workload can exercise, in a fixed order so
+// weighted selection is deterministic for a given seed.
+var routeNames = []string{"field", "explain", "stale"}
+
+// staleWindows are the window=N day values the stale route cycles
+// through — repeated keys exercise the server's alert cache the way a
+// dashboard would.
+var staleWindows = []int{7, 14, 30}
+
+// FetchCatalog loads the servable keyspace from /v1/catalog.
+func FetchCatalog(client *http.Client, baseURL string, limit int) ([]Field, error) {
+	u := fmt.Sprintf("%s/v1/catalog?limit=%d", strings.TrimRight(baseURL, "/"), limit)
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	var body struct {
+		Total  int     `json:"total"`
+		Fields []Field `json:"fields"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("decoding catalog: %w", err)
+	}
+	if len(body.Fields) == 0 {
+		return nil, fmt.Errorf("catalog at %s is empty", u)
+	}
+	return body.Fields, nil
+}
+
+// picker generates request URLs for one worker. Each worker owns its own
+// picker (rand.Zipf is not safe for concurrent use).
+type picker struct {
+	w      *Workload
+	rnd    *rand.Rand
+	zipf   *rand.Zipf
+	routes []string // weight-expanded route table
+}
+
+func (w *Workload) newPicker(seed int64) *picker {
+	rnd := rand.New(rand.NewSource(seed))
+	var zipf *rand.Zipf
+	if len(w.Fields) > 1 {
+		s := w.ZipfS
+		if s <= 1 {
+			s = 1.1
+		}
+		zipf = rand.NewZipf(rnd, s, 1, uint64(len(w.Fields)-1))
+	}
+	var routes []string
+	for _, name := range routeNames {
+		for i := 0; i < w.Mix[name]; i++ {
+			routes = append(routes, name)
+		}
+	}
+	if len(routes) == 0 {
+		routes = []string{"field"}
+	}
+	return &picker{w: w, rnd: rnd, zipf: zipf, routes: routes}
+}
+
+// field picks a catalog entry with zipf-distributed popularity.
+func (p *picker) field() Field {
+	if p.zipf == nil {
+		return p.w.Fields[0]
+	}
+	return p.w.Fields[p.zipf.Uint64()]
+}
+
+// next returns the route name and full URL for one request.
+func (p *picker) next() (route, u string) {
+	base := strings.TrimRight(p.w.BaseURL, "/")
+	route = p.routes[p.rnd.Intn(len(p.routes))]
+	switch route {
+	case "stale":
+		window := staleWindows[p.rnd.Intn(len(staleWindows))]
+		return route, fmt.Sprintf("%s/v1/stale?window=%d&limit=50", base, window)
+	default: // field, explain
+		f := p.field()
+		return route, fmt.Sprintf("%s/v1/%s?page=%s&property=%s",
+			base, route, url.QueryEscape(f.Page), url.QueryEscape(f.Property))
+	}
+}
+
+// ParseMix parses a "field=60,stale=20,explain=20" flag value.
+func ParseMix(s string) (map[string]int, error) {
+	mix := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q: want route=weight", part)
+		}
+		var weight int
+		if _, err := fmt.Sscanf(val, "%d", &weight); err != nil || weight < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		if !knownRoute(name) {
+			return nil, fmt.Errorf("unknown route %q in mix (have %s)", name, strings.Join(routeNames, ", "))
+		}
+		mix[name] = weight
+	}
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has no positive weights", s)
+	}
+	return mix, nil
+}
+
+func knownRoute(name string) bool {
+	for _, r := range routeNames {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}

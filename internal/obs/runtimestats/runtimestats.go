@@ -1,0 +1,314 @@
+// Package runtimestats publishes the Go runtime's own telemetry into an
+// obs.Registry, so the serving-performance picture on /metrics and
+// /statusz includes where the *runtime* spends memory and time — heap
+// live/idle bytes, GC pause quantiles, the GC's share of CPU, goroutine
+// count, and scheduler latency quantiles. Under load these are the
+// difference between "the handler is slow" and "the handler is fine but
+// GC assists are stealing its cycles".
+//
+// Everything is read through runtime/metrics in one batched Read call, so
+// a sample costs microseconds and is safe at scrape time: the serving
+// layer calls Sample before rendering /metrics, and a background Sampler
+// (Start/Stop) keeps the gauges fresh between scrapes for push-style
+// consumers. The package is dependency-free like the rest of internal/obs.
+package runtimestats
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/obs"
+)
+
+// The runtime/metrics names we sample. Reading them in one metrics.Read
+// batch gives a consistent snapshot.
+const (
+	mGoroutines   = "/sched/goroutines:goroutines"
+	mHeapLive     = "/memory/classes/heap/objects:bytes"
+	mHeapFree     = "/memory/classes/heap/free:bytes"
+	mHeapReleased = "/memory/classes/heap/released:bytes"
+	mMemTotal     = "/memory/classes/total:bytes"
+	mAllocBytes   = "/gc/heap/allocs:bytes"
+	mGCCycles     = "/gc/cycles/total:gc-cycles"
+	mGCPauses     = "/gc/pauses:seconds"
+	mSchedLat     = "/sched/latencies:seconds"
+	mCPUGC        = "/cpu/classes/gc/total:cpu-seconds"
+	mCPUTotal     = "/cpu/classes/total:cpu-seconds"
+)
+
+// Published metric names (the wikistale_go_* family).
+const (
+	Goroutines     = "wikistale_go_goroutines"
+	HeapLiveBytes  = "wikistale_go_heap_live_bytes"
+	HeapIdleBytes  = "wikistale_go_heap_idle_bytes"
+	MemTotalBytes  = "wikistale_go_mem_total_bytes"
+	AllocBytes     = "wikistale_go_alloc_bytes_total"
+	GCCycles       = "wikistale_go_gc_cycles_total"
+	GCCPUFraction  = "wikistale_go_gc_cpu_fraction"
+	GCPauseSeconds = "wikistale_go_gc_pause_seconds"
+	SchedLatency   = "wikistale_go_sched_latency_seconds"
+)
+
+// quantiles are the points published for the runtime's cumulative
+// latency histograms (GC pauses, scheduler latency), as gauges labeled
+// q="0.5" etc. plus q="max".
+var quantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.9", 0.9},
+	{"0.99", 0.99},
+	{"max", 1.0},
+}
+
+// Sampler reads runtime/metrics and publishes into a registry. Create
+// with New; use Sample for one synchronous read (scrape time) or
+// Start/Stop for a background loop. All methods are safe for concurrent
+// use; concurrent Samples serialize on an internal mutex.
+type Sampler struct {
+	reg      *obs.Registry
+	interval time.Duration
+
+	mu      sync.Mutex
+	samples []metrics.Sample
+
+	// Monotonic baselines for delta-derived series.
+	lastAlloc    uint64
+	lastCycles   uint64
+	lastCPUGC    float64
+	lastCPUTotal float64
+	primed       bool
+
+	goroutines *obs.Gauge
+	heapLive   *obs.Gauge
+	heapIdle   *obs.Gauge
+	memTotal   *obs.Gauge
+	allocBytes *obs.Counter
+	gcCycles   *obs.Counter
+	gcCPU      *obs.Gauge
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+}
+
+// New returns a sampler publishing into reg (obs.Default when nil).
+// interval is the background loop period for Start; Sample works
+// regardless.
+func New(reg *obs.Registry, interval time.Duration) *Sampler {
+	if reg == nil {
+		reg = obs.Default
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	reg.SetHelp(Goroutines, "Live goroutines.")
+	reg.SetHelp(HeapLiveBytes, "Bytes of live heap objects (occupied by reachable or not-yet-swept allocations).")
+	reg.SetHelp(HeapIdleBytes, "Heap bytes held but unused: free spans plus memory released to the OS.")
+	reg.SetHelp(MemTotalBytes, "Total bytes of memory mapped by the Go runtime.")
+	reg.SetHelp(AllocBytes, "Cumulative bytes allocated on the heap.")
+	reg.SetHelp(GCCycles, "Completed GC cycles.")
+	reg.SetHelp(GCCPUFraction, "Fraction of available CPU spent on GC between the last two samples (lifetime fraction until the second sample).")
+	reg.SetHelp(GCPauseSeconds, "Stop-the-world GC pause quantiles over the process lifetime, labeled q=0.5/0.9/0.99/max.")
+	reg.SetHelp(SchedLatency, "Goroutine scheduling latency quantiles (runnable to running) over the process lifetime, labeled q=0.5/0.9/0.99/max.")
+
+	names := []string{
+		mGoroutines, mHeapLive, mHeapFree, mHeapReleased, mMemTotal,
+		mAllocBytes, mGCCycles, mGCPauses, mSchedLat, mCPUGC, mCPUTotal,
+	}
+	s := &Sampler{
+		reg:      reg,
+		interval: interval,
+		samples:  make([]metrics.Sample, len(names)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+
+		goroutines: reg.Gauge(Goroutines, nil),
+		heapLive:   reg.Gauge(HeapLiveBytes, nil),
+		heapIdle:   reg.Gauge(HeapIdleBytes, nil),
+		memTotal:   reg.Gauge(MemTotalBytes, nil),
+		allocBytes: reg.Counter(AllocBytes, nil),
+		gcCycles:   reg.Counter(GCCycles, nil),
+		gcCPU:      reg.Gauge(GCCPUFraction, nil),
+	}
+	for i, n := range names {
+		s.samples[i].Name = n
+	}
+	return s
+}
+
+// Sample reads the runtime metrics once and updates every published
+// series. Cheap enough to call per scrape.
+func (s *Sampler) Sample() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	byName := make(map[string]metrics.Value, len(s.samples))
+	for _, sm := range s.samples {
+		byName[sm.Name] = sm.Value
+	}
+
+	if v := byName[mGoroutines]; v.Kind() == metrics.KindUint64 {
+		s.goroutines.Set(float64(v.Uint64()))
+	}
+	if v := byName[mHeapLive]; v.Kind() == metrics.KindUint64 {
+		s.heapLive.Set(float64(v.Uint64()))
+	}
+	var idle uint64
+	if v := byName[mHeapFree]; v.Kind() == metrics.KindUint64 {
+		idle += v.Uint64()
+	}
+	if v := byName[mHeapReleased]; v.Kind() == metrics.KindUint64 {
+		idle += v.Uint64()
+	}
+	s.heapIdle.Set(float64(idle))
+	if v := byName[mMemTotal]; v.Kind() == metrics.KindUint64 {
+		s.memTotal.Set(float64(v.Uint64()))
+	}
+
+	// Monotonic runtime totals become counters by adding the delta since
+	// the previous sample (the first sample seeds the whole lifetime).
+	if v := byName[mAllocBytes]; v.Kind() == metrics.KindUint64 {
+		if cur := v.Uint64(); cur >= s.lastAlloc {
+			s.allocBytes.Add(cur - s.lastAlloc)
+			s.lastAlloc = cur
+		}
+	}
+	if v := byName[mGCCycles]; v.Kind() == metrics.KindUint64 {
+		if cur := v.Uint64(); cur >= s.lastCycles {
+			s.gcCycles.Add(cur - s.lastCycles)
+			s.lastCycles = cur
+		}
+	}
+
+	// GC CPU fraction: the share of all CPU the GC consumed between this
+	// sample and the last. The very first sample has no interval, so it
+	// publishes the lifetime fraction instead.
+	gc, total := cpuSeconds(byName[mCPUGC]), cpuSeconds(byName[mCPUTotal])
+	dgc, dtotal := gc-s.lastCPUGC, total-s.lastCPUTotal
+	if !s.primed {
+		dgc, dtotal = gc, total
+	}
+	if dtotal > 0 && dgc >= 0 {
+		s.gcCPU.Set(dgc / dtotal)
+	}
+	s.lastCPUGC, s.lastCPUTotal = gc, total
+	s.primed = true
+
+	s.publishQuantiles(GCPauseSeconds, byName[mGCPauses])
+	s.publishQuantiles(SchedLatency, byName[mSchedLat])
+}
+
+func cpuSeconds(v metrics.Value) float64 {
+	if v.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	f := v.Float64()
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}
+
+// publishQuantiles turns one runtime cumulative histogram into q-labeled
+// gauges. The runtime buckets are far finer than anything we would pick,
+// so reading quantiles off the cumulative counts loses almost nothing and
+// keeps /metrics small.
+func (s *Sampler) publishQuantiles(name string, v metrics.Value) {
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := v.Float64Histogram()
+	if h == nil {
+		return
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return
+	}
+	for _, q := range quantiles {
+		s.reg.Gauge(name, obs.Labels{"q": q.label}).Set(histQuantile(h, q.q))
+	}
+}
+
+// histQuantile reads quantile q (0..1] from a runtime/metrics histogram,
+// returning the upper bound of the bucket the q-th observation falls in
+// (a conservative estimate; max returns the highest non-empty bucket's
+// bound). Infinite bounds degrade to the nearest finite neighbor.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if c > 0 && cum >= rank {
+			// Counts[i] covers (Buckets[i], Buckets[i+1]].
+			hi := h.Buckets[i+1]
+			if !math.IsInf(hi, 0) {
+				return hi
+			}
+			lo := h.Buckets[i]
+			if !math.IsInf(lo, 0) {
+				return lo
+			}
+			return 0
+		}
+	}
+	return 0
+}
+
+// Start launches the background sampling loop. Start after Stop (or a
+// second Start) is a no-op; the sampler is single-shot by design — serving
+// processes create one at boot and stop it at shutdown.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		s.Sample()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.Sample()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for it to exit. Safe to call
+// multiple times and without a prior Start.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		<-s.done
+	}
+}

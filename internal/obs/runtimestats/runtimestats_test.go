@@ -1,0 +1,163 @@
+package runtimestats
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"testing"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/obs"
+)
+
+// TestSamplePublishesAllSeries proves one Sample call lands every series
+// the package promises, with sane values.
+func TestSamplePublishesAllSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(reg, time.Second)
+
+	// Make sure at least one GC cycle (and so at least one pause
+	// observation) exists before sampling.
+	runtime.GC()
+	s.Sample()
+
+	fams := reg.JSON()
+	for _, name := range []string{
+		Goroutines, HeapLiveBytes, HeapIdleBytes, MemTotalBytes,
+		AllocBytes, GCCycles, GCCPUFraction, GCPauseSeconds, SchedLatency,
+	} {
+		if _, ok := fams[name]; !ok {
+			t.Errorf("series %s missing after Sample", name)
+		}
+	}
+
+	if v := reg.Gauge(Goroutines, nil).Value(); v < 1 {
+		t.Errorf("goroutines = %v, want >= 1", v)
+	}
+	if v := reg.Gauge(HeapLiveBytes, nil).Value(); v <= 0 {
+		t.Errorf("heap live = %v, want > 0", v)
+	}
+	if v := reg.Gauge(MemTotalBytes, nil).Value(); v <= reg.Gauge(HeapLiveBytes, nil).Value() {
+		t.Errorf("mem total %v not above heap live %v", v, reg.Gauge(HeapLiveBytes, nil).Value())
+	}
+	if v := reg.Counter(GCCycles, nil).Value(); v < 1 {
+		t.Errorf("gc cycles = %d, want >= 1 after runtime.GC", v)
+	}
+	if v := reg.Counter(AllocBytes, nil).Value(); v == 0 {
+		t.Errorf("alloc bytes = 0")
+	}
+	if v := reg.Gauge(GCCPUFraction, nil).Value(); v < 0 || v > 1 {
+		t.Errorf("gc cpu fraction = %v, want [0, 1]", v)
+	}
+
+	// Quantile gauges exist for every labeled point and are monotone.
+	for _, name := range []string{GCPauseSeconds, SchedLatency} {
+		fam := fams[name]
+		if len(fam.Series) != len(quantiles) && len(fam.Series) != 0 {
+			// Sched latency can legitimately be empty on an idle runtime;
+			// GC pauses cannot after runtime.GC.
+			if name == GCPauseSeconds {
+				t.Errorf("%s has %d series, want %d", name, len(fam.Series), len(quantiles))
+			}
+			continue
+		}
+		p50 := reg.Gauge(name, obs.Labels{"q": "0.5"}).Value()
+		max := reg.Gauge(name, obs.Labels{"q": "max"}).Value()
+		if p50 > max {
+			t.Errorf("%s p50 %v > max %v", name, p50, max)
+		}
+	}
+}
+
+// TestCounterDeltas proves repeated samples add deltas, not lifetime
+// totals, to the counter series.
+func TestCounterDeltas(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(reg, time.Second)
+	s.Sample()
+	first := reg.Counter(AllocBytes, nil).Value()
+
+	// Allocate something measurable, then resample.
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 16*1024)
+	}
+	s.Sample()
+	second := reg.Counter(AllocBytes, nil).Value()
+	if second < first {
+		t.Fatalf("alloc counter went backwards: %d -> %d", first, second)
+	}
+	if second == first {
+		t.Fatalf("alloc counter did not grow despite allocations")
+	}
+	// The counter must track the runtime's own total, not double-count.
+	var sm [1]metrics.Sample
+	sm[0].Name = "/gc/heap/allocs:bytes"
+	metrics.Read(sm[:])
+	if got, runtimeTotal := second, sm[0].Value.Uint64(); got > runtimeTotal {
+		t.Fatalf("counter %d exceeds runtime lifetime total %d (double-counted deltas)", got, runtimeTotal)
+	}
+	_ = sink
+}
+
+// TestStartStopClean proves the background loop starts, samples, and
+// shuts down cleanly (run under -race in CI).
+func TestStartStopClean(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(reg, time.Millisecond)
+	s.Start()
+	s.Start() // second Start is a no-op
+
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Gauge(Goroutines, nil).Value() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if reg.Gauge(Goroutines, nil).Value() < 1 {
+		t.Fatalf("background loop never sampled")
+	}
+
+	s.Stop()
+	s.Stop() // idempotent
+
+	// Concurrent Sample after Stop is still safe (scrape-time path).
+	s.Sample()
+}
+
+// TestStopWithoutStart must not hang.
+func TestStopWithoutStart(t *testing.T) {
+	s := New(obs.NewRegistry(), time.Second)
+	done := make(chan struct{})
+	go func() { s.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop without Start hung")
+	}
+}
+
+// TestHistQuantile pins the quantile arithmetic on a hand-built histogram.
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		// (0,1] has 5 observations, (1,2] has 4, (2,3] has 1.
+		Counts:  []uint64{5, 4, 1},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 1},  // 5th of 10 lands in the first bucket
+		{0.6, 2},  // 6th lands in the second
+		{0.9, 2},  // 9th still in the second
+		{0.99, 3}, // 10th in the last
+		{1.0, 3},
+	}
+	for _, c := range cases {
+		if got := histQuantile(h, c.q); got != c.want {
+			t.Errorf("q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Empty histogram.
+	if got := histQuantile(&metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,274 @@
+package slo
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/obs"
+)
+
+// fakeClock is a hand-advanced clock for deterministic window tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+var testObjectives = []Objective{
+	{Name: "latency", Target: 0.99, LatencyThreshold: 5 * time.Millisecond},
+	{Name: "availability", Target: 0.999},
+}
+
+func newTestTracker(policy TripPolicy) (*Tracker, *fakeClock) {
+	clk := newFakeClock()
+	t := NewWithClock(testObjectives, []time.Duration{10 * time.Second, time.Minute}, policy, clk.Now)
+	return t, clk
+}
+
+func stat(t *testing.T, rep Report, objective, window string) WindowStat {
+	t.Helper()
+	for _, or := range rep.Objectives {
+		if or.Objective.Name != objective {
+			continue
+		}
+		for _, w := range or.Windows {
+			if w.Window == window {
+				return w
+			}
+		}
+	}
+	t.Fatalf("no stat for %s/%s in %+v", objective, window, rep)
+	return WindowStat{}
+}
+
+func TestWindowArithmetic(t *testing.T) {
+	tr, _ := newTestTracker(TripPolicy{})
+
+	// 90 fast + 10 slow requests in the current second: latency bad
+	// fraction 0.10, burn = 0.10 / 0.01 = 10. None are errors.
+	for i := 0; i < 90; i++ {
+		tr.Record(time.Millisecond, false)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record(20*time.Millisecond, false)
+	}
+	rep := tr.Snapshot()
+	lat := stat(t, rep, "latency", "10s")
+	if lat.Total != 100 || lat.Bad != 10 {
+		t.Fatalf("latency 10s = %+v, want total 100 bad 10", lat)
+	}
+	if math.Abs(lat.BadFraction-0.10) > 1e-12 || math.Abs(lat.BurnRate-10) > 1e-9 {
+		t.Fatalf("latency 10s fraction/burn = %v/%v, want 0.10/10", lat.BadFraction, lat.BurnRate)
+	}
+	avail := stat(t, rep, "availability", "10s")
+	if avail.Bad != 0 || avail.BurnRate != 0 {
+		t.Fatalf("availability 10s = %+v, want clean", avail)
+	}
+
+	// Both windows see the same counts while everything is recent.
+	if got := stat(t, rep, "latency", "1m0s"); got.Total != 100 || got.Bad != 10 {
+		t.Fatalf("latency 1m = %+v, want total 100 bad 10", got)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	tr, clk := newTestTracker(TripPolicy{})
+	for i := 0; i < 50; i++ {
+		tr.Record(time.Hour, false) // all bad for the latency objective
+	}
+
+	// 11 seconds later the short window has forgotten them, the long one
+	// has not.
+	clk.Advance(11 * time.Second)
+	rep := tr.Snapshot()
+	if got := stat(t, rep, "latency", "10s"); got.Total != 0 {
+		t.Fatalf("10s window still has %d events after expiry", got.Total)
+	}
+	if got := stat(t, rep, "latency", "1m0s"); got.Total != 50 || got.Bad != 50 {
+		t.Fatalf("1m window = %+v, want 50/50", got)
+	}
+
+	// Past the long window everything is gone, and the ring can be
+	// written again without ghosts.
+	clk.Advance(time.Minute)
+	rep = tr.Snapshot()
+	if got := stat(t, rep, "latency", "1m0s"); got.Total != 0 {
+		t.Fatalf("1m window = %+v after full expiry, want empty", got)
+	}
+	tr.Record(time.Millisecond, false)
+	if got := stat(t, tr.Snapshot(), "latency", "1m0s"); got.Total != 1 || got.Bad != 0 {
+		t.Fatalf("post-expiry record = %+v, want 1/0", got)
+	}
+}
+
+func TestErrorObjective(t *testing.T) {
+	tr, _ := newTestTracker(TripPolicy{})
+	// 999 successes and 1 error: exactly at the availability budget.
+	for i := 0; i < 999; i++ {
+		tr.Record(time.Microsecond, false)
+	}
+	tr.Record(time.Microsecond, true)
+	avail := stat(t, tr.Snapshot(), "availability", "10s")
+	if avail.Bad != 1 {
+		t.Fatalf("availability bad = %d, want 1", avail.Bad)
+	}
+	if math.Abs(avail.BurnRate-1.0) > 1e-9 {
+		t.Fatalf("availability burn = %v, want 1.0", avail.BurnRate)
+	}
+	// Errors are also bad under the latency objective (a fast 500 is not
+	// a good request).
+	lat := stat(t, tr.Snapshot(), "latency", "10s")
+	if lat.Bad != 1 {
+		t.Fatalf("latency bad = %d, want 1 (errors count)", lat.Bad)
+	}
+}
+
+func TestTripPolicyEdgeTriggering(t *testing.T) {
+	policy := TripPolicy{
+		ShortWindow:   10 * time.Second,
+		LongWindow:    time.Minute,
+		BurnThreshold: 5,
+		MinEvents:     20,
+	}
+	tr, clk := newTestTracker(policy)
+
+	// Below MinEvents: no trip no matter how bad.
+	for i := 0; i < 10; i++ {
+		tr.Record(time.Second, false)
+	}
+	if trips := tr.CheckTrips(); len(trips) != 0 {
+		t.Fatalf("tripped below MinEvents: %+v", trips)
+	}
+
+	// Cross MinEvents with a 100% bad burn: both windows burn at 100x
+	// budget, so the latency objective trips (availability stays clean).
+	for i := 0; i < 20; i++ {
+		tr.Record(time.Second, false)
+	}
+	trips := tr.CheckTrips()
+	if len(trips) != 1 || trips[0].Objective.Name != "latency" {
+		t.Fatalf("trips = %+v, want exactly latency", trips)
+	}
+	if trips[0].ShortBurn < policy.BurnThreshold || trips[0].LongBurn < policy.BurnThreshold {
+		t.Fatalf("trip burns %v/%v below threshold", trips[0].ShortBurn, trips[0].LongBurn)
+	}
+
+	// Still tripping → edge triggering suppresses a second report.
+	tr.Record(time.Second, false)
+	if trips := tr.CheckTrips(); len(trips) != 0 {
+		t.Fatalf("re-reported an active trip: %+v", trips)
+	}
+	if !tr.Snapshot().Objectives[0].Tripping {
+		t.Fatalf("snapshot lost the active trip state")
+	}
+
+	// Recover (short window drains), then a fresh burst trips again.
+	clk.Advance(11 * time.Second)
+	if trips := tr.CheckTrips(); len(trips) != 0 {
+		t.Fatalf("tripped during recovery: %+v", trips)
+	}
+	clk.Advance(time.Minute) // drain the long window too
+	for i := 0; i < 30; i++ {
+		tr.Record(time.Second, false)
+	}
+	if trips := tr.CheckTrips(); len(trips) != 1 {
+		t.Fatalf("second incident not reported: %+v", trips)
+	}
+	if got := tr.Snapshot().TripsTotal; got != 2 {
+		t.Fatalf("trips total = %d, want 2", got)
+	}
+}
+
+func TestShortWindowBurstLongWindowQuiet(t *testing.T) {
+	// A burst that is terrible over 10s but diluted over 1m must not trip
+	// — that is the whole point of the multi-window rule.
+	policy := TripPolicy{ShortWindow: 10 * time.Second, LongWindow: time.Minute, BurnThreshold: 5, MinEvents: 1}
+	tr, clk := newTestTracker(policy)
+
+	// 55 seconds of good traffic...
+	for s := 0; s < 55; s++ {
+		for i := 0; i < 100; i++ {
+			tr.Record(time.Millisecond, false)
+		}
+		clk.Advance(time.Second)
+	}
+	// ...then one bad second: the short-window burn is 10 (100 bad / 1000
+	// total / 0.01 budget), above threshold, but the long-window burn is
+	// only ~1.8 (100 / 5600 / 0.01), below it.
+	for i := 0; i < 100; i++ {
+		tr.Record(time.Second, false)
+	}
+	rep := tr.Snapshot()
+	short := stat(t, rep, "latency", "10s")
+	if short.BurnRate < policy.BurnThreshold {
+		t.Fatalf("short burn %v unexpectedly below threshold", short.BurnRate)
+	}
+	if trips := tr.CheckTrips(); len(trips) != 0 {
+		t.Fatalf("diluted burst tripped: %+v", trips)
+	}
+}
+
+func TestPublishGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr, _ := newTestTracker(TripPolicy{ShortWindow: 10 * time.Second, LongWindow: time.Minute, BurnThreshold: 1, MinEvents: 1})
+	for i := 0; i < 10; i++ {
+		tr.Record(time.Second, false)
+	}
+	tr.CheckTrips()
+	tr.Publish(reg)
+
+	l := obs.Labels{"objective": "latency", "window": "10s"}
+	if v := reg.Gauge(BurnRateGauge, l).Value(); math.Abs(v-100) > 1e-9 {
+		t.Fatalf("burn gauge = %v, want 100", v)
+	}
+	if v := reg.Gauge(BadFractionGauge, l).Value(); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("bad fraction gauge = %v, want 1", v)
+	}
+	if v := reg.Gauge(EventsGauge, l).Value(); v != 10 {
+		t.Fatalf("events gauge = %v, want 10", v)
+	}
+	if v := reg.Counter(TripsTotal, nil).Value(); v != 1 {
+		t.Fatalf("trips counter = %d, want 1", v)
+	}
+	// Publishing twice must not double-count trips.
+	tr.Publish(reg)
+	if v := reg.Counter(TripsTotal, nil).Value(); v != 1 {
+		t.Fatalf("trips counter after republish = %d, want 1", v)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr, _ := newTestTracker(TripPolicy{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(time.Millisecond, i%10 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	got := stat(t, tr.Snapshot(), "availability", "1m0s")
+	if got.Total != 8000 || got.Bad != 800 {
+		t.Fatalf("concurrent counts = %+v, want 8000/800", got)
+	}
+}

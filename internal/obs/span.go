@@ -19,6 +19,18 @@ var DurationBuckets = []float64{
 	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
+// RequestBuckets is the bucketing for request-latency histograms. The
+// serving hot path answers in tens of microseconds, so the low end runs
+// 10 µs – 500 µs at roughly 2–2.5× steps: DurationBuckets' 500 µs floor
+// put a sub-millisecond p99 entirely inside the first bucket, which made
+// the latency histogram useless exactly where serving performance lives.
+// The high end still reaches 60 s so a stalled request is visible too.
+var RequestBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025,
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
 func init() {
 	Default.SetHelp(StageHistogram, "Wall-clock seconds per named pipeline stage (filter/* and train/*).")
 }

@@ -16,7 +16,12 @@ type tracesResponse struct {
 
 // Handler serves the recorder's buffered traces as JSON, newest first.
 // ?limit=N truncates the list; ?trace_id=<id> returns just that trace
-// (404 when it has been evicted).
+// (404 when it has been evicted). ?route=<root> keeps only traces whose
+// root span has that name (the HTTP middleware roots request traces at
+// the route label, so ?route=/v1/stale isolates one endpoint), and
+// ?min_ns=<n> keeps only traces at least that slow — together they are
+// the triage loop under load: "show me the slow /v1/stale requests".
+// Filters apply before limit.
 func (r *Recorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		traces := r.Traces()
@@ -30,6 +35,30 @@ func (r *Recorder) Handler() http.Handler {
 			writeTraceJSON(w, http.StatusNotFound,
 				map[string]string{"error": "trace " + id + " not in the buffer (evicted or never recorded)"})
 			return
+		}
+		route := req.URL.Query().Get("route")
+		var minNS int64
+		if v := req.URL.Query().Get("min_ns"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				writeTraceJSON(w, http.StatusBadRequest,
+					map[string]string{"error": "bad min_ns " + strconv.Quote(v) + ": want a non-negative integer"})
+				return
+			}
+			minNS = n
+		}
+		if route != "" || minNS > 0 {
+			kept := traces[:0]
+			for _, t := range traces {
+				if route != "" && t.Root != route {
+					continue
+				}
+				if t.DurationNS < minNS {
+					continue
+				}
+				kept = append(kept, t)
+			}
+			traces = kept
 		}
 		if v := req.URL.Query().Get("limit"); v != "" {
 			if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(traces) {

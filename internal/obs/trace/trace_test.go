@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestSpanTreeLinks(t *testing.T) {
@@ -180,5 +181,61 @@ func TestHandlerJSON(t *testing.T) {
 	resp3.Body.Close()
 	if resp3.StatusCode != 404 {
 		t.Fatalf("missing trace = %d, want 404", resp3.StatusCode)
+	}
+}
+
+func TestHandlerFilters(t *testing.T) {
+	rec := New(8)
+	// Two fast /v1/field traces, one slow /v1/stale trace.
+	for i := 0; i < 2; i++ {
+		_, s := StartIn(rec, context.Background(), "/v1/field")
+		s.End()
+	}
+	_, slow := StartIn(rec, context.Background(), "/v1/stale")
+	time.Sleep(2 * time.Millisecond)
+	slow.End()
+
+	srv := httptest.NewServer(rec.Handler())
+	defer srv.Close()
+
+	get := func(query string) (int, tracesResponse) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body tracesResponse
+		if resp.StatusCode == 200 {
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, body
+	}
+
+	// route= isolates one endpoint's traces.
+	if code, body := get("?route=/v1/field"); code != 200 || len(body.Traces) != 2 {
+		t.Fatalf("route filter: code=%d traces=%d, want 200/2", code, len(body.Traces))
+	}
+	// min_ns keeps only the slow trace (the fast ones end in < 1 ms).
+	if code, body := get("?min_ns=1000000"); code != 200 || len(body.Traces) != 1 || body.Traces[0].Root != "/v1/stale" {
+		t.Fatalf("min_ns filter: code=%d body=%+v", code, body)
+	}
+	// Filters compose: a route with no trace that slow matches nothing.
+	if code, body := get("?route=/v1/field&min_ns=1000000000"); code != 200 || len(body.Traces) != 0 {
+		t.Fatalf("composed filter: code=%d traces=%d, want 200/0", code, len(body.Traces))
+	}
+	// Filters apply before limit.
+	if code, body := get("?route=/v1/field&limit=1"); code != 200 || len(body.Traces) != 1 || body.Traces[0].Root != "/v1/field" {
+		t.Fatalf("filter+limit: code=%d body=%+v", code, body)
+	}
+	// Total still reports the recorder's lifetime count, not the filtered view.
+	if _, body := get("?route=/v1/field"); body.Total != 3 {
+		t.Fatalf("total = %d, want 3", body.Total)
+	}
+	// Malformed min_ns is a 400, not a silent full listing.
+	if code, _ := get("?min_ns=soon"); code != 400 {
+		t.Fatalf("bad min_ns: code=%d, want 400", code)
 	}
 }

@@ -39,6 +39,9 @@ import (
 	"github.com/wikistale/wikistale/internal/core"
 	"github.com/wikistale/wikistale/internal/obs"
 	"github.com/wikistale/wikistale/internal/obs/olog"
+	"github.com/wikistale/wikistale/internal/obs/profilering"
+	"github.com/wikistale/wikistale/internal/obs/runtimestats"
+	"github.com/wikistale/wikistale/internal/obs/slo"
 	"github.com/wikistale/wikistale/internal/obs/trace"
 	"github.com/wikistale/wikistale/internal/timeline"
 )
@@ -115,6 +118,20 @@ type Server struct {
 	// ingestStats, when set, backs /v1/ingest/stats and the ingest section
 	// of /statusz.
 	ingestStats func() any
+	// lagSource, when set (live mode), reports the current ingest feed lag
+	// in seconds — the data-freshness context on /debug/slo and /statusz.
+	lagSource func() float64
+
+	// slo tracks the serving SLOs over the data-plane routes; profiles is
+	// the triggered-profiling ring a burn-rate trip captures into; rtstats
+	// samples runtime/metrics at scrape time (and continuously once a
+	// binary calls StartRuntimeSampler).
+	slo      *slo.Tracker
+	profiles *profilering.Ring
+	rtstats  *runtimestats.Sampler
+	// lastSLOCheck gates the burn-rate evaluation to at most once per
+	// second (unix seconds), so the trip check costs nothing per request.
+	lastSLOCheck atomic.Int64
 
 	inFlightGauge *obs.Gauge
 	cacheHits     *obs.Counter
@@ -141,12 +158,15 @@ func New(det *core.Detector) *Server {
 // SetTraceRecorder and SetLogger.
 func NewLive() *Server {
 	s := &Server{
-		mux:     http.NewServeMux(),
-		reg:     obs.Default,
-		tracer:  trace.Default,
-		logger:  slog.Default(),
-		audit:   newAuditLog(auditLogSize),
-		started: time.Now(),
+		mux:      http.NewServeMux(),
+		reg:      obs.Default,
+		tracer:   trace.Default,
+		logger:   slog.Default(),
+		audit:    newAuditLog(auditLogSize),
+		started:  time.Now(),
+		slo:      slo.New(DefaultSLOs(), DefaultSLOWindows(), DefaultTripPolicy()),
+		profiles: profilering.New(profileRingSize, profileCooldown),
+		rtstats:  runtimestats.New(obs.Default, 10*time.Second),
 	}
 
 	s.reg.SetHelp("wikistale_http_requests_total", "HTTP requests served, by route and method.")
@@ -176,10 +196,13 @@ func NewLive() *Server {
 	s.mux.HandleFunc("GET /v1/audit", s.handleAudit)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/ingest/stats", s.handleIngestStats)
+	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("GET /demo", s.handleDemo)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
+	s.mux.HandleFunc("GET /debug/profiles", s.handleProfiles)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -270,10 +293,13 @@ var knownRoutes = map[string]bool{
 	"/v1/audit":        true,
 	"/v1/stats":        true,
 	"/v1/ingest/stats": true,
+	"/v1/catalog":      true,
 	"/demo":            true,
 	"/metrics":         true,
 	"/statusz":         true,
 	"/debug/traces":    true,
+	"/debug/slo":       true,
+	"/debug/profiles":  true,
 }
 
 func routeLabel(path string) string {
@@ -370,13 +396,30 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			obs.Labels{"route": route, "method": r.Method}).Inc()
 		s.reg.Counter("wikistale_http_responses_total",
 			obs.Labels{"class": statusClass(rec.code)}).Inc()
-		s.reg.Histogram("wikistale_http_request_seconds", obs.DurationBuckets,
+		s.reg.Histogram("wikistale_http_request_seconds", obs.RequestBuckets,
 			obs.Labels{"route": route}).ObserveExemplar(elapsed.Seconds(), span.TraceID())
+
+		// SLOs cover the data plane only: an operator pulling a 2 MB
+		// /debug/traces dump must not burn the serving latency budget.
+		if dataPlaneRoute(route) {
+			s.slo.Record(elapsed, rec.code >= 500)
+			s.maybeCheckSLO()
+		}
 	})
+}
+
+// dataPlaneRoute reports whether a route counts against the serving SLOs.
+func dataPlaneRoute(route string) bool {
+	return strings.HasPrefix(route, "/v1/")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.refreshEpochAge()
+	// Scrape-time refresh: runtime telemetry and SLO burn rates are
+	// computed on demand, the same pattern as epoch age — a gauge that is
+	// only updated when something happens freezes exactly when it matters.
+	s.rtstats.Sample()
+	s.slo.Publish(s.reg)
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
 		_ = s.reg.WriteJSON(w)

@@ -3,12 +3,15 @@ package staleserve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"runtime/debug"
 	"time"
 
 	"github.com/wikistale/wikistale/internal/obs"
+	"github.com/wikistale/wikistale/internal/obs/runtimestats"
+	"github.com/wikistale/wikistale/internal/obs/slo"
 )
 
 // buildVersion resolves the module version and VCS revision from the
@@ -81,6 +84,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		s.tracer.Total(), s.tracer.Len())
 	fmt.Fprintf(w, "\n")
 
+	s.writeRuntimeStatus(w)
+	s.writeSLOStatus(w)
+
 	if s.ingestStats == nil {
 		fmt.Fprintf(w, "ingest: not running in live mode\n")
 		return
@@ -92,4 +98,78 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	fmt.Fprintf(w, "  %s\n", out)
+}
+
+// writeRuntimeStatus renders the Go-runtime section: a fresh sample of
+// the wikistale_go_* gauges (see internal/obs/runtimestats).
+func (s *Server) writeRuntimeStatus(w io.Writer) {
+	s.rtstats.Sample()
+	g := func(name string) float64 { return s.reg.Gauge(name, nil).Value() }
+	q := func(name, quantile string) float64 {
+		return s.reg.Gauge(name, obs.Labels{"q": quantile}).Value()
+	}
+	fmt.Fprintf(w, "runtime:\n")
+	fmt.Fprintf(w, "  goroutines: %.0f\n", g(runtimestats.Goroutines))
+	fmt.Fprintf(w, "  heap:       %s live, %s idle, %s mapped\n",
+		humanBytes(g(runtimestats.HeapLiveBytes)),
+		humanBytes(g(runtimestats.HeapIdleBytes)),
+		humanBytes(g(runtimestats.MemTotalBytes)))
+	fmt.Fprintf(w, "  gc:         %d cycles, %.1f%% of CPU, pauses p50 %s / p99 %s / max %s\n",
+		s.reg.Counter(runtimestats.GCCycles, nil).Value(),
+		100*g(runtimestats.GCCPUFraction),
+		humanSeconds(q(runtimestats.GCPauseSeconds, "0.5")),
+		humanSeconds(q(runtimestats.GCPauseSeconds, "0.99")),
+		humanSeconds(q(runtimestats.GCPauseSeconds, "max")))
+	fmt.Fprintf(w, "  sched wait: p50 %s / p99 %s / max %s\n",
+		humanSeconds(q(runtimestats.SchedLatency, "0.5")),
+		humanSeconds(q(runtimestats.SchedLatency, "0.99")),
+		humanSeconds(q(runtimestats.SchedLatency, "max")))
+	fmt.Fprintf(w, "\n")
+}
+
+// writeSLOStatus renders the serving-SLO section: every objective's
+// bad-fraction and burn rate per window, the trip state, and the
+// triggered-profile ring (see /debug/slo for the JSON form).
+func (s *Server) writeSLOStatus(w io.Writer) {
+	rep := s.slo.Snapshot()
+	fmt.Fprintf(w, "slo (data-plane routes; /debug/slo):\n")
+	for _, or := range rep.Objectives {
+		state := ""
+		if or.Tripping {
+			state = "  ** TRIPPING **"
+		}
+		fmt.Fprintf(w, "  %-16s %s%s\n", or.Objective.Name, slo.Describe(or.Objective), state)
+		for _, ws := range or.Windows {
+			fmt.Fprintf(w, "    %-5s %8d reqs, %6d bad (%.3f%%), burn %.2fx\n",
+				ws.Window, ws.Total, ws.Bad, 100*ws.BadFraction, ws.BurnRate)
+		}
+	}
+	profiles := s.profiles.Profiles()
+	fmt.Fprintf(w, "  trips: %d; profiles captured: %d buffered (/debug/profiles)\n",
+		rep.TripsTotal, len(profiles))
+	if len(profiles) > 0 {
+		p := profiles[0]
+		fmt.Fprintf(w, "  newest profile: #%d %s (%s) at %s\n",
+			p.ID, p.Kind, p.Reason, p.Taken.Format(time.RFC3339))
+	}
+	fmt.Fprintf(w, "\n")
+}
+
+// humanBytes renders a byte count with a binary-unit suffix.
+func humanBytes(v float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB"}
+	i := 0
+	for v >= 1024 && i < len(units)-1 {
+		v /= 1024
+		i++
+	}
+	if i == 0 {
+		return fmt.Sprintf("%.0f %s", v, units[i])
+	}
+	return fmt.Sprintf("%.1f %s", v, units[i])
+}
+
+// humanSeconds renders a second-valued quantile at a readable scale.
+func humanSeconds(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# loadsmoke.sh — boot a live staleserve on the simulated feed, drive it
+# with cmd/staleload in both loop modes, and assert the run was healthy:
+# non-zero throughput, zero errors, and latency quantiles present in the
+# JSON report. CI runs this as the "load smoke" step and uploads the
+# report; locally: `make loadsmoke`.
+#
+# Environment knobs:
+#   DURATION   measured time per mode (default 5s)
+#   WARMUP     discarded burn-in per mode (default 2s)
+#   RPS        open-loop arrival rate (default 300)
+#   CONC       worker count (default 8)
+#   OUT        report path (default BENCH_HTTP.json)
+#   ADDR       listen address (default :8097)
+set -eu
+
+DURATION=${DURATION:-5s}
+WARMUP=${WARMUP:-2s}
+RPS=${RPS:-300}
+CONC=${CONC:-8}
+OUT=${OUT:-BENCH_HTTP.json}
+ADDR=${ADDR:-:8097}
+PORT=${ADDR##*:}
+
+go build -o staleserve.bin ./cmd/staleserve
+go build -o staleload.bin ./cmd/staleload
+
+./staleserve.bin -live -source sim -retrain-every 2s -addr "$ADDR" -log-format json 2>server.log &
+SRV=$!
+trap 'kill $SRV 2>/dev/null || true; rm -f staleserve.bin staleload.bin' EXIT
+
+# Wait for the feed to finish and the last retrain to land: while the
+# simulated feed is still streaming, retrains re-filter the keyspace and
+# catalog entries can vanish between epochs, turning honest lookups into
+# 404s. Measuring against the settled detector keeps the error column
+# meaningful.
+# The [ = true ] comparison matters: jq 1.6's -e flag exits 0 on empty
+# input, so a failed curl (server still booting) would end the wait early.
+i=0
+until [ "$(curl -sf "localhost:$PORT/v1/ingest/stats" 2>/dev/null |
+           jq -r '.source_done and .pending_changes == 0' 2>/dev/null)" = true ]; do
+  i=$((i + 1))
+  [ "$i" -le 300 ] || { echo "FAIL: feed never settled"; exit 1; }
+  sleep 1
+done
+
+./staleload.bin -url "http://localhost:$PORT" -mode both \
+  -c "$CONC" -rps "$RPS" -d "$DURATION" -warmup "$WARMUP" \
+  -wait 60s -json "$OUT" \
+  -comment "load smoke: staleserve -live -source sim, both loop modes"
+
+# The report must show real traffic and a clean error column for every
+# recorded run, and the burn-rate plumbing must be live on /debug/slo.
+jq -e '
+  (.benchmarks | length) >= 2 and
+  ([.benchmarks[] | select(.rps <= 0 or .errors > 0)] | length) == 0 and
+  ([.benchmarks[] | select(.latency.p99_ns <= 0)] | length) == 0
+' "$OUT" > /dev/null || {
+  echo "FAIL: unhealthy load report in $OUT:"
+  jq '.benchmarks' "$OUT"
+  exit 1
+}
+curl -sf "localhost:$PORT/debug/slo" | jq -e '.objectives | length >= 2' > /dev/null || {
+  echo "FAIL: /debug/slo missing objectives"
+  exit 1
+}
+
+echo "load smoke OK:"
+jq -r '.benchmarks | to_entries[] |
+  "  \(.key): \(.value.rps | floor) req/s, p50 \(.value.latency.p50_ns/1000 | floor)us, p99 \(.value.latency.p99_ns/1000 | floor)us, p99.9 \(.value.latency.p999_ns/1000 | floor)us"' "$OUT"
