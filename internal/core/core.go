@@ -426,24 +426,8 @@ func (d *Detector) DetectStale(asOf timeline.Day, windowSize int) []StaleAlert {
 		scan(h.Field)
 	}
 	// History-less rule consequents on entities we observe.
-	consequents := make(map[changecube.TemplateID][]changecube.PropertyID)
-	for _, r := range d.assocRules.Rules() {
-		consequents[r.Template] = append(consequents[r.Template], r.Consequent)
-	}
-	cube := d.histories.Cube()
-	scanned := make(map[changecube.FieldKey]bool)
-	for entity := range d.histories.ByEntity() {
-		for _, prop := range consequents[cube.Template(entity)] {
-			field := changecube.FieldKey{Entity: entity, Property: prop}
-			if scanned[field] {
-				continue // two rules may share a consequent
-			}
-			scanned[field] = true
-			if _, known := d.histories.Get(field); known {
-				continue // already covered by the history scan
-			}
-			scan(field)
-		}
+	for _, field := range d.HistorylessConsequents() {
+		scan(field)
 	}
 	sort.Slice(alerts, func(i, j int) bool {
 		a, b := alerts[i].Field, alerts[j].Field
@@ -453,6 +437,51 @@ func (d *Detector) DetectStale(asOf timeline.Day, windowSize int) []StaleAlert {
 		return a.Property < b.Property
 	})
 	return alerts
+}
+
+// HistorylessConsequents returns every field an association rule covers on
+// an observed entity but for which no filtered history exists — the fields
+// only rule coverage can speak for. The list is deduplicated (rules may
+// share a consequent) and sorted by (entity, property), so both DetectStale
+// and a serving index built from it are deterministic across restarts:
+// when two entities on one page can claim the same (page, property) pair,
+// the lowest entity consistently wins any first-wins tie-break downstream.
+func (d *Detector) HistorylessConsequents() []changecube.FieldKey {
+	consequents := make(map[changecube.TemplateID][]changecube.PropertyID)
+	for _, r := range d.assocRules.Rules() {
+		consequents[r.Template] = append(consequents[r.Template], r.Consequent)
+	}
+	cube := d.histories.Cube()
+	seen := make(map[changecube.FieldKey]bool)
+	var fields []changecube.FieldKey
+	// Histories() is sorted by (entity, property), so walking it visits
+	// entities in ascending order — no map iteration anywhere on this path.
+	prev := changecube.EntityID(-1)
+	for _, h := range d.histories.Histories() {
+		entity := h.Field.Entity
+		if entity == prev {
+			continue
+		}
+		prev = entity
+		for _, prop := range consequents[cube.Template(entity)] {
+			field := changecube.FieldKey{Entity: entity, Property: prop}
+			if seen[field] {
+				continue // two rules may share a consequent
+			}
+			seen[field] = true
+			if _, known := d.histories.Get(field); known {
+				continue // already covered by the recorded histories
+			}
+			fields = append(fields, field)
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool {
+		if fields[i].Entity != fields[j].Entity {
+			return fields[i].Entity < fields[j].Entity
+		}
+		return fields[i].Property < fields[j].Property
+	})
+	return fields
 }
 
 func (d *Detector) explainCorrelation(partners []changecube.FieldKey) string {

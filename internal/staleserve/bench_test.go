@@ -1,0 +1,95 @@
+package staleserve
+
+import (
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// warmEpoch returns the shared epoch with the default (asOf, window)
+// alert set computed, plus the packed keys of a servable field and the
+// cache entry — the steady state every /v1/field request hits.
+func warmEpoch(tb testing.TB) (ep *epoch, fk fieldKey, ck uint64, asOf timeline.Day) {
+	initShared(tb)
+	ep = sharedServer.epoch()
+	fk = ep.fields.entries[0].key
+	asOf = ep.det.Histories().Span().End
+	ck = packCacheKey(asOf, 7)
+	var hits, misses, waits countStub
+	ep.cache.getOrCompute(ck, &hits, &misses, &waits, func() *alertSet {
+		return newAlertSet(ep.cube, ep.det.DetectStale(asOf, 7))
+	})
+	return ep, fk, ck, asOf
+}
+
+// TestFieldLookupZeroAlloc pins the tentpole property: the compiled
+// steady-state lookup path — field resolution, cache hit, stale-set
+// membership, body selection — allocates nothing.
+func TestFieldLookupZeroAlloc(t *testing.T) {
+	ep, fk, ck, _ := warmEpoch(t)
+	var sink []byte
+	allocs := testing.AllocsPerRun(1000, func() {
+		fe := ep.fields.lookup(fk)
+		as, ok := ep.cache.lookup(ck)
+		if fe == nil || !ok {
+			panic("warm lookup missed")
+		}
+		if _, stale := as.find(fe.key); stale {
+			sink = ep.fields.bytes(fe.stalePrefix)
+		} else {
+			sink = ep.fields.bytes(fe.fresh)
+		}
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("compiled lookup path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestQueryParamZeroAlloc: parameter extraction on unescaped values must
+// not allocate — it replaced r.URL.Query() for exactly that reason.
+func TestQueryParamZeroAlloc(t *testing.T) {
+	raw := "page=Somepage&property=total_goals&window=7"
+	allocs := testing.AllocsPerRun(1000, func() {
+		if v, ok := queryParam(raw, "property"); !ok || v != "total_goals" {
+			panic("queryParam broke")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("queryParam allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// BenchmarkFieldLookup measures the compiled cache-hit lookup path.
+// Acceptance: 0 allocs/op.
+func BenchmarkFieldLookup(b *testing.B) {
+	ep, fk, ck, _ := warmEpoch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink []byte
+	for i := 0; i < b.N; i++ {
+		fe := ep.fields.lookup(fk)
+		as, ok := ep.cache.lookup(ck)
+		if fe == nil || !ok {
+			b.Fatal("warm lookup missed")
+		}
+		if _, stale := as.find(fe.key); stale {
+			sink = ep.fields.bytes(fe.stalePrefix)
+		} else {
+			sink = ep.fields.bytes(fe.fresh)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkAlertCacheLookup isolates the sharded cache hit.
+func BenchmarkAlertCacheLookup(b *testing.B) {
+	ep, _, ck, _ := warmEpoch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ep.cache.lookup(ck); !ok {
+			b.Fatal("warm lookup missed")
+		}
+	}
+}

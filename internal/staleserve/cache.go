@@ -1,110 +1,193 @@
 package staleserve
 
 import (
+	"fmt"
 	"sync"
 
-	"github.com/wikistale/wikistale/internal/core"
+	"github.com/wikistale/wikistale/internal/timeline"
 )
 
-// alertCacheSize bounds the per-epoch alert cache. A handful of dashboards
-// each polling their own (asof, window) key fit comfortably; an unbounded
-// map would let a crawler walking asof values pin every result set.
-const alertCacheSize = 8
+// The alert cache memoizes compiled DetectStale results (alertSet) for
+// one epoch. Keys are packed integers — asOf day in the high 32 bits,
+// window in the low 32 — and the cache is sharded by key hash so two
+// dashboards polling different keys never contend on one mutex. Each
+// shard is a small LRU with singleflight collapsing of concurrent
+// computations. The cache lives inside its epoch, so a detector swap
+// discards it wholesale — no explicit invalidation protocol.
+const (
+	// alertCacheShards must be a power of two.
+	alertCacheShards = 4
+	// alertCacheShardCap bounds each shard, so a crawler walking asof
+	// values can pin at most shards × cap result sets. Every shard can
+	// hold a full dashboard's worth of keys even if they all hash
+	// together.
+	alertCacheShardCap = 8
+)
 
-// alertCache memoizes DetectStale results for one epoch under a bounded
-// LRU, with singleflight collapsing of concurrent computations for the
-// same key. The cache lives inside its epoch, so a detector swap discards
-// it wholesale — no explicit invalidation protocol.
+// packCacheKey packs an (asOf, window) pair into the cache key.
+func packCacheKey(asOf timeline.Day, window int) uint64 {
+	return uint64(uint32(asOf))<<32 | uint64(uint32(window))
+}
+
+// alertCache is the sharded per-epoch cache.
 type alertCache struct {
+	shards [alertCacheShards]cacheShard
+}
+
+// cacheShard is one LRU + singleflight unit under its own lock.
+type cacheShard struct {
 	mu       sync.Mutex
 	cap      int
-	entries  map[string][]core.StaleAlert
-	order    []string // LRU order, least recent first
-	inflight map[string]*call
+	entries  map[uint64]*alertSet
+	order    []uint64 // LRU order, least recent first
+	inflight map[uint64]*call
 }
 
-// call tracks one in-flight DetectStale computation.
+// call tracks one in-flight DetectStale computation. done is closed after
+// val (or the panic record) is published, so waiters read both fields
+// without further synchronization.
 type call struct {
-	done chan struct{}
-	val  []core.StaleAlert
+	done     chan struct{}
+	val      *alertSet
+	panicked bool
+	panicVal any
 }
 
-func newAlertCache(capacity int) *alertCache {
-	return &alertCache{
-		cap:      capacity,
-		entries:  make(map[string][]core.StaleAlert, capacity),
-		inflight: make(map[string]*call),
+func newAlertCache(shardCap int) *alertCache {
+	c := &alertCache{}
+	for i := range c.shards {
+		c.shards[i].cap = shardCap
+		c.shards[i].entries = make(map[uint64]*alertSet, shardCap)
+		c.shards[i].inflight = make(map[uint64]*call)
 	}
+	return c
+}
+
+// shardIndex spreads packed keys across shards. Fibonacci hashing mixes
+// the low (window) and high (asOf) halves before taking the top bits.
+func (c *alertCache) shardIndex(key uint64) int {
+	const fib = 0x9E3779B97F4A7C15
+	return int((key * fib) >> 62 & (alertCacheShards - 1))
+}
+
+func (c *alertCache) shard(key uint64) *cacheShard {
+	return &c.shards[c.shardIndex(key)]
 }
 
 // counter is the subset of obs.Counter the cache needs; it keeps the
 // cache decoupled from metric registration, which stays in the Server.
 type counter interface{ Inc() }
 
-// get returns the cached alerts for key, computing them at most once per
-// key across concurrent callers, plus the outcome ("hit", "wait", or
+// lookup is the allocation-free fast path: the cached set for key, if
+// present, refreshing its LRU recency. Callers record the hit themselves
+// — passing counters here would force a closure-laden signature onto the
+// path that exists to avoid exactly that.
+func (c *alertCache) lookup(key uint64) (*alertSet, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if val, ok := sh.entries[key]; ok {
+		sh.touch(key)
+		sh.mu.Unlock()
+		return val, true
+	}
+	sh.mu.Unlock()
+	return nil, false
+}
+
+// getOrCompute returns the cached set for key, computing it at most once
+// per key across concurrent callers, plus the outcome ("hit", "wait", or
 // "miss") for the request's span and log line. compute runs outside the
-// cache lock, on the calling goroutine — which is what lets the caller's
+// shard lock, on the calling goroutine — which is what lets the caller's
 // trace context flow into the computation.
-func (c *alertCache) get(key string, hits, misses, waits counter, compute func() []core.StaleAlert) ([]core.StaleAlert, string) {
-	c.mu.Lock()
-	if val, ok := c.entries[key]; ok {
-		c.touch(key)
-		c.mu.Unlock()
+//
+// If compute panics, the inflight entry is removed and done is closed
+// before the panic propagates on the computing goroutine, so waiters
+// never block forever; they re-panic with the recorded value rather than
+// serving a nil result. runtime.Goexit in compute likewise unblocks the
+// waiters.
+func (c *alertCache) getOrCompute(key uint64, hits, misses, waits counter, compute func() *alertSet) (*alertSet, string) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if val, ok := sh.entries[key]; ok {
+		sh.touch(key)
+		sh.mu.Unlock()
 		hits.Inc()
 		return val, "hit"
 	}
-	if cl, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
+	if cl, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
 		waits.Inc()
 		<-cl.done
+		if cl.panicked {
+			panic(fmt.Sprintf("staleserve: alert computation for key %#x panicked: %v", key, cl.panicVal))
+		}
 		return cl.val, "wait"
 	}
 	cl := &call{done: make(chan struct{})}
-	c.inflight[key] = cl
-	c.mu.Unlock()
+	sh.inflight[key] = cl
+	sh.mu.Unlock()
 
 	misses.Inc()
+	completed := false
+	defer func() {
+		if !completed {
+			cl.panicked = true
+			cl.panicVal = recover()
+		}
+		sh.mu.Lock()
+		delete(sh.inflight, key)
+		if !cl.panicked {
+			sh.insert(key, cl.val)
+		}
+		sh.mu.Unlock()
+		close(cl.done)
+		if cl.panicked && cl.panicVal != nil {
+			panic(cl.panicVal)
+		}
+	}()
 	cl.val = compute()
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	c.insert(key, cl.val)
-	c.mu.Unlock()
-	close(cl.done)
+	completed = true
 	return cl.val, "miss"
 }
 
-// touch moves key to the most-recent end. Caller holds the lock.
-func (c *alertCache) touch(key string) {
-	for i, k := range c.order {
+// touch moves key to the most-recent end, in place — no allocation on
+// the hit path. Caller holds the shard lock.
+func (sh *cacheShard) touch(key uint64) {
+	for i, k := range sh.order {
 		if k == key {
-			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			copy(sh.order[i:], sh.order[i+1:])
+			sh.order[len(sh.order)-1] = key
 			return
 		}
 	}
 }
 
 // insert stores a computed value, evicting the least recently used entry
-// when full. Caller holds the lock.
-func (c *alertCache) insert(key string, val []core.StaleAlert) {
-	if _, ok := c.entries[key]; ok {
-		c.entries[key] = val
-		c.touch(key)
+// when full. Caller holds the shard lock.
+func (sh *cacheShard) insert(key uint64, val *alertSet) {
+	if _, ok := sh.entries[key]; ok {
+		sh.entries[key] = val
+		sh.touch(key)
 		return
 	}
-	if len(c.entries) >= c.cap && len(c.order) > 0 {
-		evict := c.order[0]
-		c.order = c.order[1:]
-		delete(c.entries, evict)
+	if len(sh.entries) >= sh.cap && len(sh.order) > 0 {
+		evict := sh.order[0]
+		copy(sh.order, sh.order[1:])
+		sh.order = sh.order[:len(sh.order)-1]
+		delete(sh.entries, evict)
 	}
-	c.entries[key] = val
-	c.order = append(c.order, key)
+	sh.entries[key] = val
+	sh.order = append(sh.order, key)
 }
 
-// len reports the number of cached entries (test hook).
+// len reports the number of cached entries across shards (test hook).
 func (c *alertCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }

@@ -1,0 +1,149 @@
+package staleserve
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// atomicStub is the counter used by concurrent cache tests; countStub in
+// live_test.go is plain and would race here.
+type atomicStub struct{ n atomic.Uint64 }
+
+func (c *atomicStub) Inc()         { c.n.Add(1) }
+func (c *atomicStub) Load() uint64 { return c.n.Load() }
+
+// TestAlertCachePanicPropagates is the regression test for the inflight
+// leak: when compute panics, the computing goroutine must re-panic, every
+// waiter must unblock (and panic too, not serve a nil result), the
+// poisoned entry must not be cached, and the key must be computable again
+// afterwards. Before the fix, done was never closed on a compute panic,
+// so waiters hung forever and the inflight entry leaked for the epoch's
+// lifetime.
+func TestAlertCachePanicPropagates(t *testing.T) {
+	c := newAlertCache(3)
+	var hits, misses, waits atomicStub
+	key := uint64(7)
+
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	computerPanic := make(chan any, 1)
+	go func() {
+		defer func() { computerPanic <- recover() }()
+		c.getOrCompute(key, &hits, &misses, &waits, func() *alertSet {
+			close(computing)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-computing
+
+	waiterPanic := make(chan any, 1)
+	go func() {
+		defer func() { waiterPanic <- recover() }()
+		c.getOrCompute(key, &hits, &misses, &waits, func() *alertSet { return &alertSet{} })
+	}()
+	// The waiter increments the wait counter before blocking on done.
+	deadline := time.Now().Add(10 * time.Second)
+	for waits.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second caller never reached the wait path")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	expect := func(ch chan any, who string) {
+		select {
+		case v := <-ch:
+			s, ok := v.(string)
+			if v == nil || (ok && !strings.Contains(s, "boom")) {
+				t.Fatalf("%s recovered %v, want a panic mentioning the original value", who, v)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s still blocked after the compute panic", who)
+		}
+	}
+	expect(computerPanic, "computing goroutine")
+	expect(waiterPanic, "waiting goroutine")
+
+	if n := c.len(); n != 0 {
+		t.Fatalf("poisoned result cached: len = %d", n)
+	}
+	// The key must be computable again — no leaked inflight entry.
+	done := make(chan *alertSet, 1)
+	go func() {
+		val, _ := c.getOrCompute(key, &hits, &misses, &waits, func() *alertSet { return &alertSet{} })
+		done <- val
+	}()
+	select {
+	case val := <-done:
+		if val == nil {
+			t.Fatal("recompute returned nil")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("recompute blocked: inflight entry leaked from the panicked call")
+	}
+	if misses.Load() != 2 {
+		t.Fatalf("misses = %d, want 2 (panicked compute + recompute)", misses.Load())
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d after recompute", c.len())
+	}
+}
+
+// TestAlertCacheGoexitUnblocksWaiters: runtime.Goexit (t.Fatal inside a
+// compute, in practice) must also unblock waiters instead of deadlocking
+// them, even though there is no panic value to propagate.
+func TestAlertCacheGoexitUnblocksWaiters(t *testing.T) {
+	c := newAlertCache(3)
+	var hits, misses, waits atomicStub
+	key := uint64(11)
+
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		c.getOrCompute(key, &hits, &misses, &waits, func() *alertSet {
+			close(computing)
+			<-release
+			runtime.Goexit()
+			return nil
+		})
+	}()
+	<-computing
+
+	waiterPanic := make(chan any, 1)
+	go func() {
+		defer func() { waiterPanic <- recover() }()
+		c.getOrCompute(key, &hits, &misses, &waits, func() *alertSet { return &alertSet{} })
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for waits.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second caller never reached the wait path")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	select {
+	case <-exited:
+	case <-time.After(10 * time.Second):
+		t.Fatal("computing goroutine never exited")
+	}
+	select {
+	case v := <-waiterPanic:
+		if v == nil {
+			t.Fatal("waiter served a result from a computation that never finished")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter still blocked after compute Goexit")
+	}
+	if n := c.len(); n != 0 {
+		t.Fatalf("aborted result cached: len = %d", n)
+	}
+}

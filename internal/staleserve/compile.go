@@ -1,0 +1,292 @@
+package staleserve
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+	"github.com/wikistale/wikistale/internal/core"
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// This file is the swap-time compiler: when a detector is installed, the
+// per-request lookup state is flattened into read-only, densely packed
+// structures so the steady-state /v1/field path touches no maps and
+// allocates nothing. Three pieces:
+//
+//   - compiledFields: a sorted flat array keyed by packed
+//     (PageID<<32|PropertyID), replacing the histIdx/entIdx/known maps.
+//     Each entry carries offsets into one shared byte arena holding the
+//     pre-rendered JSON bodies for the field's fresh and stale answers.
+//   - alertSet: a DetectStale result wrapped with a sorted stale-key
+//     index (O(log alerts) membership instead of a linear scan) and a
+//     small cache of rendered /v1/stale bodies per limit value.
+//   - appendJSONString: the minimal JSON string escaper the pre-rendered
+//     fragments and the stale-body splice use.
+
+// fieldKey packs a (page, property) pair into one comparable word:
+// PageID in the high 32 bits, PropertyID in the low 32.
+type fieldKey uint64
+
+func packKey(page changecube.PageID, prop changecube.PropertyID) fieldKey {
+	return fieldKey(uint32(page))<<32 | fieldKey(uint32(prop))
+}
+
+func (k fieldKey) page() changecube.PageID     { return changecube.PageID(k >> 32) }
+func (k fieldKey) prop() changecube.PropertyID { return changecube.PropertyID(uint32(k)) }
+
+// byteSpan addresses a pre-rendered fragment inside the epoch arena.
+type byteSpan struct{ off, end uint32 }
+
+// fieldEntry is one servable (page, property) pair: the entity the
+// detector reasons about (the address /v1/explain needs) and the rendered
+// response fragments for /v1/field.
+type fieldEntry struct {
+	key    fieldKey
+	entity changecube.EntityID
+	// hasHistory marks pairs with a recorded change history (as opposed
+	// to history-less rule consequents).
+	hasHistory bool
+	// fresh is the complete "not stale" response body.
+	fresh byteSpan
+	// stalePrefix + <escaped explanation> + staleSuffix form the stale
+	// response body.
+	stalePrefix byteSpan
+	staleSuffix byteSpan
+}
+
+// compiledFields is the read-only field index of one epoch: entries
+// sorted by packed key for binary search, fragments in one shared arena.
+type compiledFields struct {
+	entries []fieldEntry
+	arena   []byte
+}
+
+// lookup returns the entry for k, or nil. Hand-rolled binary search so
+// the hot path carries no closure and no allocation.
+func (cf *compiledFields) lookup(k fieldKey) *fieldEntry {
+	lo, hi := 0, len(cf.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cf.entries[mid].key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cf.entries) && cf.entries[lo].key == k {
+		return &cf.entries[lo]
+	}
+	return nil
+}
+
+func (cf *compiledFields) bytes(s byteSpan) []byte { return cf.arena[s.off:s.end] }
+
+// compileFields flattens the servable keyspace into the epoch's read-only
+// index. histories provides the observed fields (first history in field
+// order wins a (page, property) collision, matching the old map index);
+// extra lists the history-less rule consequents — callers pass
+// Detector.HistorylessConsequents(), whose sorted order makes the
+// entity tie-break deterministic across restarts. A history with no
+// recorded days compiles to a body without last_changed instead of
+// panicking at request time.
+func compileFields(histories []changecube.History, extra []changecube.FieldKey, cube *changecube.Cube) *compiledFields {
+	type proto struct {
+		key        fieldKey
+		entity     changecube.EntityID
+		last       timeline.Day
+		hasLast    bool
+		hasHistory bool
+	}
+	seen := make(map[fieldKey]struct{}, len(histories)+len(extra))
+	protos := make([]proto, 0, len(histories)+len(extra))
+	for _, h := range histories {
+		k := packKey(cube.Page(h.Field.Entity), h.Field.Property)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		p := proto{key: k, entity: h.Field.Entity, hasHistory: true}
+		if len(h.Days) > 0 {
+			p.last = h.Days[len(h.Days)-1]
+			p.hasLast = true
+		}
+		protos = append(protos, p)
+	}
+	for _, f := range extra {
+		k := packKey(cube.Page(f.Entity), f.Property)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		protos = append(protos, proto{key: k, entity: f.Entity})
+	}
+	sort.Slice(protos, func(i, j int) bool { return protos[i].key < protos[j].key })
+
+	cf := &compiledFields{entries: make([]fieldEntry, 0, len(protos))}
+	var head, tail []byte
+	for _, p := range protos {
+		head = head[:0]
+		head = append(head, `{"page":`...)
+		head = appendJSONString(head, cube.Pages.Name(int32(p.key.page())))
+		head = append(head, `,"property":`...)
+		head = appendJSONString(head, cube.Properties.Name(int32(p.key.prop())))
+		head = append(head, `,"stale":`...)
+		tail = tail[:0]
+		if p.hasLast {
+			tail = append(tail, `,"last_changed":"`...)
+			tail = append(tail, p.last.String()...)
+			tail = append(tail, '"')
+		}
+		tail = append(tail, '}', '\n')
+
+		fresh := cf.appendFragment(head, []byte("false"), tail)
+		stalePrefix := cf.appendFragment(head, []byte(`true,"explanation":`), nil)
+		staleSuffix := cf.appendFragment(tail, nil, nil)
+		cf.entries = append(cf.entries, fieldEntry{
+			key:         p.key,
+			entity:      p.entity,
+			hasHistory:  p.hasHistory,
+			fresh:       fresh,
+			stalePrefix: stalePrefix,
+			staleSuffix: staleSuffix,
+		})
+	}
+	return cf
+}
+
+// appendFragment copies up to three pieces into the arena as one
+// contiguous fragment and returns its span.
+func (cf *compiledFields) appendFragment(parts ...[]byte) byteSpan {
+	off := uint32(len(cf.arena))
+	for _, p := range parts {
+		cf.arena = append(cf.arena, p...)
+	}
+	return byteSpan{off: off, end: uint32(len(cf.arena))}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal (quotes included).
+// Unlike encoding/json it does not escape HTML characters — the output is
+// served with an application/json content type, never inlined into HTML.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		dst = append(dst, s[start:i]...)
+		switch c {
+		case '"':
+			dst = append(dst, '\\', '"')
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		case '\r':
+			dst = append(dst, '\\', 'r')
+		case '\t':
+			dst = append(dst, '\\', 't')
+		default:
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// staleBodyCacheCap bounds the per-alertSet rendered /v1/stale bodies: a
+// dashboard polls one or two limit values, and a client walking limits
+// must not pin unbounded renders.
+const staleBodyCacheCap = 8
+
+// alertSet is one cached DetectStale result, compiled for serving: the
+// raw alerts, a sorted packed-key index over them for O(log n) membership
+// tests on /v1/field, and lazily rendered /v1/stale bodies per limit.
+type alertSet struct {
+	alerts []core.StaleAlert
+	keys   []fieldKey // sorted; parallel to idxs
+	idxs   []int32    // idxs[i] indexes alerts for keys[i]
+
+	mu       sync.Mutex
+	rendered map[int][]byte // limit → rendered /v1/stale body
+}
+
+// newAlertSet indexes a DetectStale result. When several alerts map to
+// one (page, property) pair — two entities on one page — the first alert
+// in detector order wins, matching the old linear scan.
+func newAlertSet(cube *changecube.Cube, alerts []core.StaleAlert) *alertSet {
+	as := &alertSet{alerts: alerts}
+	if len(alerts) == 0 {
+		return as
+	}
+	type kv struct {
+		k fieldKey
+		i int32
+	}
+	pairs := make([]kv, len(alerts))
+	for i, a := range alerts {
+		pairs[i] = kv{k: packKey(cube.Page(a.Field.Entity), a.Field.Property), i: int32(i)}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].k != pairs[j].k {
+			return pairs[i].k < pairs[j].k
+		}
+		return pairs[i].i < pairs[j].i
+	})
+	as.keys = make([]fieldKey, 0, len(pairs))
+	as.idxs = make([]int32, 0, len(pairs))
+	for _, p := range pairs {
+		if n := len(as.keys); n > 0 && as.keys[n-1] == p.k {
+			continue
+		}
+		as.keys = append(as.keys, p.k)
+		as.idxs = append(as.idxs, p.i)
+	}
+	return as
+}
+
+// find returns the index of the first alert covering k, if any.
+// Hand-rolled binary search: zero allocations on the hot path.
+func (as *alertSet) find(k fieldKey) (int32, bool) {
+	lo, hi := 0, len(as.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if as.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(as.keys) && as.keys[lo] == k {
+		return as.idxs[lo], true
+	}
+	return 0, false
+}
+
+// cachedBody returns the rendered /v1/stale body for limit, or nil.
+func (as *alertSet) cachedBody(limit int) []byte {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.rendered[limit]
+}
+
+// storeBody caches a rendered body under limit, up to the cap. Concurrent
+// first renders are idempotent, so last-write-wins is fine.
+func (as *alertSet) storeBody(limit int, body []byte) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if as.rendered == nil {
+		as.rendered = make(map[int][]byte, 2)
+	}
+	if len(as.rendered) >= staleBodyCacheCap {
+		if _, ok := as.rendered[limit]; !ok {
+			return
+		}
+	}
+	as.rendered[limit] = body
+}

@@ -58,12 +58,12 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 	if ep == nil {
 		return
 	}
-	page := r.URL.Query().Get("page")
+	page, _ := queryParam(r.URL.RawQuery, "page")
 	if page == "" {
 		writeError(w, r, http.StatusBadRequest, fmt.Errorf("page is required"))
 		return
 	}
-	asOf, window, err := ep.parseWindow(r)
+	asOf, window, err := ep.parseWindow(r.URL.RawQuery)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
@@ -83,9 +83,13 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 		if data.Template == "" {
 			data.Template = ep.cube.Templates.Name(int32(ep.cube.Template(h.Field.Entity)))
 		}
+		last := "never"
+		if len(h.Days) > 0 {
+			last = h.Days[len(h.Days)-1].String()
+		}
 		data.Fields = append(data.Fields, demoField{
 			Property:    ep.cube.Properties.Name(int32(h.Field.Property)),
-			LastChanged: h.Days[len(h.Days)-1].String(),
+			LastChanged: last,
 		})
 	}
 	if len(data.Fields) == 0 {
@@ -96,7 +100,7 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 	for i := range data.Fields {
 		byProp[data.Fields[i].Property] = &data.Fields[i]
 	}
-	for _, a := range s.alerts(r.Context(), ep, asOf, window) {
+	for _, a := range s.alerts(r.Context(), ep, asOf, window).alerts {
 		if ep.cube.Page(a.Field.Entity) != changecube.PageID(pageID) {
 			continue
 		}

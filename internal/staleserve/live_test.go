@@ -106,14 +106,14 @@ func TestFieldUnknownPairNotFound(t *testing.T) {
 	s := sharedServer
 	ep := s.epoch()
 
-	// Hunt for a (page, property) pair of valid names outside the known
-	// set.
+	// Hunt for a (page, property) pair of valid names outside the
+	// compiled servable set.
 	var page, property string
 search:
 	for p := 0; p < ep.cube.Pages.Len(); p++ {
 		for q := 0; q < ep.cube.Properties.Len(); q++ {
-			k := pageProp{page: changecube.PageID(p), prop: changecube.PropertyID(q)}
-			if !ep.known[k] {
+			k := packKey(changecube.PageID(p), changecube.PropertyID(q))
+			if ep.fields.lookup(k) == nil {
 				page = ep.cube.Pages.Name(int32(p))
 				property = ep.cube.Properties.Name(int32(q))
 				break search
@@ -139,37 +139,60 @@ search:
 	}
 }
 
-// TestAlertCacheLRUEviction exercises the bounded cache directly: the
-// 9th distinct key must evict the least recently used one, and a hit
-// must refresh recency.
+// sameShardKeys returns n distinct keys that all hash to one shard of c,
+// so LRU tests exercise a single shard's capacity deterministically.
+func sameShardKeys(c *alertCache, n int) []uint64 {
+	target := c.shardIndex(1)
+	keys := make([]uint64, 0, n)
+	for k := uint64(1); len(keys) < n; k++ {
+		if c.shardIndex(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestAlertCacheLRUEviction exercises one bounded shard directly: the
+// 4th distinct same-shard key must evict the least recently used one,
+// and a hit must refresh recency.
 func TestAlertCacheLRUEviction(t *testing.T) {
 	c := newAlertCache(3)
+	keys := sameShardKeys(c, 4)
+	a, b, k3, d := keys[0], keys[1], keys[2], keys[3]
 	var hits, misses, waits countStub
-	get := func(key string) {
-		c.get(key, &hits, &misses, &waits, func() []core.StaleAlert { return nil })
+	get := func(key uint64) {
+		c.getOrCompute(key, &hits, &misses, &waits, func() *alertSet { return &alertSet{} })
 	}
-	get("a")
-	get("b")
-	get("c")
+	get(a)
+	get(b)
+	get(k3)
 	if c.len() != 3 || misses != 3 {
 		t.Fatalf("len %d, misses %d", c.len(), misses)
 	}
-	get("a") // refresh a: LRU order is now b, c, a
+	get(a) // refresh a: LRU order is now b, k3, a
 	if hits != 1 {
 		t.Fatalf("hits = %d", hits)
 	}
-	get("d") // evicts b
+	get(d) // evicts b
 	if c.len() != 3 {
 		t.Fatalf("len = %d after eviction", c.len())
 	}
-	get("a") // still cached
-	get("c") // still cached
+	get(a)  // still cached
+	get(k3) // still cached
 	if hits != 3 {
 		t.Fatalf("hits = %d, want refreshed entries to survive", hits)
 	}
-	get("b") // evicted: must recompute
+	get(b) // evicted: must recompute
 	if misses != 5 {
 		t.Fatalf("misses = %d, want evicted key to miss", misses)
+	}
+	// The alloc-free fast path sees the same entries.
+	if _, ok := c.lookup(b); !ok {
+		t.Fatal("lookup misses a key getOrCompute just cached")
+	}
+	if _, ok := c.lookup(d); ok {
+		// d was the LRU victim of re-inserting b.
+		t.Fatal("lookup found a key the LRU should have evicted")
 	}
 }
 
@@ -178,11 +201,29 @@ type countStub uint64
 func (c *countStub) Inc() { *c++ }
 
 // TestAlertCacheLRUOverHTTP is the regression test at the API surface:
-// repeated windows hit, distinct windows beyond the capacity evict the
-// oldest.
+// repeated windows hit, and distinct windows beyond one shard's capacity
+// evict that shard's oldest entry. The windows are picked at runtime so
+// their packed (asOf, window) keys all hash into the same shard —
+// otherwise the sharding would spread them and nothing would evict.
 func TestAlertCacheLRUOverHTTP(t *testing.T) {
 	srv, _ := testServer(t)
 	s := sharedServer
+	ep := s.epoch()
+	asOf := ep.det.Histories().Span().End
+
+	// shardCap+1 same-shard windows, starting past every window other
+	// tests use so the fill is all misses.
+	var windows []int
+	target := -1
+	for w := 60; len(windows) < alertCacheShardCap+1; w++ {
+		sh := ep.cache.shardIndex(packCacheKey(asOf, w))
+		if target == -1 {
+			target = sh
+		}
+		if sh == target {
+			windows = append(windows, w)
+		}
+	}
 
 	delta := func() (hits, misses uint64) {
 		return s.cacheHits.Value(), s.cacheMisses.Value()
@@ -200,21 +241,22 @@ func TestAlertCacheLRUOverHTTP(t *testing.T) {
 	}
 
 	h0, m0 := delta()
-	// Fill the cache past capacity with distinct windows 40..48 (9 keys,
-	// capacity 8): all misses, and window 40 ends up evicted.
-	for w := 40; w <= 48; w++ {
+	// Fill the shard past capacity: all misses, and the first window ends
+	// up evicted (any entries other tests left in this shard go first,
+	// then ours in insertion order).
+	for _, w := range windows {
 		get(w)
 	}
 	h1, m1 := delta()
-	if m1-m0 != 9 || h1 != h0 {
-		t.Fatalf("fill: %d misses, %d hits; want 9 misses, 0 hits", m1-m0, h1-h0)
+	if m1-m0 != uint64(len(windows)) || h1 != h0 {
+		t.Fatalf("fill: %d misses, %d hits; want %d misses, 0 hits", m1-m0, h1-h0, len(windows))
 	}
-	get(48) // most recent: hit
+	get(windows[len(windows)-1]) // most recent: hit
 	h2, m2 := delta()
 	if h2-h1 != 1 || m2 != m1 {
 		t.Fatalf("recent key: %d hits, %d misses; want a pure hit", h2-h1, m2-m1)
 	}
-	get(40) // evicted: miss again
+	get(windows[0]) // evicted: miss again
 	_, m3 := delta()
 	if m3-m2 != 1 {
 		t.Fatalf("evicted key: %d misses, want 1", m3-m2)

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/wikistale/wikistale/internal/changecube"
 	"github.com/wikistale/wikistale/internal/obs"
 )
 
@@ -290,18 +291,44 @@ func TestFieldHistoryIndexMatchesScan(t *testing.T) {
 	if ep == nil {
 		t.Fatal("no epoch installed")
 	}
-	if len(ep.histIdx) == 0 {
-		t.Fatal("history index empty")
+	if len(ep.fields.entries) == 0 {
+		t.Fatal("compiled field index empty")
 	}
-	for k, h := range ep.histIdx {
-		if ep.cube.Page(h.Field.Entity) != k.page || h.Field.Property != k.prop {
-			t.Fatalf("index entry %+v holds mismatched history %+v", k, h.Field)
+	// Entries must be strictly sorted by packed key — the binary search
+	// contract — and every entry must address a consistent entity.
+	for i := range ep.fields.entries {
+		e := &ep.fields.entries[i]
+		if i > 0 && ep.fields.entries[i-1].key >= e.key {
+			t.Fatalf("entries unsorted at %d: %#x then %#x", i, ep.fields.entries[i-1].key, e.key)
 		}
-		if !ep.known[k] {
-			t.Fatalf("index entry %+v missing from known-field set", k)
+		if ep.cube.Page(e.entity) != e.key.page() {
+			t.Fatalf("entry %#x addresses entity %d on page %d", e.key, e.entity, ep.cube.Page(e.entity))
 		}
 	}
-	if len(ep.histIdx) > ep.det.Histories().Len() {
-		t.Fatalf("index larger than history set: %d > %d", len(ep.histIdx), ep.det.Histories().Len())
+	// Every recorded history must resolve through the compiled index to
+	// an entry with history coverage.
+	histCount := 0
+	for _, h := range ep.det.Histories().Histories() {
+		k := packKey(ep.cube.Page(h.Field.Entity), h.Field.Property)
+		fe := ep.fields.lookup(k)
+		if fe == nil {
+			t.Fatalf("history field %+v missing from compiled index", h.Field)
+		}
+		if !fe.hasHistory {
+			t.Fatalf("history field %+v compiled without history coverage", h.Field)
+		}
+	}
+	for i := range ep.fields.entries {
+		if ep.fields.entries[i].hasHistory {
+			histCount++
+		}
+	}
+	if histCount > ep.det.Histories().Len() {
+		t.Fatalf("index holds more history entries than the history set: %d > %d",
+			histCount, ep.det.Histories().Len())
+	}
+	// A key outside the compiled set must miss.
+	if fe := ep.fields.lookup(packKey(changecube.PageID(1<<30), changecube.PropertyID(1<<30))); fe != nil {
+		t.Fatalf("lookup of absent key returned %+v", fe)
 	}
 }

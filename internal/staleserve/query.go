@@ -1,0 +1,43 @@
+package staleserve
+
+import (
+	"net/url"
+	"strings"
+)
+
+// queryParam extracts one parameter from a raw query string without
+// building the url.Values map — r.URL.Query() allocates a map, slices,
+// and strings on every call, which is most of what the old /v1/field hot
+// path spent per request. Values without escape sequences are returned as
+// substrings of the input (zero allocations); %XX and + escapes fall back
+// to url.QueryUnescape. Malformed escapes report the parameter as absent,
+// matching url.Values dropping the pair.
+func queryParam(rawQuery, key string) (string, bool) {
+	for len(rawQuery) > 0 {
+		var seg string
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			seg, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			seg, rawQuery = rawQuery, ""
+		}
+		if len(seg) < len(key) || seg[:len(key)] != key {
+			continue
+		}
+		if len(seg) == len(key) {
+			return "", true // bare "?key" — present, empty
+		}
+		if seg[len(key)] != '=' {
+			continue
+		}
+		v := seg[len(key)+1:]
+		if strings.IndexByte(v, '%') < 0 && strings.IndexByte(v, '+') < 0 {
+			return v, true
+		}
+		dec, err := url.QueryUnescape(v)
+		if err != nil {
+			return "", false
+		}
+		return dec, true
+	}
+	return "", false
+}

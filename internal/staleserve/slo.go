@@ -195,11 +195,12 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	fields := make([]catalogField, 0, len(ep.known))
-	for k := range ep.known {
+	fields := make([]catalogField, 0, len(ep.fields.entries))
+	for i := range ep.fields.entries {
+		k := ep.fields.entries[i].key
 		fields = append(fields, catalogField{
-			Page:     ep.cube.Pages.Name(int32(k.page)),
-			Property: ep.cube.Properties.Name(int32(k.prop)),
+			Page:     ep.cube.Pages.Name(int32(k.page())),
+			Property: ep.cube.Properties.Name(int32(k.prop())),
 		})
 	}
 	sort.Slice(fields, func(i, j int) bool {

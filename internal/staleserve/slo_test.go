@@ -191,6 +191,42 @@ func TestMiddlewareRecordsDataPlaneOnly(t *testing.T) {
 	}
 }
 
+// TestColdStart503DoesNotBurnSLO: a live server answering 503 before its
+// first epoch is warming up, not failing — those responses must not
+// count against the availability SLO (a cold start would otherwise trip
+// burn-rate alerts and heap captures before there is a service at all).
+// Once an epoch is installed, data-plane requests record normally.
+func TestColdStart503DoesNotBurnSLO(t *testing.T) {
+	s := NewLive()
+	req, _ := http.NewRequest("GET", "/v1/stale", nil)
+	for i := 0; i < 5; i++ {
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, req)
+		if rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("cold /v1/stale = %d, want 503", rr.Code)
+		}
+	}
+	rep := s.SLOTracker().Snapshot()
+	for _, or := range rep.Objectives {
+		for _, ws := range or.Windows {
+			if ws.Total != 0 {
+				t.Fatalf("cold-start 503s recorded against %s: %+v", or.Objective.Name, ws)
+			}
+		}
+	}
+
+	s.Swap(trainSeed(t, 404))
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("warm /v1/stale = %d", rr.Code)
+	}
+	rep = s.SLOTracker().Snapshot()
+	if got := rep.Objectives[0].Windows[0].Total; got != 1 {
+		t.Fatalf("warm request not recorded: total = %d, want 1", got)
+	}
+}
+
 // TestCatalogEndpoint checks /v1/catalog lists servable pairs that
 // /v1/field actually answers for, deterministically ordered.
 func TestCatalogEndpoint(t *testing.T) {

@@ -22,8 +22,10 @@ var (
 	initE        error
 )
 
-func testServer(t *testing.T) (*httptest.Server, *dataset.Truth) {
-	t.Helper()
+// initShared trains the shared detector and boots the shared server once
+// per test binary. testing.TB so benchmarks share the fixture.
+func initShared(tb testing.TB) {
+	tb.Helper()
 	once.Do(func() {
 		cube, tr, err := dataset.Generate(dataset.Small())
 		if err != nil {
@@ -40,8 +42,13 @@ func testServer(t *testing.T) (*httptest.Server, *dataset.Truth) {
 		server = httptest.NewServer(sharedServer.Handler())
 	})
 	if initE != nil {
-		t.Fatal(initE)
+		tb.Fatal(initE)
 	}
+}
+
+func testServer(t *testing.T) (*httptest.Server, *dataset.Truth) {
+	t.Helper()
+	initShared(t)
 	t.Cleanup(func() {}) // the server lives for the whole test binary
 	return server, truth
 }

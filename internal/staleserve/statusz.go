@@ -69,10 +69,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "  installed:  %s ago\n",
 			time.Since(time.Unix(0, s.swapNanos.Load())).Round(time.Second))
 		fmt.Fprintf(w, "  fields:     %d\n", ep.det.Histories().Len())
+		fmt.Fprintf(w, "  servable:   %d compiled field keys (%s arena)\n",
+			len(ep.fields.entries), humanBytes(float64(len(ep.fields.arena))))
 		fmt.Fprintf(w, "  corr rules: %d\n", ep.det.FieldCorrelations().NumRules())
 		fmt.Fprintf(w, "  assoc rules:%d\n", ep.det.AssociationRules().NumRules())
-		span := ep.det.Histories().Span()
-		fmt.Fprintf(w, "  data span:  %s .. %s\n", span.Start, span.End)
+		fmt.Fprintf(w, "  data span:  %s .. %s\n", ep.span.Start, ep.span.End)
 	}
 	fmt.Fprintf(w, "\n")
 

@@ -12,6 +12,9 @@
 #   CONC       worker count (default 8)
 #   OUT        report path (default BENCH_HTTP.json)
 #   ADDR       listen address (default :8097)
+#   BASELINE   recorded report to gate the closed-loop p99 against
+#              (default BENCH_HTTP.json; the gate is skipped when the
+#              baseline is the output file itself or has no entry)
 set -eu
 
 DURATION=${DURATION:-5s}
@@ -20,6 +23,7 @@ RPS=${RPS:-300}
 CONC=${CONC:-8}
 OUT=${OUT:-BENCH_HTTP.json}
 ADDR=${ADDR:-:8097}
+BASELINE=${BASELINE:-BENCH_HTTP.json}
 PORT=${ADDR##*:}
 
 go build -o staleserve.bin ./cmd/staleserve
@@ -64,6 +68,26 @@ curl -sf "localhost:$PORT/debug/slo" | jq -e '.objectives | length >= 2' > /dev/
   echo "FAIL: /debug/slo missing objectives"
   exit 1
 }
+
+# Latency regression gate: the closed-loop p99 of this run must stay
+# within 2x of the recorded baseline. The factor is deliberately loose —
+# CI runners are noisy — but a hot-path regression that doubles tail
+# latency fails the build instead of silently shipping. Skipped when the
+# baseline is the file just written (a re-baselining run) or carries no
+# comparable entry.
+if [ "$OUT" != "$BASELINE" ] && [ -f "$BASELINE" ]; then
+  base_p99=$(jq -r ".benchmarks.http_closed_c${CONC}.latency.p99_ns // empty" "$BASELINE")
+  now_p99=$(jq -r ".benchmarks.http_closed_c${CONC}.latency.p99_ns // empty" "$OUT")
+  if [ -n "$base_p99" ] && [ -n "$now_p99" ]; then
+    if awk -v now="$now_p99" -v base="$base_p99" 'BEGIN { exit !(now > 2 * base) }'; then
+      echo "FAIL: closed-loop p99 regressed: ${now_p99}ns vs baseline ${base_p99}ns (> 2x)"
+      exit 1
+    fi
+    echo "p99 gate OK: ${now_p99}ns vs baseline ${base_p99}ns (limit 2x)"
+  else
+    echo "p99 gate skipped: no http_closed_c${CONC} entry in $BASELINE"
+  fi
+fi
 
 echo "load smoke OK:"
 jq -r '.benchmarks | to_entries[] |
