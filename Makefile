@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench check lint fuzz loadsmoke experiments figures cover clean
+.PHONY: all build test race bench check lint fuzz loadsmoke coldsmoke experiments figures cover clean
 
 all: build test
 
@@ -32,20 +32,30 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Fuzz every parser/decoder for a short burst each: the binary cube
-# format, the wikitext infobox parser, the counter-anomaly detector, and
-# the streaming JSONL event format.
+# format, the wikitext infobox parser, the counter-anomaly detector, the
+# streaming JSONL event format, and the epoch store's log and snapshot
+# decoders (crash-recovery surfaces: they parse whatever a torn write
+# left on disk).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/changecube
 	$(GO) test -run '^$$' -fuzz '^FuzzParseInfoboxes$$' -fuzztime $(FUZZTIME) ./internal/wikitext
 	$(GO) test -run '^$$' -fuzz '^FuzzDetectCounterAnomalies$$' -fuzztime $(FUZZTIME) ./internal/values
 	$(GO) test -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME) ./internal/ingest
+	$(GO) test -run '^$$' -fuzz '^FuzzEpochLogDecode$$' -fuzztime $(FUZZTIME) ./internal/epochstore
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME) ./internal/epochstore
 
 # HTTP load smoke: boot a live staleserve on the simulated feed, drive
 # it with cmd/staleload in both loop modes, assert healthy throughput,
 # and leave the latency report in BENCH_HTTP.json (see scripts/loadsmoke.sh).
 loadsmoke:
 	sh scripts/loadsmoke.sh
+
+# Cold-start smoke: run a live server with -store, kill it after the
+# first persisted epoch, restart, and assert instant readiness from the
+# store plus exact feed resume (see scripts/coldstartsmoke.sh).
+coldsmoke:
+	sh scripts/coldstartsmoke.sh
 
 # Regenerate every table and figure of the paper on the default corpus.
 experiments:

@@ -28,6 +28,14 @@
 //	staleserve -live -source events.jsonl        # replay a JSONL dump, then keep serving
 //	staleserve -live -source events.jsonl -follow # tail the file as it grows
 //	staleserve -live -source feed.jsonl -i corpus.wcc  # warm start from a corpus
+//	staleserve -live -source feed.jsonl -store epochs/ # persist epochs; restart boots instantly
+//
+// With -store DIR every trained epoch is persisted (model + training cube
+// + feed checkpoint) into an epoch store; on the next start the newest
+// valid epoch is served immediately — /readyz is 200 in milliseconds with
+// no retraining — and the feed resumes exactly at the epoch's checkpoint.
+// Corrupt or torn snapshots fall back to the previous epoch, then to a
+// cold start.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, in-flight requests get up to -drain to finish, then the
@@ -43,16 +51,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/wikistale/wikistale/internal/changecube"
 	"github.com/wikistale/wikistale/internal/core"
 	"github.com/wikistale/wikistale/internal/dataset"
+	"github.com/wikistale/wikistale/internal/epochstore"
 	"github.com/wikistale/wikistale/internal/filter"
 	"github.com/wikistale/wikistale/internal/ingest"
 	"github.com/wikistale/wikistale/internal/obs/olog"
@@ -93,6 +105,9 @@ func main() {
 		retrainChanges = flag.Int("retrain-changes", 5000, "live mode: retrain after this many new changes (0 disables)")
 		retrainInc     = flag.Bool("retrain-incremental", true, "live mode: reuse untouched pages' correlation rules between retrains (bit-identical, faster)")
 		retrainFull    = flag.Int("retrain-full-every", 32, "live mode: force a full rebuild after this many incremental retrains (0 never)")
+
+		storeDir    = flag.String("store", "", "live mode: epoch store directory — persist every trained epoch and boot from the newest valid one instead of retraining")
+		storeRetain = flag.Int("store-retain", epochstore.DefaultRetain, "live mode: epoch snapshots kept on disk")
 	)
 	flag.Parse()
 
@@ -103,8 +118,11 @@ func main() {
 	}
 
 	if *live {
-		runLive(*source, *in, *addr, *drain, *follow, *retrainEvery, *retrainChanges, *retrainInc, *retrainFull)
+		runLive(*source, *in, *addr, *drain, *follow, *retrainEvery, *retrainChanges, *retrainInc, *retrainFull, *storeDir, *storeRetain)
 		return
+	}
+	if *storeDir != "" {
+		log.Fatal("-store requires -live (batch mode persists via -model)")
 	}
 	if *in == "" {
 		*in = "corpus.wcc"
@@ -132,24 +150,85 @@ func runBatch(in, model, addr string, drain time.Duration, verbose bool) {
 }
 
 // runLive wires feed → staging → background retrains → epoch hot-swaps.
-func runLive(source, warmCube, addr string, drain time.Duration, follow bool, retrainEvery time.Duration, retrainChanges int, retrainInc bool, retrainFull int) {
+// With -store, the newest valid persisted epoch is loaded first: the
+// server swaps it in before the listener opens (ready in milliseconds, no
+// retraining), the feed resumes from the epoch's checkpoint, and every
+// later retrain persists a fresh epoch through the manager's post-swap
+// hook.
+func runLive(source, warmCube, addr string, drain time.Duration, follow bool, retrainEvery time.Duration, retrainChanges int, retrainInc bool, retrainFull int, storeDir string, storeRetain int) {
 	cfg := core.DefaultConfig()
+
+	var es *epochstore.Store
+	var loaded *epochstore.LoadResult
+	if storeDir != "" {
+		var err error
+		if es, err = epochstore.Open(epochstore.Options{Dir: storeDir, Retain: storeRetain}); err != nil {
+			log.Fatal(err)
+		}
+		if loaded, err = es.LoadLatest(context.Background(), cfg); err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range loaded.Errors {
+			fmt.Fprintf(os.Stderr, "live: epoch store: %s\n", e)
+		}
+		if loaded.Outcome == "cold" {
+			loaded = nil
+		}
+	}
 
 	var src ingest.Source
 	switch {
 	case source == "sim":
-		cube, _, err := dataset.Generate(dataset.Default())
-		if err != nil {
-			log.Fatalf("generating simulated feed: %v", err)
+		var cp ingest.SourcePosition
+		if loaded != nil {
+			if loaded.Checkpoint.Kind != "" && loaded.Checkpoint.Kind != "stream" {
+				loaded = discardLoaded(es, fmt.Errorf("checkpoint kind %q, feed is the simulated stream", loaded.Checkpoint.Kind))
+			} else {
+				cp = loaded.Checkpoint
+			}
 		}
-		src = ingest.NewStream(cube)
-		fmt.Fprintf(os.Stderr, "live: simulated feed of %d change events\n", cube.NumChanges())
+		// Corpus generation takes seconds; a store boot must open the
+		// listener in milliseconds. The lazy source moves generation onto
+		// the manager's consume goroutine — serving (on the loaded epoch)
+		// starts immediately, the feed follows. The simulated feed is
+		// deterministic, so the checkpoint's batch index identifies an
+		// exact position in the regenerated replay.
+		src = &lazyStream{build: func() (*ingest.Stream, error) {
+			cube, _, err := dataset.Generate(dataset.Default())
+			if err != nil {
+				return nil, fmt.Errorf("generating simulated feed: %w", err)
+			}
+			stream := ingest.NewStream(cube)
+			if !cp.IsZero() {
+				if err := stream.Seek(cp); err != nil {
+					return nil, fmt.Errorf("resuming simulated feed: %w", err)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "live: simulated feed of %d change events\n", cube.NumChanges())
+			return stream, nil
+		}}
 	default:
 		f, err := os.Open(source)
 		if err != nil {
 			log.Fatal(err)
 		}
-		js := ingest.NewJSONLSource(f)
+		var js *ingest.JSONLSource
+		if loaded != nil {
+			// Resume re-reads and checksums the line before the checkpoint:
+			// a truncated or rewritten feed fails loudly instead of
+			// double-applying or skipping events.
+			if js, err = ingest.ResumeJSONL(f, loaded.Checkpoint); err != nil {
+				loaded = discardLoaded(es, err)
+				// A failed resume leaves the file mid-seek; rewind for the
+				// cold read.
+				if _, err := f.Seek(0, io.SeekStart); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if js == nil {
+			js = ingest.NewJSONLSource(f)
+		}
 		if follow {
 			js.Follow(0)
 		}
@@ -158,9 +237,19 @@ func runLive(source, warmCube, addr string, drain time.Duration, follow bool, re
 	}
 
 	srv := staleserve.NewLive()
-	var st *ingest.Staging
+	var st *ingest.Staging // nil when booting from the store (rebuilt in background)
 	var err error
-	if warmCube != "" {
+	switch {
+	case loaded != nil:
+		// Boot from the store: serve the persisted epoch immediately; the
+		// feed picks up at its checkpoint, so no event is lost or applied
+		// twice. A warm-start cube (-i) is ignored — the store is newer.
+		srv.Swap(loaded.Detector)
+		es.RecordRecovery(loaded.Outcome)
+		fmt.Fprintf(os.Stderr, "live: booted epoch %d from %s in %.0f ms (%s; %d fields); feed resumes at %+v\n",
+			loaded.Record.Seq, storeDir, 1000*loaded.Seconds, loaded.Outcome,
+			loaded.Record.Fields, loaded.Checkpoint)
+	case warmCube != "":
 		cube := readCube(warmCube)
 		if st, err = ingest.NewStagingFromCube(cube, cfg.Filter); err != nil {
 			log.Fatal(err)
@@ -173,9 +262,13 @@ func runLive(source, warmCube, addr string, drain time.Duration, follow bool, re
 		srv.Swap(det)
 		fmt.Fprintf(os.Stderr, "live: warm start from %s (%d changes); serving while the feed streams\n",
 			warmCube, cube.NumChanges())
-	} else if st, err = ingest.NewStaging(cfg.Filter); err != nil {
-		log.Fatal(err)
-	} else {
+	default:
+		if st, err = ingest.NewStaging(cfg.Filter); err != nil {
+			log.Fatal(err)
+		}
+		if es != nil {
+			es.RecordRecovery("cold")
+		}
 		fmt.Fprintln(os.Stderr, "live: cold start; not ready until enough history has streamed in")
 	}
 
@@ -186,16 +279,97 @@ func runLive(source, warmCube, addr string, drain time.Duration, follow bool, re
 		Incremental:      retrainInc,
 		FullRebuildEvery: retrainFull,
 	}
-	mgr := ingest.NewManager(src, st, srv.Swap, mcfg)
-	srv.SetIngestStats(func() any { return mgr.Stats() })
-	srv.SetLagSource(mgr.FeedLag)
+	// The manager is built on the feed goroutine: a store boot still has
+	// to rebuild the staging buffer (a full filter pass, seconds on big
+	// corpora), and that must not delay the listener. Handlers reach the
+	// manager through the atomic pointer, which stays nil until then — so
+	// every closure is wired before serve, and nothing races.
+	var mgrPtr atomic.Pointer[ingest.Manager]
+	srv.SetIngestStats(func() any {
+		mgr := mgrPtr.Load()
+		if mgr == nil {
+			return ingest.Stats{} // feed still starting up
+		}
+		return mgr.Stats()
+	})
+	srv.SetLagSource(func() float64 {
+		mgr := mgrPtr.Load()
+		if mgr == nil {
+			return 0
+		}
+		return mgr.FeedLag()
+	})
+	if es != nil {
+		srv.SetStoreStats(func() any { return es.Stats() })
+	}
+	startFeed := func() (*ingest.Manager, error) {
+		if loaded != nil {
+			if st, err = loaded.Staging(); err != nil {
+				return nil, fmt.Errorf("rebuilding staging from epoch %d: %w", loaded.Record.Seq, err)
+			}
+		}
+		mgr := ingest.NewManager(src, st, srv.Swap, mcfg)
+		if es != nil {
+			// Persist every epoch the manager swaps in. Snapshot errors are
+			// logged and counted by the store; serving continues regardless.
+			mgr.SetPostSwap(func(ctx context.Context, det *core.Detector, cp ingest.Checkpoint) {
+				_, _ = es.Snapshot(ctx, det, cp)
+			})
+		}
+		mgrPtr.Store(mgr)
+		return mgr, nil
+	}
 
-	serve(srv, addr, drain, mgr)
+	serve(srv, addr, drain, startFeed)
 }
 
-// serve runs the HTTP server (and, in live mode, the ingest manager)
-// until SIGINT/SIGTERM, then drains.
-func serve(s *staleserve.Server, addr string, drain time.Duration, mgr *ingest.Manager) {
+// lazyStream builds the simulated feed on first use, on the manager's
+// consume goroutine — keeping multi-second corpus generation off the
+// boot path so a -store restart serves within milliseconds. Next and
+// Position are only ever called from that one goroutine; the sync.Once
+// guards the Position-before-Next ordering, not cross-goroutine use.
+type lazyStream struct {
+	once  sync.Once
+	build func() (*ingest.Stream, error)
+	src   *ingest.Stream
+	err   error
+}
+
+func (l *lazyStream) init() { l.once.Do(func() { l.src, l.err = l.build() }) }
+
+func (l *lazyStream) Next(ctx context.Context) ([]ingest.Event, error) {
+	l.init()
+	if l.err != nil {
+		return nil, l.err
+	}
+	return l.src.Next(ctx)
+}
+
+func (l *lazyStream) Position() ingest.SourcePosition {
+	l.init()
+	if l.err != nil {
+		return ingest.SourcePosition{}
+	}
+	return l.src.Position()
+}
+
+// discardLoaded handles a persisted checkpoint that no longer matches the
+// feed (file truncated or rewritten, or the source kind changed): the
+// loaded epoch is dropped and the process cold-starts from the feed's
+// beginning rather than serve a model whose history cannot be extended
+// consistently.
+func discardLoaded(es *epochstore.Store, err error) *epochstore.LoadResult {
+	fmt.Fprintf(os.Stderr, "live: stored checkpoint does not match the feed (%v); cold-starting\n", err)
+	es.RecordRecovery("resume_mismatch")
+	return nil
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains. In live
+// mode startFeed builds the ingest manager on a background goroutine —
+// after the listener is already up, so slow feed setup (staging rebuild,
+// corpus generation) never delays readiness — and its manager is then run
+// until the context ends.
+func serve(s *staleserve.Server, addr string, drain time.Duration, startFeed func() (*ingest.Manager, error)) {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),
@@ -209,8 +383,15 @@ func serve(s *staleserve.Server, addr string, drain time.Duration, mgr *ingest.M
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if mgr != nil {
+	if startFeed != nil {
 		go func() {
+			mgr, err := startFeed()
+			if err != nil {
+				// Serving continues on whatever detector is installed; only
+				// the feed is lost.
+				log.Printf("ingest disabled: %v", err)
+				return
+			}
 			if err := mgr.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 				log.Printf("ingest stopped: %v", err)
 				return

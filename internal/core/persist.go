@@ -40,10 +40,10 @@ type modelFile struct {
 	ThresholdSets []baseline.SizeFields `json:"threshold_sets"`
 }
 
-// SaveModel writes the trained model as JSON.
-func (d *Detector) SaveModel(w io.Writer) error {
+// exportModel assembles the serializable view of the trained model.
+func (d *Detector) exportModel() modelFile {
 	anchors, tol, minWin, maxDorm := d.seasonalP.Export()
-	m := modelFile{
+	return modelFile{
 		Version:             modelVersion,
 		Splits:              d.splits,
 		CorrelationRules:    d.fieldCorr.Rules(),
@@ -55,9 +55,22 @@ func (d *Detector) SaveModel(w io.Writer) error {
 		FamilyRules:         d.familyCorr.Rules(),
 		ThresholdSets:       d.threshBase.Export(),
 	}
+}
+
+// SaveModel writes the trained model as JSON.
+func (d *Detector) SaveModel(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(m)
+	return enc.Encode(d.exportModel())
+}
+
+// MarshalModel returns the trained model in the compact form of the same
+// shape SaveModel writes — the epoch store's model payload. The encoding
+// is deterministic for a given detector (encoding/json writes struct
+// fields in declaration order), so identical detectors marshal to
+// identical bytes.
+func (d *Detector) MarshalModel() ([]byte, error) {
+	return json.Marshal(d.exportModel())
 }
 
 // LoadModel reconstructs a detector from a saved model plus the filtered
@@ -70,6 +83,20 @@ func LoadModel(hs *changecube.HistorySet, stats filter.Stats, cfg Config, r io.R
 	if err := dec.Decode(&m); err != nil {
 		return nil, fmt.Errorf("core: decoding model: %w", err)
 	}
+	return loadModelFile(hs, stats, cfg, m)
+}
+
+// LoadModelBytes is LoadModel over an in-memory payload, the inverse of
+// MarshalModel.
+func LoadModelBytes(hs *changecube.HistorySet, stats filter.Stats, cfg Config, data []byte) (*Detector, error) {
+	var m modelFile
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	return loadModelFile(hs, stats, cfg, m)
+}
+
+func loadModelFile(hs *changecube.HistorySet, stats filter.Stats, cfg Config, m modelFile) (*Detector, error) {
 	if m.Version != modelVersion {
 		return nil, fmt.Errorf("core: model version %d, this build reads %d", m.Version, modelVersion)
 	}

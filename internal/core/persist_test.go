@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -78,6 +79,39 @@ func TestLoadedModelPredictsIdentically(t *testing.T) {
 		if a[i].Field != b[i].Field || a[i].Explanation != b[i].Explanation {
 			t.Fatalf("alert %d differs: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+func TestMarshalModelBytesRoundTrip(t *testing.T) {
+	det, _ := detector(t)
+	data, err := det.MarshalModel()
+	if err != nil {
+		t.Fatalf("MarshalModel: %v", err)
+	}
+	loaded, err := LoadModelBytes(det.Histories(), det.FilterStats(), det.cfg, data)
+	if err != nil {
+		t.Fatalf("LoadModelBytes: %v", err)
+	}
+	// Marshal is deterministic: the reloaded detector re-marshals to the
+	// same bytes — the property the epoch store's bit-identity rests on.
+	again, err := loaded.MarshalModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-marshaled model differs from original bytes")
+	}
+	asOf := det.Histories().Span().End
+	a, b := det.DetectStale(asOf, 7), loaded.DetectStale(asOf, 7)
+	if len(a) != len(b) {
+		t.Fatalf("alerts %d != %d", len(a), len(b))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("alerts differ: %+v vs %+v", a, b)
+	}
+	if _, err := LoadModelBytes(det.Histories(), det.FilterStats(), det.cfg,
+		[]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
 	}
 }
 

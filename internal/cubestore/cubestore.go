@@ -310,8 +310,14 @@ const segmentMagic = "WCS1"
 
 func segmentName(n int) string { return fmt.Sprintf("seg-%06d.chg", n) }
 
-func (s *Store) writeSegment(number int, changes []changecube.Change) (segmentMeta, error) {
-	name := segmentName(number)
+// EncodeChanges serializes changes in the segment wire format: a "WCS1"
+// magic, a uvarint count, then per change a varint time delta, uvarint
+// entity and property IDs, a kind byte with the bot flag in bit 7, and a
+// length-prefixed value. The encoding is deterministic for a given input
+// order — callers that need byte-identical output across processes must
+// pass changes in a canonical order. The epoch store reuses this as its
+// cube payload.
+func EncodeChanges(changes []changecube.Change) []byte {
 	var buf []byte
 	buf = append(buf, segmentMagic...)
 	buf = binary.AppendUvarint(buf, uint64(len(changes)))
@@ -329,12 +335,97 @@ func (s *Store) writeSegment(number int, changes []changecube.Change) (segmentMe
 		buf = binary.AppendUvarint(buf, uint64(len(ch.Value)))
 		buf = append(buf, ch.Value...)
 	}
+	return buf
+}
+
+// DecodeChanges parses an EncodeChanges payload, passing each change to
+// apply in encoded order and returning the record count. It never panics
+// on malformed input: structural damage surfaces as an error, and apply
+// is responsible for validating IDs against its own dictionaries before
+// inserting into a cube (changecube.Cube.Add panics on unknown refs).
+func DecodeChanges(data []byte, apply func(changecube.Change) error) (int, error) {
+	if len(data) < len(segmentMagic) || string(data[:len(segmentMagic)]) != segmentMagic {
+		return 0, fmt.Errorf("cubestore: changes payload: bad magic")
+	}
+	r := &sliceReader{data: data[len(segmentMagic):]}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("cubestore: changes payload: %w", err)
+	}
+	if count > uint64(len(r.data)) {
+		// Each change needs at least one byte; reject inflated counts
+		// before apply sees them.
+		return 0, fmt.Errorf("cubestore: changes payload: count %d exceeds payload size", count)
+	}
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		dt, err := binary.ReadVarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("cubestore: change %d: %w", i, err)
+		}
+		prev += dt
+		entity, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("cubestore: change %d: %w", i, err)
+		}
+		prop, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("cubestore: change %d: %w", i, err)
+		}
+		kind, err := r.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("cubestore: change %d: %w", i, err)
+		}
+		vlen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("cubestore: change %d: %w", i, err)
+		}
+		value, err := r.take(int(vlen))
+		if err != nil {
+			return 0, fmt.Errorf("cubestore: change %d: %w", i, err)
+		}
+		ch := changecube.Change{
+			Time:     prev,
+			Entity:   changecube.EntityID(entity),
+			Property: changecube.PropertyID(prop),
+			Value:    value,
+			Kind:     changecube.ChangeKind(kind &^ 0x80),
+			Bot:      kind&0x80 != 0,
+		}
+		if err := apply(ch); err != nil {
+			return 0, fmt.Errorf("cubestore: change %d: %w", i, err)
+		}
+	}
+	return int(count), nil
+}
+
+func (s *Store) writeSegment(number int, changes []changecube.Change) (segmentMeta, error) {
+	name := segmentName(number)
+	buf := EncodeChanges(changes)
 	crc := crc32.ChecksumIEEE(buf)
 	tmp := s.path(name + ".tmp")
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return segmentMeta{}, fmt.Errorf("cubestore: segment %s: %w", name, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return segmentMeta{}, fmt.Errorf("cubestore: segment %s: %w", name, err)
+	}
+	// A power failure after the manifest references this segment must not
+	// lose its bytes: sync the file before the rename and the directory
+	// after, so the entry itself is durable too.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return segmentMeta{}, fmt.Errorf("cubestore: segment %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
 		return segmentMeta{}, fmt.Errorf("cubestore: segment %s: %w", name, err)
 	}
 	if err := os.Rename(tmp, s.path(name)); err != nil {
+		return segmentMeta{}, fmt.Errorf("cubestore: segment %s: %w", name, err)
+	}
+	if err := SyncDir(s.dir); err != nil {
 		return segmentMeta{}, fmt.Errorf("cubestore: segment %s: %w", name, err)
 	}
 	return segmentMeta{Name: name, Changes: len(changes), CRC32: crc}, nil
@@ -349,55 +440,32 @@ func (s *Store) loadSegment(meta segmentMeta) error {
 		return fmt.Errorf("cubestore: segment %s: checksum %08x, manifest says %08x (corrupted?)",
 			meta.Name, crc, meta.CRC32)
 	}
-	if len(data) < len(segmentMagic) || string(data[:len(segmentMagic)]) != segmentMagic {
-		return fmt.Errorf("cubestore: segment %s: bad magic", meta.Name)
-	}
-	r := &sliceReader{data: data[len(segmentMagic):]}
-	count, err := binary.ReadUvarint(r)
+	n, err := DecodeChanges(data, func(ch changecube.Change) error {
+		s.cube.Add(ch) // refs were valid when written; CRC above vouches for them
+		return nil
+	})
 	if err != nil {
 		return fmt.Errorf("cubestore: segment %s: %w", meta.Name, err)
 	}
-	if int(count) != meta.Changes {
+	if n != meta.Changes {
 		return fmt.Errorf("cubestore: segment %s: %d changes, manifest says %d",
-			meta.Name, count, meta.Changes)
-	}
-	prev := int64(0)
-	for i := uint64(0); i < count; i++ {
-		dt, err := binary.ReadVarint(r)
-		if err != nil {
-			return fmt.Errorf("cubestore: segment %s change %d: %w", meta.Name, i, err)
-		}
-		prev += dt
-		entity, err := binary.ReadUvarint(r)
-		if err != nil {
-			return err
-		}
-		prop, err := binary.ReadUvarint(r)
-		if err != nil {
-			return err
-		}
-		kind, err := r.ReadByte()
-		if err != nil {
-			return err
-		}
-		vlen, err := binary.ReadUvarint(r)
-		if err != nil {
-			return err
-		}
-		value, err := r.take(int(vlen))
-		if err != nil {
-			return fmt.Errorf("cubestore: segment %s change %d: %w", meta.Name, i, err)
-		}
-		s.cube.Add(changecube.Change{
-			Time:     prev,
-			Entity:   changecube.EntityID(entity),
-			Property: changecube.PropertyID(prop),
-			Value:    value,
-			Kind:     changecube.ChangeKind(kind &^ 0x80),
-			Bot:      kind&0x80 != 0,
-		})
+			meta.Name, n, meta.Changes)
 	}
 	return nil
+}
+
+// SyncDir fsyncs a directory so renames and newly created names in it
+// survive a power failure. Shared with the epoch store.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func (s *Store) writeManifest(m manifest) error {
@@ -421,7 +489,10 @@ func (s *Store) writeManifest(m manifest) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, s.path("MANIFEST"))
+	if err := os.Rename(tmp, s.path("MANIFEST")); err != nil {
+		return err
+	}
+	return SyncDir(s.dir)
 }
 
 // sliceReader is a minimal io.ByteReader over a byte slice with bounds

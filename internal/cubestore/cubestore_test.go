@@ -230,6 +230,62 @@ func TestManifestGarbageRejected(t *testing.T) {
 	}
 }
 
+func TestEncodeDecodeChangesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var want []changecube.Change
+	for i := 0; i < 200; i++ {
+		want = append(want, changecube.Change{
+			Time:     rng.Int63n(1 << 40),
+			Entity:   changecube.EntityID(rng.Intn(50)),
+			Property: changecube.PropertyID(rng.Intn(10)),
+			Value:    string(rune('a' + rng.Intn(26))),
+			Kind:     changecube.ChangeKind(rng.Intn(3)),
+			Bot:      rng.Intn(4) == 0,
+		})
+	}
+	buf := EncodeChanges(want)
+	var got []changecube.Change
+	n, err := DecodeChanges(buf, func(ch changecube.Change) error {
+		got = append(got, ch)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("DecodeChanges: %v", err)
+	}
+	if n != len(want) || !reflect.DeepEqual(want, got) {
+		t.Fatalf("roundtrip mismatch: n=%d want %d", n, len(want))
+	}
+	// Deterministic: re-encoding the decoded changes is byte-identical.
+	if string(EncodeChanges(got)) != string(buf) {
+		t.Fatal("re-encoding is not byte-identical")
+	}
+}
+
+func TestDecodeChangesRejectsDamage(t *testing.T) {
+	buf := EncodeChanges([]changecube.Change{
+		{Time: 10, Entity: 1, Property: 2, Value: "abc", Kind: changecube.Update},
+		{Time: 20, Entity: 1, Property: 3, Value: "defg", Kind: changecube.Create, Bot: true},
+	})
+	nop := func(changecube.Change) error { return nil }
+	if _, err := DecodeChanges([]byte("XXXX"), nop); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := DecodeChanges(buf[:2], nop); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	// Every truncation of the body must error, never panic or succeed.
+	for cut := len(segmentMagic); cut < len(buf); cut++ {
+		if _, err := DecodeChanges(buf[:cut], nop); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// An inflated count with no bytes behind it is rejected up front.
+	inflated := append([]byte(segmentMagic), 0xFF, 0xFF, 0xFF, 0xFF, 0x0F)
+	if _, err := DecodeChanges(inflated, nop); err == nil {
+		t.Fatal("inflated count accepted")
+	}
+}
+
 func TestRandomBatchesRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	s := open(t, dir)

@@ -1,0 +1,38 @@
+package epochstore
+
+import (
+	"context"
+	"os"
+	"runtime/pprof"
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/core"
+)
+
+// TestLoadTiming is a manual harness: point WIKISTALE_LOADDIR at a real
+// epoch store directory to time and CPU-profile LoadLatest against it
+// (profile written next to the test binary as load.pprof).
+func TestLoadTiming(t *testing.T) {
+	dir := os.Getenv("WIKISTALE_LOADDIR")
+	if dir == "" {
+		t.Skip("set WIKISTALE_LOADDIR to a store directory")
+	}
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create("load.pprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.LoadLatest(context.Background(), core.DefaultConfig())
+	pprof.StopCPUProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("outcome=%s seconds=%.3f errors=%v", res.Outcome, res.Seconds, res.Errors)
+}

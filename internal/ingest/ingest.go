@@ -83,3 +83,50 @@ func (e Event) Validate() error {
 type Source interface {
 	Next(ctx context.Context) ([]Event, error)
 }
+
+// SourcePosition is a resumable cursor into a feed, captured after a batch
+// has been applied so a later process can continue exactly where this one
+// stopped. The fields in play depend on Kind; unused ones stay zero.
+type SourcePosition struct {
+	// Kind names the source type the position belongs to: "jsonl" for
+	// JSONLSource, "stream" for the simulated day-batch replay. Empty means
+	// "no position" (a source that cannot checkpoint, or nothing consumed).
+	Kind string `json:"kind,omitempty"`
+
+	// Offset is the number of stream bytes fully consumed (jsonl).
+	Offset int64 `json:"offset,omitempty"`
+	// Line is the number of lines consumed, for error messages (jsonl).
+	Line int `json:"line,omitempty"`
+	// TailLen and TailCRC describe the last consumed line (including its
+	// newline, when present): resuming re-reads those bytes and verifies
+	// the checksum, so a truncated or rewritten feed file is detected
+	// instead of silently replayed from the wrong place.
+	TailLen int    `json:"tail_len,omitempty"`
+	TailCRC uint32 `json:"tail_crc,omitempty"`
+
+	// Batch is the number of day batches delivered (stream).
+	Batch int `json:"batch,omitempty"`
+}
+
+// IsZero reports whether no position has been captured.
+func (p SourcePosition) IsZero() bool { return p.Kind == "" }
+
+// Positioned is a Source that can report a resumable position. Position
+// must be called between Next calls (same goroutine discipline as Next)
+// and reflects everything returned by Next so far.
+type Positioned interface {
+	Source
+	Position() SourcePosition
+}
+
+// Checkpoint is the feed state captured atomically with a staging
+// snapshot: the source cursor plus the per-entity infobox ordinals the
+// stream-side identity map held at snapshot time. Persisting the ordinals
+// matters for feeds whose infobox ordinals do not first appear in
+// increasing order — entity-id order alone cannot reconstruct them.
+type Checkpoint struct {
+	Pos SourcePosition `json:"pos"`
+	// Ordinals holds the infobox ordinal of every entity in the snapshot
+	// cube, indexed by EntityID.
+	Ordinals []int `json:"ordinals,omitempty"`
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 )
@@ -30,11 +31,62 @@ type JSONLSource struct {
 	poll    time.Duration
 	pending []byte // partial final line held back in follow mode
 	line    int
+
+	// Resumable-position state: bytes fully consumed, and the length and
+	// CRC of the last consumed line (newline included when present).
+	offset  int64
+	tailLen int
+	tailCRC uint32
 }
 
 // NewJSONLSource returns a source over r with the default batch size.
 func NewJSONLSource(r io.Reader) *JSONLSource {
 	return &JSONLSource{r: bufio.NewReader(r), batch: DefaultBatchSize}
+}
+
+// ResumeJSONL returns a source positioned at pos, which must have come
+// from a JSONLSource over the same stream. It seeks to the start of the
+// checkpoint's tail line, re-reads it, and verifies its checksum — a feed
+// file that was truncated or rewritten since the checkpoint fails loudly
+// here instead of being replayed from the wrong byte.
+func ResumeJSONL(r io.ReadSeeker, pos SourcePosition) (*JSONLSource, error) {
+	if pos.Kind != "" && pos.Kind != "jsonl" {
+		return nil, fmt.Errorf("ingest: resume: position kind %q is not a jsonl position", pos.Kind)
+	}
+	if pos.Offset < int64(pos.TailLen) || pos.TailLen < 0 {
+		return nil, fmt.Errorf("ingest: resume: malformed position (offset %d, tail %d)", pos.Offset, pos.TailLen)
+	}
+	if _, err := r.Seek(pos.Offset-int64(pos.TailLen), io.SeekStart); err != nil {
+		return nil, fmt.Errorf("ingest: resume: %w", err)
+	}
+	if pos.TailLen > 0 {
+		tail := make([]byte, pos.TailLen)
+		if _, err := io.ReadFull(r, tail); err != nil {
+			return nil, fmt.Errorf("ingest: resume: feed shorter than checkpoint offset %d: %w", pos.Offset, err)
+		}
+		if crc := crc32.ChecksumIEEE(tail); crc != pos.TailCRC {
+			return nil, fmt.Errorf("ingest: resume: tail line at offset %d has checksum %08x, checkpoint says %08x (feed rewritten?)",
+				pos.Offset-int64(pos.TailLen), crc, pos.TailCRC)
+		}
+	}
+	s := NewJSONLSource(r)
+	s.offset = pos.Offset
+	s.line = pos.Line
+	s.tailLen = pos.TailLen
+	s.tailCRC = pos.TailCRC
+	return s, nil
+}
+
+// Position returns the resumable cursor after everything Next has
+// returned. Call it between Next calls, from the consuming goroutine.
+func (s *JSONLSource) Position() SourcePosition {
+	return SourcePosition{
+		Kind:    "jsonl",
+		Offset:  s.offset,
+		Line:    s.line,
+		TailLen: s.tailLen,
+		TailCRC: s.tailCRC,
+	}
 }
 
 // SetBatchSize caps the number of events per Next call (minimum 1).
@@ -72,6 +124,9 @@ func (s *JSONLSource) Next(ctx context.Context) ([]Event, error) {
 			line := s.pending
 			s.pending = nil
 			s.line++
+			s.offset += int64(len(line))
+			s.tailLen = len(line)
+			s.tailCRC = crc32.ChecksumIEEE(line)
 			ev, perr := parseEventLine(line)
 			if perr != nil {
 				if !errors.Is(perr, errBlankLine) {

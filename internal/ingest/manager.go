@@ -121,9 +121,17 @@ type Stats struct {
 // separate goroutine, one at a time.
 type Manager struct {
 	src  Source
+	pos  Positioned // src, when it can report positions; nil otherwise
 	st   *Staging
 	cfg  Config
 	swap func(*core.Detector)
+
+	// postSwap, when set, runs after every successful swap with the fresh
+	// detector and the staging checkpoint matching its training snapshot —
+	// the epoch store's persistence hook. It runs on the retrain goroutine
+	// (never the consume loop), so a slow disk stalls snapshots, not
+	// ingestion.
+	postSwap func(ctx context.Context, det *core.Detector, cp Checkpoint)
 
 	pending   atomic.Uint64 // events since the last retrain started
 	retrainMu sync.Mutex    // held for the duration of one retrain
@@ -168,8 +176,10 @@ func NewManager(src Source, st *Staging, swap func(*core.Detector), cfg Config) 
 	reg.SetHelp("wikistale_ingest_retrain_seconds", "Background retrain duration (snapshot + train).")
 	reg.SetHelp("wikistale_ingest_retrains_total", "Background retrains that produced a detector.")
 	reg.SetHelp("wikistale_ingest_retrain_errors_total", "Background retrains that failed.")
+	positioned, _ := src.(Positioned)
 	return &Manager{
 		src:            src,
+		pos:            positioned,
 		st:             st,
 		cfg:            cfg,
 		swap:           swap,
@@ -192,6 +202,11 @@ func (m *Manager) SetLogger(l *slog.Logger) {
 	if l != nil {
 		m.logger = l
 	}
+}
+
+// SetPostSwap installs the post-swap hook. Call before Run.
+func (m *Manager) SetPostSwap(fn func(ctx context.Context, det *core.Detector, cp Checkpoint)) {
+	m.postSwap = fn
 }
 
 // Stats returns the manager's current summary.
@@ -291,9 +306,17 @@ func (m *Manager) Run(ctx context.Context) error {
 	}
 }
 
-// consume appends one batch and updates metrics and stats.
+// consume appends one batch and updates metrics and stats. The source
+// position after the batch is recorded with it (same staging mutex), so
+// any snapshot pairs the data with the cursor that produced it.
 func (m *Manager) consume(events []Event) error {
-	touched, err := m.st.Append(events)
+	var touched int
+	var err error
+	if m.pos != nil {
+		touched, err = m.st.AppendAt(events, m.pos.Position())
+	} else {
+		touched, err = m.st.Append(events)
+	}
 	if err != nil {
 		return err
 	}
@@ -417,6 +440,12 @@ func (m *Manager) retrainLocked(trigger string) {
 		m.mu.Unlock()
 		m.logger.LogAttrs(ctx, slog.LevelDebug, "detector handed to swap",
 			slog.String("trigger", trigger))
+	}
+	if m.postSwap != nil {
+		// SnapshotCheckpoint still reflects this retrain's snapshot:
+		// retrainMu serializes retrains, and appends only move the live
+		// cursor, not the snapshot capture.
+		m.postSwap(ctx, det, m.st.SnapshotCheckpoint())
 	}
 }
 

@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"github.com/wikistale/wikistale/internal/changecube"
@@ -92,3 +93,23 @@ func (s *Stream) Next(ctx context.Context) ([]Event, error) {
 
 // Remaining returns the number of day batches not yet delivered.
 func (s *Stream) Remaining() int { return len(s.batches) - s.pos }
+
+// Position returns the resumable cursor: the number of day batches
+// delivered so far. The replay is deterministic for a given cube, so the
+// batch index alone pins the stream state.
+func (s *Stream) Position() SourcePosition {
+	return SourcePosition{Kind: "stream", Batch: s.pos}
+}
+
+// Seek repositions the replay at a previously captured Position, so a
+// restarted process re-delivers only the batches after its checkpoint.
+func (s *Stream) Seek(pos SourcePosition) error {
+	if pos.Kind != "" && pos.Kind != "stream" {
+		return fmt.Errorf("ingest: seek: position kind %q is not a stream position", pos.Kind)
+	}
+	if pos.Batch < 0 || pos.Batch > len(s.batches) {
+		return fmt.Errorf("ingest: seek: batch %d out of range (stream has %d)", pos.Batch, len(s.batches))
+	}
+	s.pos = pos.Batch
+	return nil
+}

@@ -62,6 +62,14 @@ type Staging struct {
 	// Warm-start corpus fields are NOT dirty: the first training over them
 	// is a cold build anyway.
 	dirty map[changecube.FieldKey]bool
+
+	// cursor is the feed position after the newest applied batch (set by
+	// AppendAt); snapCP freezes cursor + entity ordinals at the moment of
+	// the last successful snapshot, so the epoch store persists a
+	// checkpoint that matches the snapshot cube exactly even while appends
+	// keep racing ahead.
+	cursor SourcePosition
+	snapCP Checkpoint
 }
 
 // NewStaging returns an empty staging buffer (a cold start).
@@ -87,17 +95,37 @@ func NewStaging(cfg filter.Config) (*Staging, error) {
 // streamed in. The cube is cloned — the caller's copy is never mutated, so
 // a detector trained on it can keep serving while the staging copy grows.
 func NewStagingFromCube(cube *changecube.Cube, cfg filter.Config) (*Staging, error) {
+	return NewStagingFromCubeAt(cube, cfg, nil, SourcePosition{})
+}
+
+// NewStagingFromCubeAt is NewStagingFromCube restoring a checkpointed
+// state: ordinals, when non-nil, gives each entity's infobox ordinal
+// (indexed by EntityID, as Staging.SnapshotCheckpoint captured it) instead
+// of assuming first-seen ordinals are sequential, and pos primes the
+// source cursor so a snapshot taken before any new batch arrives carries
+// the restored checkpoint forward.
+func NewStagingFromCubeAt(cube *changecube.Cube, cfg filter.Config, ordinals []int, pos SourcePosition) (*Staging, error) {
 	st, err := NewStaging(cfg)
 	if err != nil {
 		return nil, err
 	}
+	if ordinals != nil && len(ordinals) != cube.NumEntities() {
+		return nil, fmt.Errorf("ingest: %d ordinals for %d entities", len(ordinals), cube.NumEntities())
+	}
 	st.cube = cube.Clone()
+	st.cursor = pos
 	for e := 0; e < st.cube.NumEntities(); e++ {
 		id := changecube.EntityID(e)
 		info := st.cube.Entity(id)
 		pt := pageTemplate{info.Page, info.Template}
-		st.entIdx[entityKey{info.Page, info.Template, st.ordinal[pt]}] = id
-		st.ordinal[pt]++
+		ord := st.ordinal[pt]
+		if ordinals != nil {
+			ord = ordinals[e]
+		}
+		st.entIdx[entityKey{info.Page, info.Template, ord}] = id
+		if ord >= st.ordinal[pt] {
+			st.ordinal[pt] = ord + 1
+		}
 	}
 	for key, chs := range st.cube.FieldChanges() {
 		// FieldChanges aliases cube storage; copy so later appends can
@@ -106,6 +134,9 @@ func NewStagingFromCube(cube *changecube.Cube, cfg filter.Config) (*Staging, err
 		st.fields[key] = buf
 		st.refilter(buf)
 	}
+	// The buffer's state corresponds to pos exactly, so that is its
+	// snapshot checkpoint until the first real snapshot supersedes it.
+	st.snapCP = Checkpoint{Pos: pos, Ordinals: st.ordinalsLocked()}
 	return st, nil
 }
 
@@ -114,6 +145,18 @@ func NewStagingFromCube(cube *changecube.Cube, cfg filter.Config) (*Staging, err
 // returns the number of distinct fields the batch touched. An invalid
 // event fails the whole batch with nothing staged.
 func (st *Staging) Append(events []Event) (touched int, err error) {
+	return st.appendAt(events, nil)
+}
+
+// AppendAt is Append plus a cursor update: pos is the feed position after
+// this batch, recorded under the same mutex as the data so a concurrent
+// Snapshot never pairs a cube with a cursor from a different instant —
+// the atomicity the no-double-apply guarantee of resume rests on.
+func (st *Staging) AppendAt(events []Event, pos SourcePosition) (touched int, err error) {
+	return st.appendAt(events, &pos)
+}
+
+func (st *Staging) appendAt(events []Event, pos *SourcePosition) (touched int, err error) {
 	for i, ev := range events {
 		if err := ev.Validate(); err != nil {
 			return 0, fmt.Errorf("ingest: event %d: %w", i, err)
@@ -131,6 +174,9 @@ func (st *Staging) Append(events []Event) (touched int, err error) {
 		st.refilter(buf)
 	}
 	st.appended += uint64(len(events))
+	if pos != nil {
+		st.cursor = *pos
+	}
 	return len(dirty), nil
 }
 
@@ -251,7 +297,31 @@ func (st *Staging) snapshotLocked() (*changecube.HistorySet, filter.Stats, error
 	if err != nil {
 		return nil, stats, fmt.Errorf("ingest: snapshot: %w", err)
 	}
+	st.snapCP = Checkpoint{Pos: st.cursor, Ordinals: st.ordinalsLocked()}
 	return hs, stats, nil
+}
+
+// ordinalsLocked reverses entIdx into a per-entity ordinal table. Caller
+// holds the mutex.
+func (st *Staging) ordinalsLocked() []int {
+	ords := make([]int, st.cube.NumEntities())
+	for key, id := range st.entIdx {
+		ords[id] = key.ordinal
+	}
+	return ords
+}
+
+// SnapshotCheckpoint returns the feed checkpoint of the most recent
+// successful Snapshot/SnapshotDelta: the cursor and entity ordinals as of
+// the instant the snapshot cube was cloned. The manager reads it after a
+// retrain to persist an epoch whose source checkpoint matches the epoch's
+// cube exactly.
+func (st *Staging) SnapshotCheckpoint() Checkpoint {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cp := st.snapCP
+	cp.Ordinals = append([]int(nil), cp.Ordinals...)
+	return cp
 }
 
 // StagingStats is the point-in-time summary surfaced on /v1/ingest/stats.

@@ -150,6 +150,16 @@ func (c *alertCache) getOrCompute(key uint64, hits, misses, waits counter, compu
 	return cl.val, "miss"
 }
 
+// prewarm seeds a computed set, typically before the cache's epoch is
+// published (swap-time warming of the default dashboard key), so the
+// first request after a swap hits instead of paying a DetectStale.
+func (c *alertCache) prewarm(key uint64, val *alertSet) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	sh.insert(key, val)
+	sh.mu.Unlock()
+}
+
 // touch moves key to the most-recent end, in place — no allocation on
 // the hit path. Caller holds the shard lock.
 func (sh *cacheShard) touch(key uint64) {

@@ -116,6 +116,9 @@ type Server struct {
 	// ingestStats, when set, backs /v1/ingest/stats and the ingest section
 	// of /statusz.
 	ingestStats func() any
+	// storeStats, when set (-store), backs the epoch-store section of
+	// /statusz: snapshot counts, durations, and the boot outcome.
+	storeStats func() any
 	// lagSource, when set (live mode), reports the current ingest feed lag
 	// in seconds — the data-freshness context on /debug/slo and /statusz.
 	lagSource func() float64
@@ -238,6 +241,12 @@ func (s *Server) Swap(det *core.Detector) {
 		fields: compileFields(det.Histories().Histories(), det.HistorylessConsequents(), cube),
 		cache:  newAlertCache(alertCacheShardCap),
 	}
+	// Pre-warm the default dashboard key — no asof, default window — so
+	// the first staleness request after a swap (or a store boot) hits the
+	// cache instead of paying a full DetectStale. Warming happens before
+	// the epoch is published: no request ever observes the cold cache.
+	ep.cache.prewarm(packCacheKey(ep.span.End, defaultWindow),
+		newAlertSet(cube, det.DetectStale(ep.span.End, defaultWindow)))
 	s.ep.Store(ep)
 	s.swapNanos.Store(time.Now().UnixNano())
 	s.swapsTotal.Inc()
@@ -253,6 +262,10 @@ func (s *Server) Swap(det *core.Detector) {
 // SetIngestStats wires the /v1/ingest/stats payload (typically
 // ingest.Manager.Stats); without it the endpoint 404s.
 func (s *Server) SetIngestStats(fn func() any) { s.ingestStats = fn }
+
+// SetStoreStats wires the epoch-store summary (epochstore.Store.Stats)
+// into /statusz; without it the store section is omitted.
+func (s *Server) SetStoreStats(fn func() any) { s.storeStats = fn }
 
 // epoch returns the current serving epoch, or nil before the first Swap.
 func (s *Server) epoch() *epoch { return s.ep.Load() }
@@ -476,6 +489,10 @@ func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.ingestStats())
 }
 
+// defaultWindow is the staleness window (days) when the request names
+// none — also the key Swap pre-warms in the alert cache.
+const defaultWindow = 7
+
 // parseWindow extracts the asof/window parameters shared by the staleness
 // endpoints. asof defaults to the end of the epoch's data; window to 7
 // days. It reads the raw query (see queryParam) so the default case —
@@ -489,7 +506,7 @@ func (ep *epoch) parseWindow(rawQuery string) (timeline.Day, int, error) {
 		}
 		asOf = timeline.DayOf(t)
 	}
-	window := 7
+	window := defaultWindow
 	if v, _ := queryParam(rawQuery, "window"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 || n > 3650 {

@@ -88,6 +88,16 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	s.writeRuntimeStatus(w)
 	s.writeSLOStatus(w)
 
+	if s.storeStats != nil {
+		fmt.Fprintf(w, "epoch store:\n")
+		if out, err := json.MarshalIndent(s.storeStats(), "  ", "  "); err != nil {
+			fmt.Fprintf(w, "  <unrenderable: %v>\n", err)
+		} else {
+			fmt.Fprintf(w, "  %s\n", out)
+		}
+		fmt.Fprintf(w, "\n")
+	}
+
 	if s.ingestStats == nil {
 		fmt.Fprintf(w, "ingest: not running in live mode\n")
 		return

@@ -51,7 +51,9 @@ func TestTracePropagationSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := http.Get(srv.URL + "/v1/stale?window=7")
+			// window=9 dodges the pre-warmed default key: this test needs
+			// a genuine miss to observe the singleflight trace chain.
+			resp, err := http.Get(srv.URL + "/v1/stale?window=9")
 			if err != nil {
 				t.Error(err)
 				return
