@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench check lint fuzz loadsmoke coldsmoke experiments figures cover clean
+.PHONY: all build test race bench check lint fuzz loadsmoke coldsmoke scalesmoke experiments figures cover clean
 
 all: build test
 
@@ -56,6 +56,12 @@ loadsmoke:
 # store plus exact feed resume (see scripts/coldstartsmoke.sh).
 coldsmoke:
 	sh scripts/coldstartsmoke.sh
+
+# Scale smoke: stream a generator-backed corpus through the live path
+# and gate incremental-retrain speedup and compact-layout bytes-per-
+# change (see scripts/scalesmoke.sh; SCALE=8 reproduces BENCH_SCALE.json).
+scalesmoke:
+	sh scripts/scalesmoke.sh
 
 # Regenerate every table and figure of the paper on the default corpus.
 experiments:

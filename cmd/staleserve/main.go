@@ -25,6 +25,7 @@
 // the background, and hot-swaps the serving detector with zero downtime:
 //
 //	staleserve -live -source sim                 # simulated EventStreams feed
+//	staleserve -live -source sim:scale=8         # ~10M-change corpus streamed straight from the generator
 //	staleserve -live -source events.jsonl        # replay a JSONL dump, then keep serving
 //	staleserve -live -source events.jsonl -follow # tail the file as it grows
 //	staleserve -live -source feed.jsonl -i corpus.wcc  # warm start from a corpus
@@ -56,6 +57,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -99,7 +103,8 @@ func main() {
 		logFormat = flag.String("log-format", "text", `structured-log format: "text" or "json"`)
 
 		live           = flag.Bool("live", false, "live mode: stream a change feed, retrain in the background, hot-swap the detector")
-		source         = flag.String("source", "sim", `live feed: "sim" for a simulated EventStreams feed, or a JSONL file path`)
+		source         = flag.String("source", "sim", `live feed: "sim" for a simulated EventStreams feed, "sim:scale=N" to stream an N-times-larger corpus straight from the generator, or a JSONL file path`)
+		memLimit       = flag.String("memlimit", "", `soft Go memory limit (e.g. "4GiB"): wires debug.SetMemoryLimit; the limit and live-heap headroom show on /statusz`)
 		follow         = flag.Bool("follow", false, "tail the JSONL source for new events instead of stopping at its end")
 		retrainEvery   = flag.Duration("retrain-every", 15*time.Second, "live mode: retrain at most this often while changes are pending (0 disables)")
 		retrainChanges = flag.Int("retrain-changes", 5000, "live mode: retrain after this many new changes (0 disables)")
@@ -115,6 +120,15 @@ func main() {
 	// constructed — both capture slog.Default() at construction time.
 	if _, err := olog.Setup(os.Stderr, *logLevel, *logFormat); err != nil {
 		log.Fatal(err)
+	}
+
+	if *memLimit != "" {
+		n, err := parseByteSize(*memLimit)
+		if err != nil {
+			log.Fatalf("-memlimit: %v", err)
+		}
+		debug.SetMemoryLimit(n)
+		fmt.Fprintf(os.Stderr, "memory limit: %s\n", *memLimit)
 	}
 
 	if *live {
@@ -178,6 +192,26 @@ func runLive(source, warmCube, addr string, drain time.Duration, follow bool, re
 
 	var src ingest.Source
 	switch {
+	case strings.HasPrefix(source, "sim:"):
+		// Scaled simulated feed: events stream straight out of the
+		// generator, one entity per batch — no corpus cube is ever
+		// materialized on the producer side, so a 10M+-change feed costs
+		// only the staging buffer's memory.
+		scale, err := parseSimScale(source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim := ingest.NewSimSource(dataset.Default().Scaled(scale))
+		if loaded != nil {
+			if loaded.Checkpoint.Kind != "" && loaded.Checkpoint.Kind != "sim" {
+				loaded = discardLoaded(es, fmt.Errorf("checkpoint kind %q, feed is the streamed sim generator", loaded.Checkpoint.Kind))
+			} else if err := sim.Seek(loaded.Checkpoint); err != nil {
+				loaded = discardLoaded(es, err)
+			}
+		}
+		src = sim
+		fmt.Fprintf(os.Stderr, "live: streaming simulated feed at scale %d (%d templates)\n",
+			scale, dataset.Default().Scaled(scale).NumTemplates)
 	case source == "sim":
 		var cp ingest.SourcePosition
 		if loaded != nil {
@@ -426,6 +460,39 @@ func serve(s *staleserve.Server, addr string, drain time.Duration, startFeed fun
 		}
 		fmt.Fprintln(os.Stderr, "bye")
 	}
+}
+
+// parseSimScale parses a "sim:scale=N" source spec.
+func parseSimScale(source string) (int, error) {
+	spec := strings.TrimPrefix(source, "sim:")
+	val, ok := strings.CutPrefix(spec, "scale=")
+	if !ok {
+		return 0, fmt.Errorf(`-source %q: expected "sim:scale=N"`, source)
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("-source %q: scale must be a positive integer", source)
+	}
+	return n, nil
+}
+
+// parseByteSize parses "512MiB"-style sizes (binary units) or plain bytes.
+func parseByteSize(s string) (int64, error) {
+	mult := int64(1)
+	num := s
+	for suffix, m := range map[string]int64{
+		"KiB": 1 << 10, "MiB": 1 << 20, "GiB": 1 << 30, "TiB": 1 << 40,
+	} {
+		if v, ok := strings.CutSuffix(s, suffix); ok {
+			num, mult = v, m
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("cannot parse %q (want e.g. 4GiB, 512MiB, or bytes)", s)
+	}
+	return n * mult, nil
 }
 
 func readCube(path string) *changecube.Cube {

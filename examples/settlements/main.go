@@ -46,9 +46,9 @@ func main() {
 		est := changecube.FieldKey{Entity: e, Property: popEst}
 		asOf := changecube.FieldKey{Entity: e, Property: popAsOf}
 		histories = append(histories,
-			changecube.History{Field: est, Days: estDays},
-			changecube.History{Field: asOf, Days: asOfDays},
-			changecube.History{Field: changecube.FieldKey{Entity: e, Property: mayor}, Days: mayorDays},
+			changecube.NewHistory(est, estDays),
+			changecube.NewHistory(asOf, asOfDays),
+			changecube.NewHistory(changecube.FieldKey{Entity: e, Property: mayor}, mayorDays),
 		)
 		fields = append(fields, struct{ est, asOf changecube.FieldKey }{est, asOf})
 	}
@@ -76,8 +76,8 @@ func main() {
 	histories = hs.Histories()
 	for i, h := range histories {
 		if h.Field == fields[0].est {
-			days := append(append([]timeline.Day{}, h.Days...), censusDay)
-			histories[i] = changecube.History{Field: h.Field, Days: days}
+			days := append(append([]timeline.Day{}, h.Days()...), censusDay)
+			histories[i] = changecube.NewHistory(h.Field, days)
 		}
 	}
 	observed, err := changecube.NewHistorySet(cube, histories)

@@ -44,8 +44,8 @@ func main() {
 			d += timeline.Day(13 + rng.Intn(3))
 		}
 		histories = append(histories,
-			changecube.History{Field: changecube.FieldKey{Entity: entity, Property: matches}, Days: dedup(matchDays)},
-			changecube.History{Field: changecube.FieldKey{Entity: entity, Property: goals}, Days: dedup(goalDays)},
+			changecube.NewHistory(changecube.FieldKey{Entity: entity, Property: matches}, dedup(matchDays)),
+			changecube.NewHistory(changecube.FieldKey{Entity: entity, Property: goals}, dedup(goalDays)),
 		)
 	}
 	hs, err := changecube.NewHistorySet(cube, histories)
@@ -71,10 +71,10 @@ func main() {
 	fresh := cube.AddEntityNamed("infobox football league season", "2018-19 Handball-Bundesliga")
 	matchDay := hs.Span().End + 10
 	histories = append(hs.Histories(),
-		changecube.History{Field: changecube.FieldKey{Entity: fresh, Property: matches},
-			Days: []timeline.Day{matchDay - 20, matchDay - 10, matchDay}},
-		changecube.History{Field: changecube.FieldKey{Entity: fresh, Property: goals},
-			Days: []timeline.Day{matchDay - 20, matchDay - 10}}, // missing the last update!
+		changecube.NewHistory(changecube.FieldKey{Entity: fresh, Property: matches},
+			[]timeline.Day{matchDay - 20, matchDay - 10, matchDay}),
+		changecube.NewHistory(changecube.FieldKey{Entity: fresh, Property: goals},
+			[]timeline.Day{matchDay - 20, matchDay - 10}), // missing the last update!
 	)
 	observed, err := changecube.NewHistorySet(cube, histories)
 	if err != nil {

@@ -107,6 +107,6 @@ func main() {
 	fmt.Printf("surviving change days per field:\n")
 	for _, h := range hs.Histories() {
 		prop := cube.Properties.Name(int32(h.Field.Property))
-		fmt.Printf("  %-10s %v\n", prop, h.Days)
+		fmt.Printf("  %-10s %v\n", prop, h.Days())
 	}
 }

@@ -334,13 +334,24 @@ type taggedTxn struct {
 // at least one change materialize; changes in the trailing partial period
 // are dropped, matching the window discipline.
 func buildTagged(hs *changecube.HistorySet, span timeline.Span, periodDays int) map[changecube.TemplateID][]taggedTxn {
+	return buildTaggedFiltered(hs, span, periodDays, nil)
+}
+
+// buildTaggedFiltered is buildTagged restricted to the templates keep
+// accepts (nil keeps all) — the incremental path's way of grouping only
+// the dirty templates' transactions.
+func buildTaggedFiltered(hs *changecube.HistorySet, span timeline.Span, periodDays int, keep func(changecube.TemplateID) bool) map[changecube.TemplateID][]taggedTxn {
 	type entityWeek struct {
 		entity changecube.EntityID
 		week   int
 	}
+	cube := hs.Cube()
 	sets := make(map[entityWeek][]apriori.Item)
 	nWeeks := span.Len() / periodDays
 	for _, h := range hs.Histories() {
+		if keep != nil && !keep(cube.Template(h.Field.Entity)) {
+			continue
+		}
 		for _, day := range h.In(span) {
 			week := int(day-span.Start) / periodDays
 			if week >= nWeeks && nWeeks > 0 {
@@ -350,7 +361,6 @@ func buildTagged(hs *changecube.HistorySet, span timeline.Span, periodDays int) 
 			sets[key] = append(sets[key], apriori.Item(h.Field.Property))
 		}
 	}
-	cube := hs.Cube()
 	out := make(map[changecube.TemplateID][]taggedTxn)
 	for key, items := range sets {
 		t := cube.Template(key.entity)

@@ -49,10 +49,10 @@ func leagueCorpus(t *testing.T, nEntities int) (*changecube.HistorySet, timeline
 			}
 		}
 		histories = append(histories,
-			changecube.History{Field: changecube.FieldKey{Entity: e, Property: props["matches"]}, Days: matches},
-			changecube.History{Field: changecube.FieldKey{Entity: e, Property: props["total_goals"]}, Days: goals},
-			changecube.History{Field: changecube.FieldKey{Entity: e, Property: props["attendance"]}, Days: att},
-			changecube.History{Field: changecube.FieldKey{Entity: e, Property: props["stadium"]}, Days: stadium},
+			changecube.NewHistory(changecube.FieldKey{Entity: e, Property: props["matches"]}, matches),
+			changecube.NewHistory(changecube.FieldKey{Entity: e, Property: props["total_goals"]}, goals),
+			changecube.NewHistory(changecube.FieldKey{Entity: e, Property: props["attendance"]}, att),
+			changecube.NewHistory(changecube.FieldKey{Entity: e, Property: props["stadium"]}, stadium),
 		)
 	}
 	hs, err := changecube.NewHistorySet(c, histories)
@@ -180,8 +180,8 @@ func TestRuleAppliesToUnseenEntityOfSameTemplate(t *testing.T) {
 	fresh := cube.AddEntityNamed("infobox football league season", "Season New")
 	histories := append([]changecube.History{}, hs.Histories()...)
 	histories = append(histories,
-		changecube.History{Field: changecube.FieldKey{Entity: fresh, Property: props["matches"]}, Days: []timeline.Day{700}},
-		changecube.History{Field: changecube.FieldKey{Entity: fresh, Property: props["total_goals"]}, Days: []timeline.Day{900}},
+		changecube.NewHistory(changecube.FieldKey{Entity: fresh, Property: props["matches"]}, []timeline.Day{700}),
+		changecube.NewHistory(changecube.FieldKey{Entity: fresh, Property: props["total_goals"]}, []timeline.Day{900}),
 	)
 	observed, err := changecube.NewHistorySet(cube, histories)
 	if err != nil {
@@ -230,7 +230,7 @@ func TestBuildTransactionsDropsTrailingPartialPeriod(t *testing.T) {
 	e := c.AddEntityNamed("t", "p")
 	prop := changecube.PropertyID(c.Properties.Intern("x"))
 	hs, err := changecube.NewHistorySet(c, []changecube.History{
-		{Field: changecube.FieldKey{Entity: e, Property: prop}, Days: []timeline.Day{1, 8, 15}},
+		changecube.NewHistory(changecube.FieldKey{Entity: e, Property: prop}, []timeline.Day{1, 8, 15}),
 	})
 	if err != nil {
 		t.Fatal(err)

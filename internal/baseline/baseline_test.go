@@ -14,7 +14,7 @@ func singleFieldSet(t *testing.T, days ...timeline.Day) (*changecube.HistorySet,
 	e := c.AddEntityNamed("t", "p")
 	prop := changecube.PropertyID(c.Properties.Intern("x"))
 	f := changecube.FieldKey{Entity: e, Property: prop}
-	hs, err := changecube.NewHistorySet(c, []changecube.History{{Field: f, Days: days}})
+	hs, err := changecube.NewHistorySet(c, []changecube.History{changecube.NewHistory(f, days)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,8 +101,8 @@ func TestThresholdTrainsPerSize(t *testing.T) {
 	fd := changecube.FieldKey{Entity: e, Property: changecube.PropertyID(c.Properties.Intern("daily"))}
 	fs := changecube.FieldKey{Entity: e, Property: changecube.PropertyID(c.Properties.Intern("sparse"))}
 	hs, err := changecube.NewHistorySet(c, []changecube.History{
-		{Field: fd, Days: daily},
-		{Field: fs, Days: sparse},
+		changecube.NewHistory(fd, daily),
+		changecube.NewHistory(fs, sparse),
 	})
 	if err != nil {
 		t.Fatal(err)

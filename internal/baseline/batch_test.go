@@ -22,10 +22,10 @@ func mixedSet(t *testing.T) *changecube.HistorySet {
 		regular = append(regular, d)
 	}
 	hs, err := changecube.NewHistorySet(c, []changecube.History{
-		{Field: field("regular"), Days: regular},
-		{Field: field("irregular"), Days: []timeline.Day{3, 4, 40, 41, 42, 90, 180}},
-		{Field: field("sparse"), Days: []timeline.Day{150}},
-		{Field: field("early"), Days: []timeline.Day{50}},
+		changecube.NewHistory(field("regular"), regular),
+		changecube.NewHistory(field("irregular"), []timeline.Day{3, 4, 40, 41, 42, 90, 180}),
+		changecube.NewHistory(field("sparse"), []timeline.Day{150}),
+		changecube.NewHistory(field("early"), []timeline.Day{50}),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -122,15 +122,19 @@ type EntityInfo struct {
 }
 
 // Cube is an in-memory change cube: dictionaries for the three string
-// dimensions, per-entity metadata, and the change list itself.
+// dimensions, per-entity metadata, and the change list itself. Changes are
+// held in packed column storage (see log.go); Changes materializes the
+// classic []Change view on demand, while ChangeAt/EachChange read the
+// packed form directly.
 type Cube struct {
 	Properties *Dict
 	Templates  *Dict
 	Pages      *Dict
 
 	entities []EntityInfo
-	changes  []Change
+	log      changeLog
 	sorted   bool
+	last     Change // newest appended change, for sortedness tracking
 }
 
 // New returns an empty cube.
@@ -139,6 +143,7 @@ func New() *Cube {
 		Properties: NewDict(),
 		Templates:  NewDict(),
 		Pages:      NewDict(),
+		log:        newChangeLog(),
 		sorted:     true,
 	}
 }
@@ -180,7 +185,10 @@ func (c *Cube) Template(e EntityID) TemplateID { return c.entities[e].Template }
 func (c *Cube) Page(e EntityID) PageID { return c.entities[e].Page }
 
 // Add appends a change. Changes may be added in any order; Sort (or any
-// accessor that needs order) arranges them chronologically.
+// accessor that needs order) arranges them chronologically. The change's
+// index in append order is NumChanges() before the call — stable for as
+// long as the cube is not sorted, which is what the live-ingestion staging
+// buffer keys its per-field indexes on.
 func (c *Cube) Add(ch Change) {
 	if int(ch.Entity) >= len(c.entities) || ch.Entity < 0 {
 		panic(fmt.Sprintf("changecube: change references unknown entity %d", ch.Entity))
@@ -188,13 +196,16 @@ func (c *Cube) Add(ch Change) {
 	if int(ch.Property) >= c.Properties.Len() || ch.Property < 0 {
 		panic(fmt.Sprintf("changecube: change references unknown property %d", ch.Property))
 	}
-	if n := len(c.changes); n > 0 && c.sorted {
-		prev := c.changes[n-1]
+	if c.log.len() > 0 && c.sorted {
+		prev := c.last
 		if ch.Time < prev.Time || (ch.Time == prev.Time && !lessAt(prev, ch) && prev != ch) {
 			c.sorted = false
 		}
 	}
-	c.changes = append(c.changes, ch)
+	idx := c.log.add(ch)
+	// Re-read the value through the arena so the retained copy does not pin
+	// the caller's (possibly much larger) backing allocation.
+	c.last = c.log.at(idx)
 }
 
 // lessAt is the tie-break order for changes with equal timestamps: by
@@ -216,46 +227,96 @@ func Less(a, b Change) bool {
 }
 
 // Sort arranges the changes in canonical order. It is a no-op when the cube
-// is already sorted.
+// is already sorted. Sorting rebuilds the packed storage, so any append-
+// order indexes captured before the call are invalidated.
 func (c *Cube) Sort() {
 	if c.sorted {
 		return
 	}
-	sort.SliceStable(c.changes, func(i, j int) bool { return Less(c.changes[i], c.changes[j]) })
+	changes := c.materialize()
+	sort.SliceStable(changes, func(i, j int) bool { return Less(changes[i], changes[j]) })
+	c.log.replace(changes)
 	c.sorted = true
+	if n := c.log.len(); n > 0 {
+		c.last = c.log.at(n - 1)
+	}
 }
 
-// Changes returns the change list in canonical order. The returned slice is
-// backing storage and must not be modified.
+// materialize copies the packed log into a fresh []Change. Value strings
+// alias the arena (zero-copy).
+func (c *Cube) materialize() []Change {
+	out := make([]Change, c.log.len())
+	for i := range out {
+		out[i] = c.log.at(i)
+	}
+	return out
+}
+
+// Changes returns the change list in canonical order. The slice is
+// materialized fresh from the packed storage on every call — prefer
+// EachChange or ChangeAt on large cubes.
 func (c *Cube) Changes() []Change {
 	c.Sort()
-	return c.changes
+	return c.materialize()
+}
+
+// ChangeAt returns the change at index i in the cube's current storage
+// order (append order until Sort, canonical order after). The value string
+// aliases the cube's arena.
+func (c *Cube) ChangeAt(i int) Change { return c.log.at(i) }
+
+// TimeAt returns the timestamp of the change at index i without
+// materializing it.
+func (c *Cube) TimeAt(i int) int64 { return c.log.timeAt(i) }
+
+// EachChange visits every change in the cube's current storage order
+// without materializing the list; returning false from fn stops the
+// iteration. Call Sort first when canonical order is required.
+func (c *Cube) EachChange(fn func(i int, ch Change) bool) {
+	c.log.each(0, c.log.len(), fn)
+}
+
+// EachChangeIn visits changes with index in [lo, hi).
+func (c *Cube) EachChangeIn(lo, hi int, fn func(i int, ch Change) bool) {
+	c.log.each(lo, hi, fn)
 }
 
 // NumChanges returns the number of changes.
-func (c *Cube) NumChanges() int { return len(c.changes) }
+func (c *Cube) NumChanges() int { return c.log.len() }
 
 // Span returns the half-open day span covering all changes. An empty cube
-// yields an empty span at day 0.
+// yields an empty span at day 0. Span never sorts: it scans the packed
+// time column, so it is safe on a live staging cube whose append-order
+// indexes must stay stable.
 func (c *Cube) Span() timeline.Span {
-	if len(c.changes) == 0 {
+	if c.log.len() == 0 {
 		return timeline.Span{}
 	}
-	c.Sort()
-	first := c.changes[0].Day()
-	last := c.changes[len(c.changes)-1].Day()
-	return timeline.Span{Start: first, End: last + 1}
+	minT, maxT := c.log.timeAt(0), c.log.timeAt(0)
+	for _, chunk := range c.log.chunks {
+		for _, t := range chunk.times {
+			if t < minT {
+				minT = t
+			}
+			if t > maxT {
+				maxT = t
+			}
+		}
+	}
+	return timeline.Span{Start: timeline.DayOfUnix(minT), End: timeline.DayOfUnix(maxT) + 1}
 }
 
 // FieldChanges groups the changes by field, preserving chronological order
-// within each group. The map values alias the cube's storage.
+// within each group. The per-field slices are materialized fresh (values
+// alias the cube's arena).
 func (c *Cube) FieldChanges() map[FieldKey][]Change {
 	c.Sort()
 	out := make(map[FieldKey][]Change)
-	for _, ch := range c.changes {
+	c.EachChange(func(_ int, ch Change) bool {
 		k := FieldKey{Entity: ch.Entity, Property: ch.Property}
 		out[k] = append(out[k], ch)
-	}
+		return true
+	})
 	return out
 }
 
@@ -277,19 +338,22 @@ func (c *Cube) EntitiesByTemplate() map[TemplateID][]EntityID {
 	return out
 }
 
-// Clone returns a deep copy of the cube: dictionaries, entity metadata and
-// the change list are all freshly allocated, so the copy can be read (and
-// even mutated) independently of the original. Live ingestion uses this to
-// hand a frozen snapshot to a background retrain while appends continue on
-// the original.
+// Clone returns a deep logical copy of the cube: dictionaries and entity
+// metadata are freshly allocated, and the change log is copied
+// copy-on-write — sealed storage chunks are immutable and shared, only the
+// open tail is duplicated. The copy can be read (and even mutated)
+// independently of the original. Live ingestion uses this to hand a frozen
+// snapshot to a background retrain while appends continue on the original;
+// the chunk sharing is what keeps that snapshot O(1) in corpus size.
 func (c *Cube) Clone() *Cube {
 	return &Cube{
 		Properties: c.Properties.Clone(),
 		Templates:  c.Templates.Clone(),
 		Pages:      c.Pages.Clone(),
 		entities:   append([]EntityInfo(nil), c.entities...),
-		changes:    append([]Change(nil), c.changes...),
+		log:        c.log.clone(),
 		sorted:     c.sorted,
+		last:       c.last,
 	}
 }
 
@@ -297,16 +361,30 @@ func (c *Cube) Clone() *Cube {
 // properties exist and, if the cube claims to be sorted, the change order is
 // canonical. It returns the first violation found.
 func (c *Cube) Validate() error {
-	for i, ch := range c.changes {
+	var err error
+	prev := Change{}
+	c.EachChange(func(i int, ch Change) bool {
 		if int(ch.Entity) >= len(c.entities) || ch.Entity < 0 {
-			return fmt.Errorf("change %d: unknown entity %d", i, ch.Entity)
+			err = fmt.Errorf("change %d: unknown entity %d", i, ch.Entity)
+			return false
 		}
 		if int(ch.Property) >= c.Properties.Len() || ch.Property < 0 {
-			return fmt.Errorf("change %d: unknown property %d", i, ch.Property)
+			err = fmt.Errorf("change %d: unknown property %d", i, ch.Property)
+			return false
 		}
 		if ch.Kind > Delete {
-			return fmt.Errorf("change %d: invalid kind %d", i, ch.Kind)
+			err = fmt.Errorf("change %d: invalid kind %d", i, ch.Kind)
+			return false
 		}
+		if c.sorted && i > 0 && Less(ch, prev) {
+			err = fmt.Errorf("changes %d and %d out of canonical order", i-1, i)
+			return false
+		}
+		prev = ch
+		return true
+	})
+	if err != nil {
+		return err
 	}
 	for i, info := range c.entities {
 		if int(info.Template) >= c.Templates.Len() || info.Template < 0 {
@@ -314,13 +392,6 @@ func (c *Cube) Validate() error {
 		}
 		if int(info.Page) >= c.Pages.Len() || info.Page < 0 {
 			return fmt.Errorf("entity %d: unknown page %d", i, info.Page)
-		}
-	}
-	if c.sorted {
-		for i := 1; i < len(c.changes); i++ {
-			if Less(c.changes[i], c.changes[i-1]) {
-				return fmt.Errorf("changes %d and %d out of canonical order", i-1, i)
-			}
 		}
 	}
 	return nil

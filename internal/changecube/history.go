@@ -1,6 +1,7 @@
 package changecube
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -11,59 +12,331 @@ import (
 // strictly increasing list of days on which the field's representative
 // change happened. This is the only view of the data the change predictors
 // consume — the paper's predictors disregard the value dimension entirely.
+//
+// A History holds its days in one of two representations: a plain
+// []timeline.Day slice (the form incremental filtering produces), or a
+// varint delta-packed byte string (first day as a signed varint, then
+// strictly positive day gaps as unsigned varints — the epoch store's wire
+// encoding, usable in place). The packed form costs ~1 byte per day
+// instead of 4 plus a slice header per field, which is what lets a
+// paper-scale corpus keep millions of field histories resident. Query
+// methods are representation-transparent; Days() materializes a slice on
+// demand from a packed history.
 type History struct {
 	Field FieldKey
-	Days  []timeline.Day
+
+	days []timeline.Day // slice form; nil when packed or empty
+
+	packed      []byte // packed form; nil when slice form or empty
+	count       int
+	first, last timeline.Day // bounds of the packed form (count > 0)
+}
+
+// NewHistory wraps a strictly increasing day slice (not copied).
+func NewHistory(field FieldKey, days []timeline.Day) History {
+	return History{Field: field, days: days}
+}
+
+// NewHistoryPacked wraps a varint delta-packed day string of count days,
+// validating it fully (strictly increasing, exactly count entries, no
+// trailing bytes). The bytes are used in place, not copied.
+func NewHistoryPacked(field FieldKey, packed []byte, count int) (History, error) {
+	h, consumed, err := ScanPackedDays(field, packed, count)
+	if err != nil {
+		return History{}, err
+	}
+	if consumed != len(packed) {
+		return History{}, fmt.Errorf("changecube: packed history %v: %d trailing bytes", field, len(packed)-consumed)
+	}
+	return h, nil
+}
+
+// ScanPackedDays reads exactly count packed days from the front of data,
+// returning the History (referencing data in place) and the number of
+// bytes consumed. Day gaps must be in [1, 1<<30] and days must not
+// overflow — the same bounds the epoch store's snapshot decoder enforces,
+// so corrupt on-disk payloads surface as errors, never panics.
+func ScanPackedDays(field FieldKey, data []byte, count int) (History, int, error) {
+	if count == 0 {
+		return History{Field: field}, 0, nil
+	}
+	pos := 0
+	var first, prev timeline.Day
+	for i := 0; i < count; i++ {
+		if i == 0 {
+			v, n := binary.Varint(data[pos:])
+			if n <= 0 {
+				return History{}, 0, fmt.Errorf("changecube: packed history %v: truncated first day", field)
+			}
+			pos += n
+			first = timeline.Day(v)
+			if int64(first) != v {
+				return History{}, 0, fmt.Errorf("changecube: packed history %v: first day %d out of range", field, v)
+			}
+			prev = first
+			continue
+		}
+		gap, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return History{}, 0, fmt.Errorf("changecube: packed history %v: truncated day gap %d", field, i)
+		}
+		pos += n
+		if gap == 0 || gap > 1<<30 {
+			return History{}, 0, fmt.Errorf("changecube: packed history %v: day gap %d", field, gap)
+		}
+		day := prev + timeline.Day(gap)
+		if day <= prev {
+			return History{}, 0, fmt.Errorf("changecube: packed history %v: days overflow", field)
+		}
+		prev = day
+	}
+	return History{Field: field, packed: data[:pos], count: count, first: first, last: prev}, pos, nil
+}
+
+// AppendPackedDays appends the history's days in the packed wire encoding
+// (first day signed varint, then unsigned varint gaps). The output is
+// byte-identical whichever representation the history holds.
+func (h History) AppendPackedDays(buf []byte) []byte {
+	if h.packed != nil {
+		return append(buf, h.packed...)
+	}
+	prev := timeline.Day(0)
+	for i, day := range h.days {
+		if i == 0 {
+			buf = binary.AppendVarint(buf, int64(day))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(day-prev))
+		}
+		prev = day
+	}
+	return buf
+}
+
+// Packed returns the history in packed representation (a no-op when
+// already packed). The day data is re-encoded into buf's free capacity;
+// passing a shared buffer lets a whole HistorySet pack into one arena.
+// The possibly-grown buffer is returned alongside.
+func (h History) Packed(buf []byte) (History, []byte) {
+	if h.packed != nil || len(h.days) == 0 {
+		return h, buf
+	}
+	start := len(buf)
+	buf = h.AppendPackedDays(buf)
+	return History{
+		Field:  h.Field,
+		packed: buf[start:len(buf):len(buf)],
+		count:  len(h.days),
+		first:  h.days[0],
+		last:   h.days[len(h.days)-1],
+	}, buf
+}
+
+// IsPacked reports whether the history holds the packed representation.
+func (h History) IsPacked() bool { return h.packed != nil }
+
+// eachDay visits the days in increasing order; returning false stops.
+func (h History) eachDay(fn func(timeline.Day) bool) {
+	if h.packed == nil {
+		for _, d := range h.days {
+			if !fn(d) {
+				return
+			}
+		}
+		return
+	}
+	pos := 0
+	v, n := binary.Varint(h.packed)
+	pos += n
+	day := timeline.Day(v)
+	if !fn(day) {
+		return
+	}
+	for i := 1; i < h.count; i++ {
+		gap, n := binary.Uvarint(h.packed[pos:])
+		pos += n
+		day += timeline.Day(gap)
+		if !fn(day) {
+			return
+		}
+	}
+}
+
+// Days returns the change days as a slice. For a slice-form history this
+// is the backing storage and must not be modified; for a packed history a
+// fresh slice is decoded on every call.
+func (h History) Days() []timeline.Day {
+	if h.packed == nil {
+		return h.days
+	}
+	out := make([]timeline.Day, 0, h.count)
+	h.eachDay(func(d timeline.Day) bool {
+		out = append(out, d)
+		return true
+	})
+	return out
 }
 
 // Len returns the number of change days.
-func (h History) Len() int { return len(h.Days) }
+func (h History) Len() int {
+	if h.packed == nil {
+		return len(h.days)
+	}
+	return h.count
+}
+
+// First returns the earliest change day (ok is false for an empty history).
+func (h History) First() (timeline.Day, bool) {
+	if h.packed != nil {
+		return h.first, true
+	}
+	if len(h.days) == 0 {
+		return 0, false
+	}
+	return h.days[0], true
+}
+
+// Last returns the most recent change day (ok is false when empty).
+func (h History) Last() (timeline.Day, bool) {
+	if h.packed != nil {
+		return h.last, true
+	}
+	if len(h.days) == 0 {
+		return 0, false
+	}
+	return h.days[len(h.days)-1], true
+}
 
 // CountIn returns the number of change days inside the half-open span.
 func (h History) CountIn(span timeline.Span) int {
-	lo := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= span.Start })
-	hi := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= span.End })
-	return hi - lo
+	if h.packed == nil {
+		lo := sort.Search(len(h.days), func(i int) bool { return h.days[i] >= span.Start })
+		hi := sort.Search(len(h.days), func(i int) bool { return h.days[i] >= span.End })
+		return hi - lo
+	}
+	if span.End <= h.first || span.Start > h.last {
+		return 0
+	}
+	n := 0
+	h.eachDay(func(d timeline.Day) bool {
+		if d >= span.End {
+			return false
+		}
+		if d >= span.Start {
+			n++
+		}
+		return true
+	})
+	return n
 }
 
 // ChangedIn reports whether the field changed at least once inside span.
 func (h History) ChangedIn(span timeline.Span) bool {
-	lo := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= span.Start })
-	return lo < len(h.Days) && h.Days[lo] < span.End
+	if h.packed == nil {
+		lo := sort.Search(len(h.days), func(i int) bool { return h.days[i] >= span.Start })
+		return lo < len(h.days) && h.days[lo] < span.End
+	}
+	if span.End <= h.first || span.Start > h.last {
+		return false
+	}
+	hit := false
+	h.eachDay(func(d timeline.Day) bool {
+		if d >= span.End {
+			return false
+		}
+		if d >= span.Start {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
 }
 
-// Before returns the prefix of change days strictly before day. The result
-// aliases the history's storage.
+// Before returns the change days strictly before day. For a slice-form
+// history the result aliases the history's storage; for a packed one it is
+// decoded fresh.
 func (h History) Before(day timeline.Day) []timeline.Day {
-	hi := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= day })
-	return h.Days[:hi]
+	if h.packed == nil {
+		hi := sort.Search(len(h.days), func(i int) bool { return h.days[i] >= day })
+		return h.days[:hi]
+	}
+	var out []timeline.Day
+	h.eachDay(func(d timeline.Day) bool {
+		if d >= day {
+			return false
+		}
+		out = append(out, d)
+		return true
+	})
+	return out
 }
 
-// In returns the change days inside the half-open span, aliasing storage.
+// In returns the change days inside the half-open span. For a slice-form
+// history the result aliases storage; for a packed one it is decoded fresh.
 func (h History) In(span timeline.Span) []timeline.Day {
-	lo := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= span.Start })
-	hi := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= span.End })
-	return h.Days[lo:hi]
+	if h.packed == nil {
+		lo := sort.Search(len(h.days), func(i int) bool { return h.days[i] >= span.Start })
+		hi := sort.Search(len(h.days), func(i int) bool { return h.days[i] >= span.End })
+		return h.days[lo:hi]
+	}
+	if span.End <= h.first || span.Start > h.last {
+		return nil
+	}
+	var out []timeline.Day
+	h.eachDay(func(d timeline.Day) bool {
+		if d >= span.End {
+			return false
+		}
+		if d >= span.Start {
+			out = append(out, d)
+		}
+		return true
+	})
+	return out
 }
 
 // LastBefore returns the most recent change day strictly before day.
 func (h History) LastBefore(day timeline.Day) (timeline.Day, bool) {
-	hi := sort.Search(len(h.Days), func(i int) bool { return h.Days[i] >= day })
-	if hi == 0 {
+	if h.packed == nil {
+		hi := sort.Search(len(h.days), func(i int) bool { return h.days[i] >= day })
+		if hi == 0 {
+			return 0, false
+		}
+		return h.days[hi-1], true
+	}
+	if day <= h.first {
 		return 0, false
 	}
-	return h.Days[hi-1], true
+	if day > h.last {
+		return h.last, true
+	}
+	var best timeline.Day
+	h.eachDay(func(d timeline.Day) bool {
+		if d >= day {
+			return false
+		}
+		best = d
+		return true
+	})
+	return best, true
 }
 
 // Validate checks that the day list is strictly increasing.
 func (h History) Validate() error {
-	for i := 1; i < len(h.Days); i++ {
-		if h.Days[i] <= h.Days[i-1] {
-			return fmt.Errorf("history %v: days not strictly increasing at %d (%v, %v)",
-				h.Field, i, h.Days[i-1], h.Days[i])
+	prev := timeline.Day(0)
+	idx := 0
+	var err error
+	h.eachDay(func(d timeline.Day) bool {
+		if idx > 0 && d <= prev {
+			err = fmt.Errorf("history %v: days not strictly increasing at %d (%v, %v)",
+				h.Field, idx, prev, d)
+			return false
 		}
-	}
-	return nil
+		prev = d
+		idx++
+		return true
+	})
+	return err
 }
 
 // HistorySet is the filtered dataset: one History per surviving field, plus
@@ -92,7 +365,7 @@ func NewHistorySet(cube *Cube, histories []History) (*HistorySet, error) {
 		return a.Property < b.Property
 	})
 	for i, h := range hs.histories {
-		if len(h.Days) == 0 {
+		if h.Len() == 0 {
 			return nil, fmt.Errorf("changecube: empty history for field %v", h.Field)
 		}
 		if err := h.Validate(); err != nil {
@@ -107,6 +380,28 @@ func NewHistorySet(cube *Cube, histories []History) (*HistorySet, error) {
 		hs.index[h.Field] = i
 	}
 	return hs, nil
+}
+
+// Pack returns a new set holding every history in packed representation,
+// with all day data re-encoded into one shared arena. The cube is shared.
+func (hs *HistorySet) Pack() *HistorySet {
+	out := &HistorySet{
+		cube:      hs.cube,
+		histories: make([]History, len(hs.histories)),
+		index:     make(map[FieldKey]int, len(hs.index)),
+	}
+	var arena []byte
+	for _, h := range hs.histories {
+		arena = h.AppendPackedDays(arena)
+	}
+	// Encode twice: the first pass sizes the arena so the second never
+	// reallocates (subslices must stay aliased into one block).
+	buf := make([]byte, 0, len(arena))
+	for i, h := range hs.histories {
+		out.histories[i], buf = h.Packed(buf)
+		out.index[h.Field] = i
+	}
+	return out
 }
 
 // Cube returns the underlying cube (entity metadata and dictionaries).
@@ -132,7 +427,7 @@ func (hs *HistorySet) Get(field FieldKey) (History, bool) {
 func (hs *HistorySet) TotalChanges() int {
 	n := 0
 	for _, h := range hs.histories {
-		n += len(h.Days)
+		n += h.Len()
 	}
 	return n
 }
@@ -142,14 +437,14 @@ func (hs *HistorySet) Span() timeline.Span {
 	if len(hs.histories) == 0 {
 		return timeline.Span{}
 	}
-	first := hs.histories[0].Days[0]
-	last := hs.histories[0].Days[0]
+	first, _ := hs.histories[0].First()
+	last := first
 	for _, h := range hs.histories {
-		if h.Days[0] < first {
-			first = h.Days[0]
+		if f, ok := h.First(); ok && f < first {
+			first = f
 		}
-		if d := h.Days[len(h.Days)-1]; d > last {
-			last = d
+		if l, ok := h.Last(); ok && l > last {
+			last = l
 		}
 	}
 	return timeline.Span{Start: first, End: last + 1}
@@ -182,10 +477,7 @@ func (hs *HistorySet) MergeDays(updates map[FieldKey][]timeline.Day) (*HistorySe
 	histories := make([]History, 0, len(hs.histories)+len(updates))
 	for _, h := range hs.histories {
 		if extra, ok := updates[h.Field]; ok {
-			histories = append(histories, History{
-				Field: h.Field,
-				Days:  mergeSortedDays(h.Days, extra),
-			})
+			histories = append(histories, NewHistory(h.Field, mergeSortedDays(h.Days(), extra)))
 			continue
 		}
 		histories = append(histories, h)
@@ -197,7 +489,7 @@ func (hs *HistorySet) MergeDays(updates map[FieldKey][]timeline.Day) (*HistorySe
 		if len(days) == 0 {
 			continue
 		}
-		histories = append(histories, History{Field: field, Days: mergeSortedDays(nil, days)})
+		histories = append(histories, NewHistory(field, mergeSortedDays(nil, days)))
 	}
 	return NewHistorySet(hs.cube, histories)
 }
@@ -241,7 +533,7 @@ func (hs *HistorySet) Restrict(span timeline.Span, minChanges int) *HistorySet {
 	for _, h := range hs.histories {
 		days := h.In(span)
 		if len(days) >= minChanges && len(days) > 0 {
-			kept = append(kept, History{Field: h.Field, Days: days})
+			kept = append(kept, NewHistory(h.Field, days))
 		}
 	}
 	out, err := NewHistorySet(hs.cube, kept)

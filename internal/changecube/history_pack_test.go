@@ -1,0 +1,163 @@
+package changecube
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/timeline"
+)
+
+// randomDays draws a sorted, deduplicated day set with heavy-tailed gaps —
+// the shape real change histories have.
+func randomDays(rng *rand.Rand) []timeline.Day {
+	n := 1 + rng.Intn(60)
+	days := make([]timeline.Day, 0, n)
+	d := timeline.Day(rng.Intn(1000))
+	for i := 0; i < n; i++ {
+		days = append(days, d)
+		d += timeline.Day(1 + rng.Intn(400))
+	}
+	return days
+}
+
+// sameDays compares day slices by content; an empty result may be nil
+// (packed form) or a zero-length alias of storage (slice form).
+func sameDays(a, b []timeline.Day) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestPackedHistoryDifferential: every query on a packed history must
+// answer exactly as its slice-backed twin, across random day sets and
+// random query arguments. This is the contract that lets loaded epochs
+// keep their histories varint-packed in RAM.
+func TestPackedHistoryDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var arena []byte
+	for trial := 0; trial < 300; trial++ {
+		days := randomDays(rng)
+		field := FieldKey{Entity: EntityID(trial), Property: PropertyID(trial % 7)}
+		slice := NewHistory(field, days)
+		var packed History
+		packed, arena = slice.Packed(arena)
+
+		if !packed.IsPacked() || slice.IsPacked() {
+			t.Fatalf("trial %d: representation flags wrong", trial)
+		}
+		if packed.Len() != slice.Len() {
+			t.Fatalf("trial %d: Len %d vs %d", trial, packed.Len(), slice.Len())
+		}
+		if !reflect.DeepEqual(packed.Days(), slice.Days()) {
+			t.Fatalf("trial %d: Days diverge", trial)
+		}
+		pf, pok := packed.First()
+		sf, sok := slice.First()
+		if pf != sf || pok != sok {
+			t.Fatalf("trial %d: First %v/%v vs %v/%v", trial, pf, pok, sf, sok)
+		}
+		pl, pok := packed.Last()
+		sl, sok := slice.Last()
+		if pl != sl || pok != sok {
+			t.Fatalf("trial %d: Last %v/%v vs %v/%v", trial, pl, pok, sl, sok)
+		}
+
+		lo, hi := days[0]-40, days[len(days)-1]+40
+		for q := 0; q < 40; q++ {
+			start := lo + timeline.Day(rng.Intn(int(hi-lo)+1))
+			end := start + timeline.Day(rng.Intn(500))
+			span := timeline.Span{Start: start, End: end}
+			if a, b := packed.CountIn(span), slice.CountIn(span); a != b {
+				t.Fatalf("trial %d: CountIn(%v) %d vs %d", trial, span, a, b)
+			}
+			if a, b := packed.ChangedIn(span), slice.ChangedIn(span); a != b {
+				t.Fatalf("trial %d: ChangedIn(%v) %v vs %v", trial, span, a, b)
+			}
+			if a, b := packed.In(span), slice.In(span); !sameDays(a, b) {
+				t.Fatalf("trial %d: In(%v) %v vs %v", trial, span, a, b)
+			}
+			day := lo + timeline.Day(rng.Intn(int(hi-lo)+1))
+			if a, b := packed.Before(day), slice.Before(day); !sameDays(a, b) {
+				t.Fatalf("trial %d: Before(%v) %v vs %v", trial, day, a, b)
+			}
+			ad, aok := packed.LastBefore(day)
+			bd, bok := slice.LastBefore(day)
+			if ad != bd || aok != bok {
+				t.Fatalf("trial %d: LastBefore(%v) %v/%v vs %v/%v", trial, day, ad, aok, bd, bok)
+			}
+		}
+
+		// Both representations must serialize to the same wire bytes.
+		fromSlice := slice.AppendPackedDays(nil)
+		fromPacked := packed.AppendPackedDays(nil)
+		if !bytes.Equal(fromSlice, fromPacked) {
+			t.Fatalf("trial %d: AppendPackedDays diverges between representations", trial)
+		}
+		if err := packed.Validate(); err != nil {
+			t.Fatalf("trial %d: packed history invalid: %v", trial, err)
+		}
+	}
+}
+
+// TestScanPackedDaysRoundTrip: scanning the bytes AppendPackedDays wrote
+// reconstructs the same history and consumes exactly the written bytes.
+func TestScanPackedDaysRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		days := randomDays(rng)
+		field := FieldKey{Entity: 1, Property: 2}
+		h := NewHistory(field, days)
+		buf := h.AppendPackedDays(nil)
+		// Trailing garbage must be left unconsumed, not absorbed.
+		buf = append(buf, 0xFF, 0x01)
+		got, consumed, err := ScanPackedDays(field, buf, len(days))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if consumed != len(buf)-2 {
+			t.Fatalf("trial %d: consumed %d of %d bytes", trial, consumed, len(buf)-2)
+		}
+		if !reflect.DeepEqual(got.Days(), days) {
+			t.Fatalf("trial %d: days differ after round trip", trial)
+		}
+	}
+}
+
+// TestHistorySetPackKeepsAnswers: packing a whole set preserves every
+// history's content, and the packed set shares one arena.
+func TestHistorySetPackKeepsAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cube := New()
+	var histories []History
+	for e := 0; e < 20; e++ {
+		ent := cube.AddEntityNamed("t", string(rune('A'+e)))
+		prop := PropertyID(cube.Properties.Intern("p"))
+		histories = append(histories,
+			NewHistory(FieldKey{Entity: ent, Property: prop}, randomDays(rng)))
+	}
+	hs, err := NewHistorySet(cube, histories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := hs.Pack()
+	if packed.Len() != hs.Len() {
+		t.Fatalf("Pack changed cardinality: %d vs %d", packed.Len(), hs.Len())
+	}
+	for i, h := range packed.Histories() {
+		if !h.IsPacked() {
+			t.Fatalf("history %d not packed", i)
+		}
+		if !reflect.DeepEqual(h.Days(), hs.Histories()[i].Days()) {
+			t.Fatalf("history %d days differ after Pack", i)
+		}
+		if h.Field != hs.Histories()[i].Field {
+			t.Fatalf("history %d field differs after Pack", i)
+		}
+	}
+	if packed.Span() != hs.Span() {
+		t.Fatalf("span %v vs %v", packed.Span(), hs.Span())
+	}
+}

@@ -9,7 +9,7 @@ import (
 )
 
 func mkHistory(days ...timeline.Day) History {
-	return History{Field: FieldKey{Entity: 0, Property: 0}, Days: days}
+	return NewHistory(FieldKey{Entity: 0, Property: 0}, days)
 }
 
 func TestHistoryQueries(t *testing.T) {
@@ -68,7 +68,7 @@ func TestHistoryQueriesAgainstBruteForce(t *testing.T) {
 			days = append(days, d)
 		}
 		sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
-		h := History{Days: days}
+		h := NewHistory(FieldKey{}, days)
 		lo, hi := timeline.Day(s0), timeline.Day(s1)
 		if hi < lo {
 			lo, hi = hi, lo
@@ -104,9 +104,9 @@ func buildHistorySet(t *testing.T) *HistorySet {
 	pop := PropertyID(c.Properties.Intern("population"))
 	area := PropertyID(c.Properties.Intern("area"))
 	hs, err := NewHistorySet(c, []History{
-		{Field: FieldKey{Entity: e2, Property: pop}, Days: []timeline.Day{5, 6, 7, 8, 9, 10}},
-		{Field: FieldKey{Entity: e1, Property: pop}, Days: []timeline.Day{1, 2, 3, 4, 5}},
-		{Field: FieldKey{Entity: e1, Property: area}, Days: []timeline.Day{1, 9}},
+		NewHistory(FieldKey{Entity: e2, Property: pop}, []timeline.Day{5, 6, 7, 8, 9, 10}),
+		NewHistory(FieldKey{Entity: e1, Property: pop}, []timeline.Day{1, 2, 3, 4, 5}),
+		NewHistory(FieldKey{Entity: e1, Property: area}, []timeline.Day{1, 9}),
 	})
 	if err != nil {
 		t.Fatalf("NewHistorySet: %v", err)
@@ -157,17 +157,17 @@ func TestHistorySetRejectsInvalid(t *testing.T) {
 	c := New()
 	e := c.AddEntityNamed("t", "p")
 	prop := PropertyID(c.Properties.Intern("x"))
-	if _, err := NewHistorySet(c, []History{{Field: FieldKey{Entity: e, Property: prop}}}); err == nil {
+	if _, err := NewHistorySet(c, []History{NewHistory(FieldKey{Entity: e, Property: prop}, nil)}); err == nil {
 		t.Fatal("empty history accepted")
 	}
 	if _, err := NewHistorySet(c, []History{
-		{Field: FieldKey{Entity: e, Property: prop}, Days: []timeline.Day{1}},
-		{Field: FieldKey{Entity: e, Property: prop}, Days: []timeline.Day{2}},
+		NewHistory(FieldKey{Entity: e, Property: prop}, []timeline.Day{1}),
+		NewHistory(FieldKey{Entity: e, Property: prop}, []timeline.Day{2}),
 	}); err == nil {
 		t.Fatal("duplicate field accepted")
 	}
 	if _, err := NewHistorySet(c, []History{
-		{Field: FieldKey{Entity: 42, Property: prop}, Days: []timeline.Day{1}},
+		NewHistory(FieldKey{Entity: 42, Property: prop}, []timeline.Day{1}),
 	}); err == nil {
 		t.Fatal("unknown entity accepted")
 	}

@@ -43,9 +43,9 @@ func (c *Cube) WriteBinary(w io.Writer) error {
 		writeUvarint(bw, uint64(e.Template))
 		writeUvarint(bw, uint64(e.Page))
 	}
-	writeUvarint(bw, uint64(len(c.changes)))
+	writeUvarint(bw, uint64(c.NumChanges()))
 	prev := int64(0)
-	for _, ch := range c.changes {
+	c.EachChange(func(_ int, ch Change) bool {
 		writeVarint(bw, ch.Time-prev)
 		prev = ch.Time
 		writeUvarint(bw, uint64(ch.Entity))
@@ -56,7 +56,8 @@ func (c *Cube) WriteBinary(w io.Writer) error {
 		}
 		bw.WriteByte(kind)
 		writeString(bw, ch.Value)
-	}
+		return true
+	})
 	return bw.Flush()
 }
 
@@ -201,7 +202,8 @@ func (c *Cube) WriteJSONL(w io.Writer) error {
 	c.Sort()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, ch := range c.changes {
+	var encErr error
+	c.EachChange(func(_ int, ch Change) bool {
 		info := c.entities[ch.Entity]
 		rec := JSONChange{
 			Time:     ch.Time,
@@ -214,8 +216,13 @@ func (c *Cube) WriteJSONL(w io.Writer) error {
 			Bot:      ch.Bot,
 		}
 		if err := enc.Encode(rec); err != nil {
-			return err
+			encErr = err
+			return false
 		}
+		return true
+	})
+	if encErr != nil {
+		return encErr
 	}
 	return bw.Flush()
 }

@@ -137,17 +137,18 @@ func (q *Query) emptyFilter() bool {
 		empty(len(q.kinds), q.kinds != nil)
 }
 
-// timeBounds returns the index range of the sorted change list covered by
+// timeBounds returns the index range of the sorted change log covered by
 // the span filter.
-func (q *Query) timeBounds(changes []Change) (int, int) {
+func (q *Query) timeBounds() (int, int) {
+	n := q.cube.NumChanges()
 	if q.span == nil {
-		return 0, len(changes)
+		return 0, n
 	}
-	lo := sort.Search(len(changes), func(i int) bool {
-		return changes[i].Time >= q.span.Start.Unix()
+	lo := sort.Search(n, func(i int) bool {
+		return q.cube.TimeAt(i) >= q.span.Start.Unix()
 	})
-	hi := sort.Search(len(changes), func(i int) bool {
-		return changes[i].Time >= q.span.End.Unix()
+	hi := sort.Search(n, func(i int) bool {
+		return q.cube.TimeAt(i) >= q.span.End.Unix()
 	})
 	return lo, hi
 }
@@ -158,16 +159,14 @@ func (q *Query) Each(fn func(Change) bool) {
 	if q.emptyFilter() {
 		return
 	}
-	changes := q.cube.Changes()
-	lo, hi := q.timeBounds(changes)
-	for _, ch := range changes[lo:hi] {
+	q.cube.Sort()
+	lo, hi := q.timeBounds()
+	q.cube.EachChangeIn(lo, hi, func(_ int, ch Change) bool {
 		if !q.matches(ch) {
-			continue
+			return true
 		}
-		if !fn(ch) {
-			return
-		}
-	}
+		return fn(ch)
+	})
 }
 
 // Count returns the number of matching changes.

@@ -119,6 +119,10 @@ type Detector struct {
 	filterStats filter.Stats
 	report      TrainReport
 	corrInc     correlation.IncrementalStats
+	assocInc    assocrules.IncrementalStats
+	seasonInc   seasonal.IncrementalStats
+	familyInc   familycorr.IncrementalStats
+	threshInc   baseline.ThresholdIncrementalStats
 }
 
 // StageTiming is one named step of the training pipeline and its
@@ -196,12 +200,18 @@ func TrainFiltered(hs *changecube.HistorySet, stats filter.Stats, cfg Config) (*
 // TrainHints carries optional incremental-retraining context into
 // TrainFilteredHinted. The zero value means a plain batch training run.
 type TrainHints struct {
-	// Incremental opts into rule reuse for the correlation predictor; the
-	// wikistale_train_incremental_* metrics are only recorded on this path.
+	// Incremental opts into rule reuse for every model stage that supports
+	// it: correlation (per-page), association rules (per-template),
+	// seasonal anchors and the threshold baseline (per-field), and family
+	// correlations (per-family). Each stage independently falls back to a
+	// full rebuild when its locality assumption breaks (typically a moved
+	// span); the wikistale_train_incremental_* metrics are only recorded on
+	// this path.
 	Incremental bool
 	// Prev is the detector from the last successful training over the same
-	// configuration; its correlation rules may be reused for pages whose
-	// fields are untouched. Nil forces a cold (full) build.
+	// configuration; its per-stage models may be reused for pages,
+	// templates, fields, and families that are untouched. Nil forces a cold
+	// (full) build.
 	Prev *Detector
 	// DirtyFields lists the fields whose change histories may differ from
 	// Prev's training input — typically the live ingester's staged fields
@@ -250,25 +260,69 @@ func TrainFilteredHintedCtx(ctx context.Context, hs *changecube.HistorySet, stat
 	d.report.add("train/correlation", span.End())
 
 	_, span = obs.StartSpanCtx(ctx, "train/assocrules")
-	if d.assocRules, err = assocrules.Train(hs, splits.TrainVal, cfg.AssocRules); err != nil {
+	if hints.Incremental {
+		var prev assocrules.Previous
+		if hints.Prev != nil {
+			prev = assocrules.Previous{Predictor: hints.Prev.assocRules, Span: hints.Prev.splits.TrainVal}
+		}
+		d.assocRules, d.assocInc, err = assocrules.TrainIncremental(
+			hs, splits.TrainVal, cfg.AssocRules, prev, hints.DirtyFields, hints.ForceFull)
+	} else {
+		d.assocRules, err = assocrules.Train(hs, splits.TrainVal, cfg.AssocRules)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("core: association rules: %w", err)
 	}
 	d.report.add("train/assocrules", span.End())
 
 	_, span = obs.StartSpanCtx(ctx, "train/seasonal")
-	if d.seasonalP, err = seasonal.Train(hs, splits.TrainVal, cfg.Seasonal); err != nil {
+	if hints.Incremental {
+		var prev seasonal.Previous
+		if hints.Prev != nil {
+			prev = seasonal.Previous{Predictor: hints.Prev.seasonalP, Span: hints.Prev.splits.TrainVal}
+		}
+		d.seasonalP, d.seasonInc, err = seasonal.TrainIncremental(
+			hs, splits.TrainVal, cfg.Seasonal, prev, hints.DirtyFields, hints.ForceFull)
+	} else {
+		d.seasonalP, err = seasonal.Train(hs, splits.TrainVal, cfg.Seasonal)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("core: seasonal: %w", err)
 	}
 	d.report.add("train/seasonal", span.End())
 
 	_, span = obs.StartSpanCtx(ctx, "train/familycorr")
-	if d.familyCorr, err = familycorr.Train(hs, splits.TrainVal, cfg.FamilyCorr); err != nil {
+	if hints.Incremental {
+		var prev familycorr.Previous
+		if hints.Prev != nil {
+			prev = familycorr.Previous{
+				Predictor: hints.Prev.familyCorr,
+				Span:      hints.Prev.splits.TrainVal,
+				Entities:  hints.Prev.histories.Cube().NumEntities(),
+			}
+		}
+		d.familyCorr, d.familyInc, err = familycorr.TrainIncremental(
+			hs, splits.TrainVal, cfg.FamilyCorr, prev, hints.DirtyFields, hints.ForceFull)
+	} else {
+		d.familyCorr, err = familycorr.Train(hs, splits.TrainVal, cfg.FamilyCorr)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("core: family correlations: %w", err)
 	}
 	d.report.add("train/familycorr", span.End())
 
 	_, span = obs.StartSpanCtx(ctx, "train/threshold")
-	if d.threshBase, err = baseline.TrainThreshold(hs, splits.Validation, timeline.StandardSizes, cfg.ThresholdFraction); err != nil {
+	if hints.Incremental {
+		var prev baseline.ThresholdPrevious
+		if hints.Prev != nil {
+			prev = baseline.ThresholdPrevious{Predictor: hints.Prev.threshBase, ValSpan: hints.Prev.splits.Validation}
+		}
+		d.threshBase, d.threshInc, err = baseline.TrainThresholdIncremental(
+			hs, splits.Validation, timeline.StandardSizes, cfg.ThresholdFraction, prev, hints.DirtyFields, hints.ForceFull)
+	} else {
+		d.threshBase, err = baseline.TrainThreshold(hs, splits.Validation, timeline.StandardSizes, cfg.ThresholdFraction)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("core: threshold baseline: %w", err)
 	}
 	d.report.add("train/threshold", span.End())
@@ -304,6 +358,22 @@ func (d *Detector) TrainReport() TrainReport { return d.report }
 // Only meaningful for detectors built via TrainFilteredHinted with
 // Incremental set; otherwise it is the zero value.
 func (d *Detector) CorrelationRetrain() correlation.IncrementalStats { return d.corrInc }
+
+// AssocRetrain, SeasonalRetrain, FamilyRetrain, and ThresholdRetrain are
+// CorrelationRetrain's counterparts for the other incrementally trained
+// stages: what each trainer reused versus rebuilt, and why a full rebuild
+// happened when it did. Zero values outside the Incremental path.
+func (d *Detector) AssocRetrain() assocrules.IncrementalStats { return d.assocInc }
+
+// SeasonalRetrain reports the seasonal stage's incremental accounting.
+func (d *Detector) SeasonalRetrain() seasonal.IncrementalStats { return d.seasonInc }
+
+// FamilyRetrain reports the family-correlation stage's incremental
+// accounting.
+func (d *Detector) FamilyRetrain() familycorr.IncrementalStats { return d.familyInc }
+
+// ThresholdRetrain reports the threshold baseline's incremental accounting.
+func (d *Detector) ThresholdRetrain() baseline.ThresholdIncrementalStats { return d.threshInc }
 
 // FieldCorrelations returns the trained field-correlation predictor.
 func (d *Detector) FieldCorrelations() *correlation.Predictor { return d.fieldCorr }

@@ -192,7 +192,7 @@ func TestDetectStaleSkipsHealthyFields(t *testing.T) {
 	if !ok {
 		t.Fatal("case study field not in filtered data")
 	}
-	updated := h.Days[len(h.Days)/2]
+	updated := h.Days()[h.Len()/2]
 	for _, a := range det.DetectStale(updated+1, 3) {
 		if a.Field == cs.TotalGoals {
 			t.Fatalf("healthy field flagged stale: %+v", a)

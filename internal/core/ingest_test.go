@@ -37,8 +37,8 @@ func TestIngestExtendsObservations(t *testing.T) {
 		t.Fatal(err)
 	}
 	h, ok := d.Histories().Get(cs.Matches)
-	if !ok || h.Days[len(h.Days)-1] != end+3 {
-		t.Fatalf("ingested day missing: %v", h.Days[len(h.Days)-5:])
+	if last, _ := h.Last(); !ok || last != end+3 {
+		t.Fatalf("ingested day missing: %v", h.Days()[h.Len()-5:])
 	}
 	// The stale scan at the new horizon must flag total_goals via the
 	// template rule, using the just-ingested evidence.
@@ -165,8 +165,9 @@ func TestMergeDaysPreservesInvariants(t *testing.T) {
 	d := freshDetector(t)
 	hs := d.Histories()
 	h := hs.Histories()[0]
+	days := h.Days()
 	updates := map[changecube.FieldKey][]timeline.Day{
-		h.Field: {h.Days[0], h.Days[0] + 1, h.Days[len(h.Days)-1] + 10},
+		h.Field: {days[0], days[0] + 1, days[len(days)-1] + 10},
 	}
 	merged, err := hs.MergeDays(updates)
 	if err != nil {

@@ -12,7 +12,7 @@ import (
 )
 
 func hist(days ...timeline.Day) changecube.History {
-	return changecube.History{Days: days}
+	return changecube.NewHistory(changecube.FieldKey{}, days)
 }
 
 func TestDistanceEndpoints(t *testing.T) {
@@ -72,7 +72,7 @@ func TestDistanceMetricProperties(t *testing.T) {
 			days = append(days, d)
 		}
 		sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
-		return changecube.History{Days: days}
+		return changecube.NewHistory(changecube.FieldKey{}, days)
 	}
 	span := timeline.NewSpan(0, 100)
 	f := func(ra, rb []uint8) bool {
@@ -87,7 +87,7 @@ func TestDistanceMetricProperties(t *testing.T) {
 				return false
 			}
 		}
-		if len(a.Days) > 0 && Distance(a, a, span, NormOverlap) != 0 {
+		if a.Len() > 0 && Distance(a, a, span, NormOverlap) != 0 {
 			return false
 		}
 		return true
@@ -117,12 +117,12 @@ func corpus(t *testing.T) (*changecube.HistorySet, map[string]changecube.FieldKe
 	}
 	colorDays := []timeline.Day{10, 375, 740, 1105, 1470}
 	hs, err := changecube.NewHistorySet(c, []changecube.History{
-		{Field: fields["home"], Days: colorDays},
-		{Field: fields["away"], Days: colorDays},
+		changecube.NewHistory(fields["home"], colorDays),
+		changecube.NewHistory(fields["away"], colorDays),
 		// noisy shares 4 of 5 days with home: sym diff 2, mass 10 -> 0.2.
-		{Field: fields["noisy"], Days: []timeline.Day{10, 375, 740, 1105, 1500}},
-		{Field: fields["random"], Days: []timeline.Day{3, 100, 200, 300, 400}},
-		{Field: fields["foreign"], Days: colorDays},
+		changecube.NewHistory(fields["noisy"], []timeline.Day{10, 375, 740, 1105, 1500}),
+		changecube.NewHistory(fields["random"], []timeline.Day{3, 100, 200, 300, 400}),
+		changecube.NewHistory(fields["foreign"], colorDays),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -256,8 +256,8 @@ func TestRulesSymmetricCoverage(t *testing.T) {
 			list = append(list, d)
 		}
 		sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
-		hsHist = append(hsHist, changecube.History{
-			Field: changecube.FieldKey{Entity: e, Property: prop}, Days: list})
+		hsHist = append(hsHist, changecube.NewHistory(
+			changecube.FieldKey{Entity: e, Property: prop}, list))
 	}
 	hs, err := changecube.NewHistorySet(c, hsHist)
 	if err != nil {
@@ -381,8 +381,8 @@ func TestToleranceDiscoverDelayedPair(t *testing.T) {
 	fa := changecube.FieldKey{Entity: e, Property: pa}
 	fb := changecube.FieldKey{Entity: e, Property: pb}
 	hs, err := changecube.NewHistorySet(c, []changecube.History{
-		{Field: fa, Days: []timeline.Day{10, 110, 210, 310, 410}},
-		{Field: fb, Days: []timeline.Day{11, 111, 211, 311, 411}},
+		changecube.NewHistory(fa, []timeline.Day{10, 110, 210, 310, 410}),
+		changecube.NewHistory(fb, []timeline.Day{11, 111, 211, 311, 411}),
 	})
 	if err != nil {
 		t.Fatal(err)

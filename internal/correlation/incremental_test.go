@@ -35,10 +35,8 @@ func randomHistorySet(t *testing.T, rng *rand.Rand, nPages, maxFields, dayRange 
 				continue
 			}
 			sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
-			histories = append(histories, changecube.History{
-				Field: changecube.FieldKey{Entity: e, Property: prop},
-				Days:  days,
-			})
+			histories = append(histories, changecube.NewHistory(
+				changecube.FieldKey{Entity: e, Property: prop}, days))
 		}
 	}
 	hs, err := changecube.NewHistorySet(c, histories)

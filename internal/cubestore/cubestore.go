@@ -201,6 +201,9 @@ func (s *Store) loadDict(name string, count int, dict *changecube.Dict) error {
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	// The manifest knows the final size; one reservation instead of a
+	// doubling cascade while a paper-scale page dictionary streams in.
+	dict.Grow(count)
 	for i := 0; i < count; i++ {
 		if !sc.Scan() {
 			if err := sc.Err(); err != nil {
@@ -323,19 +326,40 @@ func EncodeChanges(changes []changecube.Change) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(changes)))
 	prev := int64(0)
 	for _, ch := range changes {
-		buf = binary.AppendVarint(buf, ch.Time-prev)
-		prev = ch.Time
-		buf = binary.AppendUvarint(buf, uint64(ch.Entity))
-		buf = binary.AppendUvarint(buf, uint64(ch.Property))
-		kind := byte(ch.Kind)
-		if ch.Bot {
-			kind |= 0x80
-		}
-		buf = append(buf, kind)
-		buf = binary.AppendUvarint(buf, uint64(len(ch.Value)))
-		buf = append(buf, ch.Value...)
+		buf, prev = appendChange(buf, ch, prev)
 	}
 	return buf
+}
+
+// EncodeCubeChanges is EncodeChanges streamed straight off a cube's packed
+// storage in canonical order (the cube is sorted first) — byte-identical
+// to EncodeChanges(cube.Changes()) without materializing the change list,
+// which at paper scale would transiently double the corpus footprint.
+func EncodeCubeChanges(cube *changecube.Cube) []byte {
+	cube.Sort()
+	var buf []byte
+	buf = append(buf, segmentMagic...)
+	buf = binary.AppendUvarint(buf, uint64(cube.NumChanges()))
+	prev := int64(0)
+	cube.EachChange(func(_ int, ch changecube.Change) bool {
+		buf, prev = appendChange(buf, ch, prev)
+		return true
+	})
+	return buf
+}
+
+func appendChange(buf []byte, ch changecube.Change, prev int64) ([]byte, int64) {
+	buf = binary.AppendVarint(buf, ch.Time-prev)
+	buf = binary.AppendUvarint(buf, uint64(ch.Entity))
+	buf = binary.AppendUvarint(buf, uint64(ch.Property))
+	kind := byte(ch.Kind)
+	if ch.Bot {
+		kind |= 0x80
+	}
+	buf = append(buf, kind)
+	buf = binary.AppendUvarint(buf, uint64(len(ch.Value)))
+	buf = append(buf, ch.Value...)
+	return buf, ch.Time
 }
 
 // DecodeChanges parses an EncodeChanges payload, passing each change to

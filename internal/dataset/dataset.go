@@ -101,6 +101,18 @@ func Default() Config {
 	}
 }
 
+// Scaled returns a copy of the config with the template count multiplied
+// by factor — the knob for paper-scale corpora. Default() yields ~1.26M
+// raw changes, so Scaled(8) lands around 10M. Growth is horizontal (more
+// templates of the same behaviour distribution), so the corpus gets
+// bigger without getting weirder.
+func (c Config) Scaled(factor int) Config {
+	if factor > 1 {
+		c.NumTemplates *= factor
+	}
+	return c
+}
+
 // Small returns a reduced configuration for unit tests.
 func Small() Config {
 	cfg := Default()

@@ -45,70 +45,133 @@ type schema struct {
 	indepConsequent bool
 }
 
-// generator carries the mutable generation state.
+// generator drives one streamed generation run. It holds no corpus state —
+// events leave through flush as soon as their entity is complete, and truth
+// (when requested) is recorded by name, to be resolved against whatever
+// sink consumed the stream.
 type generator struct {
-	cfg   Config
-	rng   *rand.Rand
-	cube  *changecube.Cube
-	truth *Truth
+	cfg     Config
+	schemas []schema
+	flush   func([]Event) error
+	batch   []Event
+	err     error
+	truth   *rawTruth // nil when the caller wants only the event stream
 }
 
-// Generate builds a corpus. The returned cube is sorted and validated.
+// fieldRef names a field without cube IDs: the entity is (template, page,
+// infobox ordinal), exactly the stream-side identity live ingestion uses.
+type fieldRef struct {
+	template string
+	page     string
+	box      int
+	prop     string
+}
+
+// rawTruth is the name-based form of Truth collected during streaming.
+type rawTruth struct {
+	clusters     [][]fieldRef
+	implications [][3]string // template, antecedent, consequent
+	forgotten    []rawForgotten
+	casePlanted  bool
+	caseStudy    rawCaseStudy
+}
+
+type rawForgotten struct {
+	field, cause fieldRef
+	day          timeline.Day
+}
+
+type rawCaseStudy struct {
+	page         string
+	template     string
+	missed       []timeline.Day
+	typoDay      timeline.Day
+	typoValue    int64
+	typoIntended int64
+}
+
+// Generate builds a corpus by running the streaming generator into a cube
+// sink. The returned cube is sorted and validated, and is bit-identical to
+// what any other consumer of Stream would assemble from the same config.
 func Generate(cfg Config) (*changecube.Cube, *Truth, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
+	sink := newCubeSink()
 	g := &generator{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		cube:  changecube.New(),
-		truth: &Truth{},
+		cfg:     cfg,
+		schemas: buildSchemas(cfg),
+		flush:   sink.add,
+		truth:   &rawTruth{},
 	}
-	schemas := g.buildSchemas()
-	for t, sch := range schemas {
-		templateID := changecube.TemplateID(g.cube.Templates.Intern(sch.name))
-		n := g.entityCount(t)
-		for e := 0; e < n; e++ {
-			if sch.yearlySeries {
-				g.series(templateID, sch, e)
-			} else {
-				page := fmt.Sprintf("%s page %d", sch.name[len("infobox "):], e)
-				g.entity(templateID, sch, page)
-			}
-			for s := 0; s < g.cfg.StubsPerEntity; s++ {
-				g.stub(templateID, fmt.Sprintf("%s stub %d-%d", sch.name[len("infobox "):], e, s))
-			}
-		}
-		for _, impl := range sch.implications {
-			g.truth.Implications = append(g.truth.Implications, Implication{
-				Template:   templateID,
-				Antecedent: changecube.PropertyID(g.cube.Properties.Intern(impl[0])),
-				Consequent: changecube.PropertyID(g.cube.Properties.Intern(impl[1])),
-			})
-		}
+	if err := g.run(); err != nil {
+		return nil, nil, err
 	}
-	g.plantCaseStudy(schemas)
-	g.cube.Sort()
-	if err := g.cube.Validate(); err != nil {
+	truth, err := resolveTruth(sink, g.truth)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink.cube.Sort()
+	if err := sink.cube.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("dataset: generated invalid cube: %w", err)
 	}
-	return g.cube, g.truth, nil
+	return sink.cube, truth, nil
 }
 
+// run walks templates and entities, flushing one batch per entity (and per
+// stub) so a streaming consumer sees bounded batches.
+func (g *generator) run() error {
+	for t, sch := range g.schemas {
+		n := g.entityCount(t)
+		for e := 0; e < n; e++ {
+			if g.err != nil {
+				return g.err
+			}
+			if sch.yearlySeries {
+				g.series(g.rngAt('E', t, e, 0), sch, e)
+			} else {
+				page := fmt.Sprintf("%s page %d", sch.name[len("infobox "):], e)
+				g.entity(g.rngAt('E', t, e, 0), sch, page)
+			}
+			g.flushBatch()
+			for s := 0; s < g.cfg.StubsPerEntity; s++ {
+				page := fmt.Sprintf("%s stub %d-%d", sch.name[len("infobox "):], e, s)
+				g.stub(g.rngAt('S', t, e, s), sch.name, page)
+				g.flushBatch()
+			}
+		}
+		if g.truth != nil {
+			for _, impl := range sch.implications {
+				g.truth.implications = append(g.truth.implications,
+					[3]string{sch.name, impl[0], impl[1]})
+			}
+		}
+	}
+	g.plantCaseStudy(g.rngAt('C', 0, 0, 0))
+	g.flushBatch()
+	return g.err
+}
+
+// entityCount draws how many entities a template hosts, from its own
+// derived RNG so the count survives entities being generated out of band.
 func (g *generator) entityCount(templateIndex int) int {
 	if templateIndex == 0 {
 		return g.cfg.BigTemplateEntities
 	}
 	// Uniform 1 .. 2*mean-1 has the requested mean and a broad spread.
-	return 1 + g.rng.Intn(2*g.cfg.MeanEntitiesPerTemplate-1)
+	rng := g.rngAt('N', templateIndex, 0, 0)
+	return 1 + rng.Intn(2*g.cfg.MeanEntitiesPerTemplate-1)
 }
 
 // buildSchemas draws a behaviour blueprint for every template. Template 0
 // is the oversized rule-rich template of Figure 3; template 1 is the
-// football-league-season template hosting the §5.4 case study.
-func (g *generator) buildSchemas() []schema {
-	schemas := make([]schema, 0, g.cfg.NumTemplates)
-	for t := 0; t < g.cfg.NumTemplates; t++ {
+// football-league-season template hosting the §5.4 case study. Schemas are
+// drawn from a single sequential RNG: they are cheap (no events), and a
+// shared stream here keeps the blueprint distribution exactly as sampled.
+func buildSchemas(cfg Config) []schema {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schemas := make([]schema, 0, cfg.NumTemplates)
+	for t := 0; t < cfg.NumTemplates; t++ {
 		var sch schema
 		next := 0 // per-template property name allocator
 		prop := func() string { next++; return propertyName(next - 1) }
@@ -154,13 +217,13 @@ func (g *generator) buildSchemas() []schema {
 		default:
 			sch.name = templateName(t)
 			sch.indepConsequent = true
-			nImpl := pick(g.rng, []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2})
+			nImpl := pick(rng, []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2})
 			for i := 0; i < nImpl; i++ {
 				sch.implications = append(sch.implications, [2]string{prop(), prop()})
 			}
-			nClusters := pick(g.rng, []int{0, 0, 0, 0, 0, 0, 0, 1, 1, 2})
+			nClusters := pick(rng, []int{0, 0, 0, 0, 0, 0, 0, 1, 1, 2})
 			for i := 0; i < nClusters; i++ {
-				size := 2 + g.rng.Intn(2)
+				size := 2 + rng.Intn(2)
 				members := make([]string, size)
 				for j := range members {
 					members[j] = prop()
@@ -170,25 +233,25 @@ func (g *generator) buildSchemas() []schema {
 			// Real infoboxes are dominated by parameters that are set once
 			// and never maintained; they feed the creation/deletion and
 			// <5-changes stages of the funnel.
-			nStatic := 8 + g.rng.Intn(8)
+			nStatic := 8 + rng.Intn(8)
 			for i := 0; i < nStatic; i++ {
 				sch.loose = append(sch.loose, propSpec{name: staticName(i), kind: atStatic})
 			}
-			nSparse := 3 + g.rng.Intn(4)
+			nSparse := 3 + rng.Intn(4)
 			for i := 0; i < nSparse; i++ {
 				sch.loose = append(sch.loose, propSpec{name: prop(), kind: atSparse})
 			}
-			nMedium := 4 + g.rng.Intn(5)
+			nMedium := 4 + rng.Intn(5)
 			for i := 0; i < nMedium; i++ {
 				sch.loose = append(sch.loose, propSpec{name: prop(), kind: atMedium})
 			}
-			if g.rng.Float64() < 0.2 {
+			if rng.Float64() < 0.2 {
 				sch.loose = append(sch.loose, propSpec{name: prop(), kind: atRegular})
 			}
-			if g.rng.Float64() < 0.3 {
+			if rng.Float64() < 0.3 {
 				sch.loose = append(sch.loose, propSpec{name: prop(), kind: atSeasonal})
 			}
-			if g.rng.Float64() < 0.03 {
+			if rng.Float64() < 0.03 {
 				sch.loose = append(sch.loose, propSpec{name: prop(), kind: atDaily})
 			}
 		}
@@ -203,47 +266,48 @@ func pick(rng *rand.Rand, choices []int) int {
 
 // fieldState tracks one property's lifecycle within an entity.
 type fieldState struct {
-	prop    changecube.PropertyID
+	prop    string
+	box     int // infobox ordinal on the page; companions get 1, 2, ...
 	addDay  timeline.Day
 	counter int
 }
 
-// entity generates the full lifecycle of one infobox.
-func (g *generator) entity(templateID changecube.TemplateID, sch schema, page string) changecube.EntityID {
+// entity generates the full lifecycle of one infobox from its own RNG.
+func (g *generator) entity(rng *rand.Rand, sch schema, page string) {
 	span := g.cfg.Span
-	pageID := changecube.PageID(g.cube.Pages.Intern(page))
-	e := g.cube.AddEntity(templateID, pageID)
+	tmpl := sch.name
+	ref := func(f *fieldState) fieldRef {
+		return fieldRef{template: tmpl, page: page, box: f.box, prop: f.prop}
+	}
 
-	birth := span.Start + timeline.Day(g.rng.Intn(span.Len()-90))
+	birth := span.Start + timeline.Day(rng.Intn(span.Len()-90))
 	var death timeline.Day
 	if sch.shortLived {
-		death = birth + timeline.Day(120+g.rng.Intn(120))
+		death = birth + timeline.Day(120+rng.Intn(120))
 		if death > span.End {
 			death = span.End
 		}
 	} else {
-		death = g.sampleDeath(birth)
+		death = g.sampleDeath(rng, birth)
 	}
 
 	fields := make(map[string]*fieldState)
 	var fieldOrder []string // deterministic iteration; maps would vary
+	nextBox := 1            // next companion-infobox ordinal on this page
 	addFieldAt := func(name string, addDay timeline.Day) *fieldState {
 		if f, ok := fields[name]; ok {
 			return f
 		}
-		f := &fieldState{
-			prop:   changecube.PropertyID(g.cube.Properties.Intern(name)),
-			addDay: addDay,
-		}
+		f := &fieldState{prop: name, addDay: addDay}
 		fields[name] = f
 		fieldOrder = append(fieldOrder, name)
-		g.emitCreate(e, f)
+		g.emitCreate(rng, tmpl, page, f)
 		return f
 	}
 	addField := func(name string) *fieldState {
 		addDay := birth
-		if g.rng.Float64() < g.cfg.LatePropertyRate && death-birth > 60 {
-			addDay = birth + timeline.Day(1+g.rng.Intn(int(death-birth)/2))
+		if rng.Float64() < g.cfg.LatePropertyRate && death-birth > 60 {
+			addDay = birth + timeline.Day(1+rng.Intn(int(death-birth)/2))
 		}
 		return addFieldAt(name, addDay)
 	}
@@ -251,14 +315,14 @@ func (g *generator) entity(templateID changecube.TemplateID, sch schema, page st
 	// Unstructured properties; entities instantiate most, not all, of the
 	// template's parameters.
 	for _, spec := range sch.loose {
-		if g.rng.Float64() < 0.15 {
+		if rng.Float64() < 0.15 {
 			continue
 		}
 		f := addField(spec.name)
-		for _, d := range g.eventDays(spec.kind, f.addDay+1, death) {
-			g.emitUpdate(e, f, d)
+		for _, d := range eventDays(rng, spec.kind, f.addDay+1, death) {
+			g.emitUpdate(rng, tmpl, page, f, d)
 		}
-		g.maybeChurn(e, f, death)
+		g.maybeChurn(rng, tmpl, page, f, death)
 	}
 
 	// Page-level clusters: all members change on shared event days, each
@@ -269,59 +333,52 @@ func (g *generator) entity(templateID changecube.TemplateID, sch schema, page st
 	// to the field-correlation predictor, because association-rule
 	// transactions never cross infobox boundaries.
 	for _, members := range sch.clusters {
-		type member struct {
-			entity changecube.EntityID
-			state  *fieldState
-		}
-		states := make([]member, 0, len(members))
-		if len(members) >= 2 && g.rng.Float64() < 0.5 {
-			companion := g.cube.AddEntity(templateID, pageID)
+		states := make([]*fieldState, 0, len(members))
+		if len(members) >= 2 && rng.Float64() < 0.5 {
+			box := nextBox
+			nextBox++
 			for i, name := range members {
 				if i%2 == 0 {
-					states = append(states, member{entity: e, state: addFieldAt(name, birth)})
+					states = append(states, addFieldAt(name, birth))
 					continue
 				}
-				f := &fieldState{
-					prop:   changecube.PropertyID(g.cube.Properties.Intern(name)),
-					addDay: birth,
-				}
-				g.emitCreate(companion, f)
-				states = append(states, member{entity: companion, state: f})
+				f := &fieldState{prop: name, box: box, addDay: birth}
+				g.emitCreate(rng, tmpl, page, f)
+				states = append(states, f)
 			}
 		} else {
 			for _, name := range members {
-				states = append(states, member{entity: e, state: addFieldAt(name, birth)})
+				states = append(states, addFieldAt(name, birth))
 			}
 		}
-		events := g.structuredDays(birth+1, death)
-		var fks []changecube.FieldKey
-		for _, m := range states {
-			fks = append(fks, changecube.FieldKey{Entity: m.entity, Property: m.state.prop})
+		events := structuredDays(rng, birth+1, death)
+		if g.truth != nil {
+			refs := make([]fieldRef, len(states))
+			for i, f := range states {
+				refs[i] = ref(f)
+			}
+			g.truth.clusters = append(g.truth.clusters, refs)
 		}
-		g.truth.Clusters = append(g.truth.Clusters, Cluster{Fields: fks})
 		for _, d := range events {
-			var changed, missed []member
-			for _, m := range states {
-				if d <= m.state.addDay {
+			var changed, missed []*fieldState
+			for _, f := range states {
+				if d <= f.addDay {
 					continue
 				}
-				if g.rng.Float64() < g.cfg.ClusterMissRate {
-					missed = append(missed, m)
+				if rng.Float64() < g.cfg.ClusterMissRate {
+					missed = append(missed, f)
 				} else {
-					changed = append(changed, m)
+					changed = append(changed, f)
 				}
 			}
-			for _, m := range changed {
-				g.emitUpdate(m.entity, m.state, d)
+			for _, f := range changed {
+				g.emitUpdate(rng, tmpl, page, f, d)
 			}
-			if len(changed) > 0 {
-				cause := changecube.FieldKey{Entity: changed[0].entity, Property: changed[0].state.prop}
-				for _, m := range missed {
-					g.truth.Forgotten = append(g.truth.Forgotten, Forgotten{
-						Field: changecube.FieldKey{Entity: m.entity, Property: m.state.prop},
-						Cause: cause,
-						Day:   d,
-					})
+			if len(changed) > 0 && g.truth != nil {
+				cause := ref(changed[0])
+				for _, f := range missed {
+					g.truth.forgotten = append(g.truth.forgotten,
+						rawForgotten{field: ref(f), cause: cause, day: d})
 				}
 			}
 		}
@@ -340,73 +397,69 @@ func (g *generator) entity(templateID changecube.TemplateID, sch schema, page st
 		if sch.shortLived {
 			// Result fields update every few days while the event page is
 			// hot, comfortably clearing the <5-changes filter.
-			events = g.denseDays(x.addDay+1, death, 20)
+			events = denseDays(rng, x.addDay+1, death, 20)
 		} else {
-			events = g.structuredDays(x.addDay+1, death)
+			events = structuredDays(rng, x.addDay+1, death)
 		}
 		for _, d := range events {
-			g.emitUpdate(e, x, d)
+			g.emitUpdate(rng, tmpl, page, x, d)
 			if d <= y.addDay {
 				continue
 			}
-			if g.rng.Float64() < g.cfg.ImplicationMissRate {
-				g.truth.Forgotten = append(g.truth.Forgotten, Forgotten{
-					Field: changecube.FieldKey{Entity: e, Property: y.prop},
-					Cause: changecube.FieldKey{Entity: e, Property: x.prop},
-					Day:   d,
-				})
+			if rng.Float64() < g.cfg.ImplicationMissRate {
+				if g.truth != nil {
+					g.truth.forgotten = append(g.truth.forgotten,
+						rawForgotten{field: ref(y), cause: ref(x), day: d})
+				}
 				continue
 			}
 			yd := d
-			if g.rng.Float64() < g.cfg.DelayedResponseRate {
-				yd += timeline.Day(1 + g.rng.Intn(3))
+			if rng.Float64() < g.cfg.DelayedResponseRate {
+				yd += timeline.Day(1 + rng.Intn(3))
 			}
 			if yd < death {
-				g.emitUpdate(e, y, yd)
+				g.emitUpdate(rng, tmpl, page, y, yd)
 			}
 		}
 		// Independent consequent changes at roughly the antecedent's rate
 		// (corrections, unrelated edits) keep the reverse rule weak.
 		if sch.indepConsequent {
-			for _, d := range g.eventDays(atSparse, y.addDay+1, death) {
-				g.emitUpdate(e, y, d)
+			for _, d := range eventDays(rng, atSparse, y.addDay+1, death) {
+				g.emitUpdate(rng, tmpl, page, y, d)
 			}
 		}
 	}
 
 	// Dormancy: some retired infoboxes are deleted outright.
-	if death < span.End && g.rng.Float64() < g.cfg.DeleteOnDeathRate {
+	if death < span.End && rng.Float64() < g.cfg.DeleteOnDeathRate {
 		for _, name := range fieldOrder {
 			if f := fields[name]; f.addDay < death {
-				g.emitDelete(e, f, death)
+				g.emitDelete(rng, tmpl, page, f, death)
 			}
 		}
 	}
-	return e
 }
 
 // series generates an annual-event franchise: one page per year, each
 // carrying the template's clusters for its season. The yearly pages share
 // a page-family ("2016-17 Example League", "2017-18 Example League", ...),
 // which is what the family-correlation extension pools.
-func (g *generator) series(templateID changecube.TemplateID, sch schema, idx int) {
+func (g *generator) series(rng *rand.Rand, sch schema, idx int) {
 	span := g.cfg.Span
 	league := fmt.Sprintf("Example League %d", idx)
 	maxStart := span.Len() - 3*365
 	if maxStart < 1 {
 		maxStart = 1
 	}
-	seasonStart := span.Start + timeline.Day(g.rng.Intn(maxStart))
+	seasonStart := span.Start + timeline.Day(rng.Intn(maxStart))
 	for seasonStart+200 < span.End {
 		// A franchise folds with half the usual dormancy rate: annual
 		// institutions are sticky.
-		if g.rng.Float64() < g.cfg.AnnualDeathRate/2 {
+		if rng.Float64() < g.cfg.AnnualDeathRate/2 {
 			break
 		}
 		year := seasonStart.Time().Year()
 		page := fmt.Sprintf("%d-%02d %s", year, (year+1)%100, league)
-		pageID := changecube.PageID(g.cube.Pages.Intern(page))
-		e := g.cube.AddEntity(templateID, pageID)
 		seasonEnd := seasonStart + 340
 		if seasonEnd > span.End {
 			seasonEnd = span.End
@@ -414,47 +467,46 @@ func (g *generator) series(templateID changecube.TemplateID, sch schema, idx int
 
 		// Static season parameters.
 		for _, spec := range sch.loose {
-			f := &fieldState{
-				prop:   changecube.PropertyID(g.cube.Properties.Intern(spec.name)),
-				addDay: seasonStart,
-			}
-			g.emitCreate(e, f)
-			for _, d := range g.eventDays(spec.kind, seasonStart+1, seasonEnd) {
-				g.emitUpdate(e, f, d)
+			f := &fieldState{prop: spec.name, addDay: seasonStart}
+			g.emitCreate(rng, sch.name, page, f)
+			for _, d := range eventDays(rng, spec.kind, seasonStart+1, seasonEnd) {
+				g.emitUpdate(rng, sch.name, page, f, d)
 			}
 		}
 
 		// Season clusters: co-changing rounds every few weeks.
 		for _, members := range sch.clusters {
 			states := make([]*fieldState, len(members))
-			var fks []changecube.FieldKey
 			for i, name := range members {
-				states[i] = &fieldState{
-					prop:   changecube.PropertyID(g.cube.Properties.Intern(name)),
-					addDay: seasonStart,
-				}
-				g.emitCreate(e, states[i])
-				fks = append(fks, changecube.FieldKey{Entity: e, Property: states[i].prop})
+				states[i] = &fieldState{prop: name, addDay: seasonStart}
+				g.emitCreate(rng, sch.name, page, states[i])
 			}
-			g.truth.Clusters = append(g.truth.Clusters, Cluster{Fields: fks})
-			for d := seasonStart + timeline.Day(10+g.rng.Intn(20)); d < seasonEnd; d += timeline.Day(25 + g.rng.Intn(20)) {
+			if g.truth != nil {
+				refs := make([]fieldRef, len(states))
+				for i, f := range states {
+					refs[i] = fieldRef{template: sch.name, page: page, prop: f.prop}
+				}
+				g.truth.clusters = append(g.truth.clusters, refs)
+			}
+			for d := seasonStart + timeline.Day(10+rng.Intn(20)); d < seasonEnd; d += timeline.Day(25 + rng.Intn(20)) {
 				var changed, missed []*fieldState
 				for _, f := range states {
-					if g.rng.Float64() < g.cfg.ClusterMissRate {
+					if rng.Float64() < g.cfg.ClusterMissRate {
 						missed = append(missed, f)
 					} else {
 						changed = append(changed, f)
 					}
 				}
 				for _, f := range changed {
-					g.emitUpdate(e, f, d)
+					g.emitUpdate(rng, sch.name, page, f, d)
 				}
-				if len(changed) > 0 {
+				if len(changed) > 0 && g.truth != nil {
+					cause := fieldRef{template: sch.name, page: page, prop: changed[0].prop}
 					for _, f := range missed {
-						g.truth.Forgotten = append(g.truth.Forgotten, Forgotten{
-							Field: changecube.FieldKey{Entity: e, Property: f.prop},
-							Cause: changecube.FieldKey{Entity: e, Property: changed[0].prop},
-							Day:   d,
+						g.truth.forgotten = append(g.truth.forgotten, rawForgotten{
+							field: fieldRef{template: sch.name, page: page, prop: f.prop},
+							cause: cause,
+							day:   d,
 						})
 					}
 				}
@@ -467,48 +519,43 @@ func (g *generator) series(templateID changecube.TemplateID, sch schema, idx int
 // stub generates a low-effort infobox: a burst of static parameters at
 // creation, the odd correction, and — often enough — deletion. Stubs carry
 // the corpus's creation/deletion volume.
-func (g *generator) stub(templateID changecube.TemplateID, page string) {
+func (g *generator) stub(rng *rand.Rand, tmpl, page string) {
 	span := g.cfg.Span
-	pageID := changecube.PageID(g.cube.Pages.Intern(page))
-	e := g.cube.AddEntity(templateID, pageID)
-	birth := span.Start + timeline.Day(g.rng.Intn(span.Len()-30))
-	death := g.sampleDeath(birth)
-	nProps := 6 + g.rng.Intn(10)
+	birth := span.Start + timeline.Day(rng.Intn(span.Len()-30))
+	death := g.sampleDeath(rng, birth)
+	nProps := 6 + rng.Intn(10)
 	fields := make([]*fieldState, 0, nProps)
 	for i := 0; i < nProps; i++ {
-		f := &fieldState{
-			prop:   changecube.PropertyID(g.cube.Properties.Intern(staticName(i))),
-			addDay: birth,
-		}
+		f := &fieldState{prop: staticName(i), addDay: birth}
 		fields = append(fields, f)
-		g.emitCreate(e, f)
+		g.emitCreate(rng, tmpl, page, f)
 		// Drive-by edits: stubs accumulate a handful of corrections, always
 		// below the five-change eligibility bar — the mass the paper's
 		// <5-changes filter removes.
 		if death > birth+2 {
-			n := pick(g.rng, []int{0, 0, 0, 1, 1, 1, 2, 2, 3, 4})
+			n := pick(rng, []int{0, 0, 0, 1, 1, 1, 2, 2, 3, 4})
 			var days []timeline.Day
 			for j := 0; j < n; j++ {
-				days = append(days, birth+1+timeline.Day(g.rng.Intn(int(death-birth-1))))
+				days = append(days, birth+1+timeline.Day(rng.Intn(int(death-birth-1))))
 			}
 			for _, d := range dedupSorted(days) {
-				g.emitUpdate(e, f, d)
+				g.emitUpdate(rng, tmpl, page, f, d)
 			}
 		}
 	}
-	if death < span.End && g.rng.Float64() < g.cfg.DeleteOnDeathRate+0.2 {
+	if death < span.End && rng.Float64() < g.cfg.DeleteOnDeathRate+0.2 {
 		for _, f := range fields {
-			g.emitDelete(e, f, death)
+			g.emitDelete(rng, tmpl, page, f, death)
 		}
 	}
 }
 
 // sampleDeath draws the day the entity's page falls out of maintenance.
-func (g *generator) sampleDeath(birth timeline.Day) timeline.Day {
+func (g *generator) sampleDeath(rng *rand.Rand, birth timeline.Day) timeline.Day {
 	d := birth
 	for {
-		if g.rng.Float64() < g.cfg.AnnualDeathRate {
-			death := d + timeline.Day(g.rng.Intn(365))
+		if rng.Float64() < g.cfg.AnnualDeathRate {
+			death := d + timeline.Day(rng.Intn(365))
 			if death > g.cfg.Span.End {
 				return g.cfg.Span.End
 			}
@@ -522,7 +569,7 @@ func (g *generator) sampleDeath(birth timeline.Day) timeline.Day {
 }
 
 // eventDays draws the change days of one behaviour process in [start, end).
-func (g *generator) eventDays(kind archetype, start, end timeline.Day) []timeline.Day {
+func eventDays(rng *rand.Rand, kind archetype, start, end timeline.Day) []timeline.Day {
 	if end <= start {
 		return nil
 	}
@@ -532,7 +579,7 @@ func (g *generator) eventDays(kind archetype, start, end timeline.Day) []timelin
 		// Most static parameters are never touched again; a few receive a
 		// correction or two.
 		n := 0
-		switch r := g.rng.Float64(); {
+		switch r := rng.Float64(); {
 		case r < 0.70:
 			n = 0
 		case r < 0.92:
@@ -541,7 +588,7 @@ func (g *generator) eventDays(kind archetype, start, end timeline.Day) []timelin
 			n = 2
 		}
 		for i := 0; i < n; i++ {
-			days = append(days, start+timeline.Day(g.rng.Intn(int(end-start))))
+			days = append(days, start+timeline.Day(rng.Intn(int(end-start))))
 		}
 		days = dedupSorted(days)
 	case atSparse:
@@ -550,42 +597,42 @@ func (g *generator) eventDays(kind archetype, start, end timeline.Day) []timelin
 		// heavy-tailed rhythm — a mean inter-change gap beyond a year for
 		// most fields — is what defeats mean-gap extrapolation on the
 		// real corpus.
-		d := start + timeline.Day(1+g.rng.Intn(700))
+		d := start + timeline.Day(1+rng.Intn(700))
 		for d < end {
-			n := 1 + g.rng.Intn(4)
+			n := 1 + rng.Intn(4)
 			for i := 0; i < n && d < end; i++ {
 				days = append(days, d)
-				d += timeline.Day(1 + g.rng.Intn(12))
+				d += timeline.Day(1 + rng.Intn(12))
 			}
-			d += timeline.Day(180 + int(g.rng.ExpFloat64()*700))
+			d += timeline.Day(180 + int(rng.ExpFloat64()*700))
 		}
 	case atMedium:
 		// The same episodic rhythm at a monthly-to-quarterly cadence —
 		// the bulk of the "dynamic but unsystematic" change mass whose
 		// windows no rule covers, which is what keeps recall low.
-		d := start + timeline.Day(1+g.rng.Intn(250))
+		d := start + timeline.Day(1+rng.Intn(250))
 		for d < end {
-			n := 1 + g.rng.Intn(3)
+			n := 1 + rng.Intn(3)
 			for i := 0; i < n && d < end; i++ {
 				days = append(days, d)
-				d += timeline.Day(1 + g.rng.Intn(8))
+				d += timeline.Day(1 + rng.Intn(8))
 			}
-			d += timeline.Day(45 + int(g.rng.ExpFloat64()*220))
+			d += timeline.Day(45 + int(rng.ExpFloat64()*220))
 		}
 	case atRegular:
 		// Periodic maintenance runs for a stretch and then stops (the
 		// series ends, the maintainer moves on); an eternal metronome
 		// would hand the threshold baseline precision it does not earn on
 		// the real corpus.
-		period := []int{7, 14, 30, 90}[g.rng.Intn(4)]
-		stop := start + timeline.Day(400+g.rng.Intn(1800))
+		period := []int{7, 14, 30, 90}[rng.Intn(4)]
+		stop := start + timeline.Day(400+rng.Intn(1800))
 		if stop < end {
 			end = stop
 		}
-		d := start + timeline.Day(g.rng.Intn(period)+1)
+		d := start + timeline.Day(rng.Intn(period)+1)
 		for d < end {
 			days = append(days, d)
-			jitter := g.rng.Intn(5) - 2
+			jitter := rng.Intn(5) - 2
 			step := period + jitter
 			if step < 1 {
 				step = 1
@@ -593,10 +640,10 @@ func (g *generator) eventDays(kind archetype, start, end timeline.Day) []timelin
 			d += timeline.Day(step)
 		}
 	case atSeasonal:
-		dayOfYear := g.rng.Intn(360)
+		dayOfYear := rng.Intn(360)
 		yearStart := start - timeline.Day(int(start)%365)
 		for d := yearStart + timeline.Day(dayOfYear); d < end; d += 365 {
-			jd := d + timeline.Day(g.rng.Intn(7)-3)
+			jd := d + timeline.Day(rng.Intn(7)-3)
 			if jd >= start && jd < end {
 				days = append(days, jd)
 			}
@@ -605,13 +652,13 @@ func (g *generator) eventDays(kind archetype, start, end timeline.Day) []timelin
 		// High-frequency counters run until the series ends — they do not
 		// tick forever, which is what keeps the threshold baseline from
 		// free precision on long windows.
-		p := 0.3 + g.rng.Float64()*0.3
-		finale := start + timeline.Day(300+g.rng.Intn(1700))
+		p := 0.3 + rng.Float64()*0.3
+		finale := start + timeline.Day(300+rng.Intn(1700))
 		if finale < end {
 			end = finale
 		}
 		for d := start; d < end; d++ {
-			if g.rng.Float64() < p {
+			if rng.Float64() < p {
 				days = append(days, d)
 			}
 		}
@@ -621,15 +668,15 @@ func (g *generator) eventDays(kind archetype, start, end timeline.Day) []timelin
 
 // denseDays draws frequent event days with a small mean gap — the rhythm
 // of a hot event page.
-func (g *generator) denseDays(start, end timeline.Day, meanGap int) []timeline.Day {
+func denseDays(rng *rand.Rand, start, end timeline.Day, meanGap int) []timeline.Day {
 	if end <= start {
 		return nil
 	}
 	var days []timeline.Day
-	d := start + timeline.Day(1+g.rng.Intn(meanGap))
+	d := start + timeline.Day(1+rng.Intn(meanGap))
 	for d < end {
 		days = append(days, d)
-		d += timeline.Day(1 + g.rng.Intn(2*meanGap-1))
+		d += timeline.Day(1 + rng.Intn(2*meanGap-1))
 	}
 	return days
 }
@@ -637,27 +684,27 @@ func (g *generator) denseDays(start, end timeline.Day, meanGap int) []timeline.D
 // structuredDays draws the event process driving a cluster or implication:
 // a yearly season of near-weekly events (league fixtures), a slow regular
 // cadence, or attention bursts.
-func (g *generator) structuredDays(start, end timeline.Day) []timeline.Day {
-	switch g.rng.Intn(3) {
+func structuredDays(rng *rand.Rand, start, end timeline.Day) []timeline.Day {
+	switch rng.Intn(3) {
 	case 0:
 		// Season: an active stretch each year with frequent events.
-		seasonStart := g.rng.Intn(365)
-		seasonLen := 150 + g.rng.Intn(100)
+		seasonStart := rng.Intn(365)
+		seasonLen := 150 + rng.Intn(100)
 		// Cadences deliberately below one-per-week: distinct processes on
 		// the same template must not co-occur weekly, or the miner would
 		// learn same-week-different-day rules that are worthless at the
 		// daily granularity.
-		period := []int{10, 17, 24}[g.rng.Intn(3)]
+		period := []int{10, 17, 24}[rng.Intn(3)]
 		yearBase := start - timeline.Day(int(start)%365)
 		var days []timeline.Day
 		for yb := yearBase; yb < end; yb += 365 {
-			d := yb + timeline.Day(seasonStart+g.rng.Intn(7))
+			d := yb + timeline.Day(seasonStart+rng.Intn(7))
 			seasonEnd := d + timeline.Day(seasonLen)
 			for d < seasonEnd && d < end {
 				if d > start {
 					days = append(days, d)
 				}
-				step := period + g.rng.Intn(5) - 2
+				step := period + rng.Intn(5) - 2
 				if step < 1 {
 					step = 1
 				}
@@ -666,9 +713,9 @@ func (g *generator) structuredDays(start, end timeline.Day) []timeline.Day {
 		}
 		return days
 	case 1:
-		return g.eventDays(atRegular, start, end)
+		return eventDays(rng, atRegular, start, end)
 	default:
-		return g.eventDays(atSparse, start, end)
+		return eventDays(rng, atSparse, start, end)
 	}
 }
 
@@ -691,10 +738,12 @@ func dedupSorted(days []timeline.Day) []timeline.Day {
 }
 
 // emitCreate emits the property-creation change.
-func (g *generator) emitCreate(e changecube.EntityID, f *fieldState) {
-	g.cube.Add(changecube.Change{
-		Time:     f.addDay.Unix() + int64(g.rng.Intn(20000)),
-		Entity:   e,
+func (g *generator) emitCreate(rng *rand.Rand, tmpl, page string, f *fieldState) {
+	g.emit(Event{
+		Time:     f.addDay.Unix() + int64(rng.Intn(20000)),
+		Page:     page,
+		Template: tmpl,
+		Infobox:  f.box,
 		Property: f.prop,
 		Value:    fmt.Sprintf("v%d", f.counter),
 		Kind:     changecube.Create,
@@ -705,32 +754,43 @@ func (g *generator) emitCreate(e changecube.EntityID, f *fieldState) {
 // emitUpdate emits one real value update plus its configured noise: an
 // intra-day burst (typo fixed within the day) and, rarely, a vandalism
 // edit promptly reverted by a bot.
-func (g *generator) emitUpdate(e changecube.EntityID, f *fieldState, d timeline.Day) {
-	ts := d.Unix() + 20000 + int64(g.rng.Intn(40000))
+func (g *generator) emitUpdate(rng *rand.Rand, tmpl, page string, f *fieldState, d timeline.Day) {
+	ts := d.Unix() + 20000 + int64(rng.Intn(40000))
 	value := fmt.Sprintf("v%d", f.counter)
 	f.counter++
-	g.cube.Add(changecube.Change{Time: ts, Entity: e, Property: f.prop, Value: value, Kind: changecube.Update})
-	if g.rng.Float64() < g.cfg.BurstRate {
+	ev := Event{Time: ts, Page: page, Template: tmpl, Infobox: f.box,
+		Property: f.prop, Value: value, Kind: changecube.Update}
+	g.emit(ev)
+	if rng.Float64() < g.cfg.BurstRate {
 		// Same-day churn: a typo value, then the real value restored. The
 		// day-dedup mode keeps the real value.
-		g.cube.Add(changecube.Change{Time: ts + 60, Entity: e, Property: f.prop,
-			Value: value + "typo", Kind: changecube.Update})
-		g.cube.Add(changecube.Change{Time: ts + 120, Entity: e, Property: f.prop,
-			Value: value, Kind: changecube.Update})
+		typo := ev
+		typo.Time = ts + 60
+		typo.Value = value + "typo"
+		g.emit(typo)
+		fixed := ev
+		fixed.Time = ts + 120
+		g.emit(fixed)
 	}
-	if g.rng.Float64() < g.cfg.VandalismRate {
-		g.cube.Add(changecube.Change{Time: ts + 3600, Entity: e, Property: f.prop,
-			Value: "!!vandalism!!", Kind: changecube.Update})
-		g.cube.Add(changecube.Change{Time: ts + 4200, Entity: e, Property: f.prop,
-			Value: value, Kind: changecube.Update, Bot: true})
+	if rng.Float64() < g.cfg.VandalismRate {
+		vandal := ev
+		vandal.Time = ts + 3600
+		vandal.Value = "!!vandalism!!"
+		g.emit(vandal)
+		revert := ev
+		revert.Time = ts + 4200
+		revert.Bot = true
+		g.emit(revert)
 	}
 }
 
 // emitDelete emits a property deletion.
-func (g *generator) emitDelete(e changecube.EntityID, f *fieldState, d timeline.Day) {
-	g.cube.Add(changecube.Change{
-		Time:     d.Unix() + int64(g.rng.Intn(20000)),
-		Entity:   e,
+func (g *generator) emitDelete(rng *rand.Rand, tmpl, page string, f *fieldState, d timeline.Day) {
+	g.emit(Event{
+		Time:     d.Unix() + int64(rng.Intn(20000)),
+		Page:     page,
+		Template: tmpl,
+		Infobox:  f.box,
 		Property: f.prop,
 		Kind:     changecube.Delete,
 	})
@@ -738,23 +798,23 @@ func (g *generator) emitDelete(e changecube.EntityID, f *fieldState, d timeline.
 
 // maybeChurn occasionally deletes and recreates a property mid-life,
 // contributing schema-churn create/delete volume.
-func (g *generator) maybeChurn(e changecube.EntityID, f *fieldState, death timeline.Day) {
-	if g.rng.Float64() >= g.cfg.PropertyChurnRate {
+func (g *generator) maybeChurn(rng *rand.Rand, tmpl, page string, f *fieldState, death timeline.Day) {
+	if rng.Float64() >= g.cfg.PropertyChurnRate {
 		return
 	}
 	life := int(death - f.addDay)
 	if life < 120 {
 		return
 	}
-	gapStart := f.addDay + timeline.Day(30+g.rng.Intn(life-60))
-	gapEnd := gapStart + timeline.Day(7+g.rng.Intn(60))
+	gapStart := f.addDay + timeline.Day(30+rng.Intn(life-60))
+	gapEnd := gapStart + timeline.Day(7+rng.Intn(60))
 	if gapEnd >= death {
 		return
 	}
-	g.emitDelete(e, f, gapStart)
+	g.emitDelete(rng, tmpl, page, f, gapStart)
 	recreated := *f
 	recreated.addDay = gapEnd
-	g.emitCreate(e, &recreated)
+	g.emitCreate(rng, tmpl, page, &recreated)
 	f.counter = recreated.counter
 }
 
@@ -762,42 +822,43 @@ func (g *generator) maybeChurn(e changecube.EntityID, f *fieldState, death timel
 // page using the football-league-season template, whose total_goals field
 // misses three updates during the final year while matches is maintained —
 // plus the paper's truncation typo in the goals value.
-func (g *generator) plantCaseStudy(schemas []schema) {
-	if len(schemas) < 2 {
+func (g *generator) plantCaseStudy(rng *rand.Rand) {
+	if len(g.schemas) < 2 {
+		return
+	}
+	const tmpl = "infobox football league season"
+	hosted := false
+	for _, sch := range g.schemas {
+		if sch.name == tmpl {
+			hosted = true
+			break
+		}
+	}
+	if !hosted {
 		return
 	}
 	span := g.cfg.Span
-	templateID, ok := g.cube.Templates.Lookup("infobox football league season")
-	if !ok {
-		return
-	}
-	pageID := changecube.PageID(g.cube.Pages.Intern("2018-19 Handball-Bundesliga"))
-	e := g.cube.AddEntity(changecube.TemplateID(templateID), pageID)
+	page := "2018-19 Handball-Bundesliga"
 	birth := span.End - 330
-	matchesProp := changecube.PropertyID(g.cube.Properties.Intern("matches"))
-	goalsProp := changecube.PropertyID(g.cube.Properties.Intern("total_goals"))
 
 	// The values are realistic numeric tallies so the §5.4 value analysis
 	// has something to find; the plain fieldState value scheme is bypassed.
-	emit := func(prop changecube.PropertyID, day timeline.Day, value string) {
-		g.cube.Add(changecube.Change{
-			Time:     day.Unix() + 30000 + int64(g.rng.Intn(20000)),
-			Entity:   e,
+	emit := func(prop string, day timeline.Day, value string) {
+		g.emit(Event{
+			Time:     day.Unix() + 30000 + int64(rng.Intn(20000)),
+			Page:     page,
+			Template: tmpl,
 			Property: prop,
 			Value:    value,
 			Kind:     changecube.Update,
 		})
 	}
-	g.cube.Add(changecube.Change{Time: birth.Unix(), Entity: e, Property: matchesProp,
-		Value: "0", Kind: changecube.Create})
-	g.cube.Add(changecube.Change{Time: birth.Unix(), Entity: e, Property: goalsProp,
-		Value: "9,200", Kind: changecube.Create})
+	g.emit(Event{Time: birth.Unix(), Page: page, Template: tmpl,
+		Property: "matches", Value: "0", Kind: changecube.Create})
+	g.emit(Event{Time: birth.Unix(), Page: page, Template: tmpl,
+		Property: "total_goals", Value: "9,200", Kind: changecube.Create})
 
-	cs := CaseStudy{
-		Entity:     e,
-		Matches:    changecube.FieldKey{Entity: e, Property: matchesProp},
-		TotalGoals: changecube.FieldKey{Entity: e, Property: goalsProp},
-	}
+	cs := rawCaseStudy{page: page, template: tmpl}
 	trueTotal := int64(9200) // mid-season carry-over, approaching 10,000
 	displayed := trueTotal
 	typoDone := false
@@ -805,18 +866,20 @@ func (g *generator) plantCaseStudy(schemas []schema) {
 	game := 0
 	for gameDay < span.End-7 {
 		game++
-		emit(matchesProp, gameDay, fmt.Sprintf("%d", game*9)) // 9 fixtures per round
-		delta := int64(25 + g.rng.Intn(12))
+		emit("matches", gameDay, fmt.Sprintf("%d", game*9)) // 9 fixtures per round
+		delta := int64(25 + rng.Intn(12))
 		trueTotal += delta
 		// Three specific match days lack the goals update entirely.
 		if game == 6 || game == 12 || game == 20 {
-			cs.MissedDays = append(cs.MissedDays, gameDay)
-			g.truth.Forgotten = append(g.truth.Forgotten, Forgotten{
-				Field: cs.TotalGoals,
-				Cause: cs.Matches,
-				Day:   gameDay,
-			})
-			gameDay += timeline.Day(3 + g.rng.Intn(5))
+			cs.missed = append(cs.missed, gameDay)
+			if g.truth != nil {
+				g.truth.forgotten = append(g.truth.forgotten, rawForgotten{
+					field: fieldRef{template: tmpl, page: page, prop: "total_goals"},
+					cause: fieldRef{template: tmpl, page: page, prop: "matches"},
+					day:   gameDay,
+				})
+			}
+			gameDay += timeline.Day(3 + rng.Intn(5))
 			continue
 		}
 		switch {
@@ -828,18 +891,21 @@ func (g *generator) plantCaseStudy(schemas []schema) {
 			wrong = wrong[:1] + wrong[2:]
 			displayed, _ = parseInt(wrong)
 			typoDone = true
-			cs.TypoDay = gameDay
-			cs.TypoValue = displayed
-			cs.TypoIntended = trueTotal
+			cs.typoDay = gameDay
+			cs.typoValue = displayed
+			cs.typoIntended = trueTotal
 		default:
 			displayed += delta
 		}
-		emit(goalsProp, gameDay, groupDigits(displayed))
-		gameDay += timeline.Day(3 + g.rng.Intn(5))
+		emit("total_goals", gameDay, groupDigits(displayed))
+		gameDay += timeline.Day(3 + rng.Intn(5))
 	}
 	// Season finale: someone recomputes the tally and fixes it.
-	emit(goalsProp, span.End-6, groupDigits(trueTotal))
-	g.truth.CaseStudy = cs
+	emit("total_goals", span.End-6, groupDigits(trueTotal))
+	if g.truth != nil {
+		g.truth.casePlanted = true
+		g.truth.caseStudy = cs
+	}
 }
 
 // parseInt is a minimal digits-only parser for the typo construction.

@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+)
+
+// entRef is the stream-side identity of an entity after name interning.
+type entRef struct {
+	page     changecube.PageID
+	template changecube.TemplateID
+	box      int
+}
+
+// cubeSink materializes the event stream into a cube, interning names in
+// arrival order — template, then page, then property, the exact order the
+// live-ingestion staging buffer uses. A corpus streamed through ingestion
+// therefore assigns the same dense IDs as one built by Generate, and the
+// two encode to bit-identical bytes.
+type cubeSink struct {
+	cube *changecube.Cube
+	ents map[entRef]changecube.EntityID
+}
+
+func newCubeSink() *cubeSink {
+	return &cubeSink{
+		cube: changecube.New(),
+		ents: make(map[entRef]changecube.EntityID),
+	}
+}
+
+func (s *cubeSink) add(evs []Event) error {
+	for _, ev := range evs {
+		templateID := changecube.TemplateID(s.cube.Templates.Intern(ev.Template))
+		pageID := changecube.PageID(s.cube.Pages.Intern(ev.Page))
+		propID := changecube.PropertyID(s.cube.Properties.Intern(ev.Property))
+		key := entRef{page: pageID, template: templateID, box: ev.Infobox}
+		entity, ok := s.ents[key]
+		if !ok {
+			entity = s.cube.AddEntity(templateID, pageID)
+			s.ents[key] = entity
+		}
+		s.cube.Add(changecube.Change{
+			Time:     ev.Time,
+			Entity:   entity,
+			Property: propID,
+			Value:    ev.Value,
+			Kind:     ev.Kind,
+			Bot:      ev.Bot,
+		})
+	}
+	return nil
+}
+
+// resolveTruth rebinds the name-based truth collected during streaming to
+// the IDs the sink assigned while consuming the same stream.
+func resolveTruth(s *cubeSink, raw *rawTruth) (*Truth, error) {
+	field := func(r fieldRef) (changecube.FieldKey, error) {
+		templateID, okT := s.cube.Templates.Lookup(r.template)
+		pageID, okP := s.cube.Pages.Lookup(r.page)
+		propID, okR := s.cube.Properties.Lookup(r.prop)
+		if !okT || !okP || !okR {
+			return changecube.FieldKey{}, fmt.Errorf("dataset: truth names %+v missing from corpus", r)
+		}
+		entity, ok := s.ents[entRef{
+			page:     changecube.PageID(pageID),
+			template: changecube.TemplateID(templateID),
+			box:      r.box,
+		}]
+		if !ok {
+			return changecube.FieldKey{}, fmt.Errorf("dataset: truth entity %+v missing from corpus", r)
+		}
+		return changecube.FieldKey{Entity: entity, Property: changecube.PropertyID(propID)}, nil
+	}
+
+	truth := &Truth{}
+	for _, refs := range raw.clusters {
+		fks := make([]changecube.FieldKey, len(refs))
+		for i, r := range refs {
+			fk, err := field(r)
+			if err != nil {
+				return nil, err
+			}
+			fks[i] = fk
+		}
+		truth.Clusters = append(truth.Clusters, Cluster{Fields: fks})
+	}
+	for _, im := range raw.implications {
+		// Interned, not looked up: every entity of the template instantiates
+		// its implication pair, but an implication is planted schema-wide.
+		truth.Implications = append(truth.Implications, Implication{
+			Template:   changecube.TemplateID(s.cube.Templates.Intern(im[0])),
+			Antecedent: changecube.PropertyID(s.cube.Properties.Intern(im[1])),
+			Consequent: changecube.PropertyID(s.cube.Properties.Intern(im[2])),
+		})
+	}
+	for _, f := range raw.forgotten {
+		fk, err := field(f.field)
+		if err != nil {
+			return nil, err
+		}
+		cause, err := field(f.cause)
+		if err != nil {
+			return nil, err
+		}
+		truth.Forgotten = append(truth.Forgotten, Forgotten{Field: fk, Cause: cause, Day: f.day})
+	}
+	if raw.casePlanted {
+		cs := raw.caseStudy
+		matches, err := field(fieldRef{template: cs.template, page: cs.page, prop: "matches"})
+		if err != nil {
+			return nil, err
+		}
+		goals, err := field(fieldRef{template: cs.template, page: cs.page, prop: "total_goals"})
+		if err != nil {
+			return nil, err
+		}
+		truth.CaseStudy = CaseStudy{
+			Entity:       matches.Entity,
+			Matches:      matches,
+			TotalGoals:   goals,
+			MissedDays:   cs.missed,
+			TypoDay:      cs.typoDay,
+			TypoValue:    cs.typoValue,
+			TypoIntended: cs.typoIntended,
+		}
+	}
+	return truth, nil
+}

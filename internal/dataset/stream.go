@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"github.com/wikistale/wikistale/internal/changecube"
+)
+
+// Event is one infobox change identified by names rather than cube IDs —
+// the unit the streaming generator emits. It deliberately mirrors the
+// live-ingestion event shape (page + template + infobox ordinal identify
+// the entity), so a streamed corpus can feed an ingest pipeline without a
+// cube ever being materialized on the producer side.
+type Event struct {
+	Time     int64 // unix seconds
+	Page     string
+	Template string
+	Infobox  int // ordinal of the infobox on the page, 0 for the first
+	Property string
+	Value    string
+	Kind     changecube.ChangeKind
+	Bot      bool
+}
+
+// Stream generates the corpus one entity at a time, handing each entity's
+// events to flush as a batch. Nothing is retained between batches: memory
+// stays bounded by the largest single entity no matter how large the
+// configured corpus is, which is what makes paper-scale corpora feasible.
+//
+// The batch slice is reused between calls — flush must copy anything it
+// keeps. A non-nil error from flush aborts generation and is returned.
+//
+// Every entity is generated from its own deterministically derived RNG (see
+// rngAt), so the stream is bit-identical to the corpus Generate builds: the
+// same events in the same order, independent of how they are consumed.
+func Stream(cfg Config, flush func([]Event) error) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	g := &generator{cfg: cfg, schemas: buildSchemas(cfg), flush: flush}
+	return g.run()
+}
+
+// emit buffers one event on the current entity's batch.
+func (g *generator) emit(ev Event) {
+	g.batch = append(g.batch, ev)
+}
+
+// flushBatch hands the buffered entity to the consumer. After a consumer
+// error, generation short-circuits: later batches are dropped and run()
+// returns the first error.
+func (g *generator) flushBatch() {
+	if len(g.batch) == 0 {
+		return
+	}
+	if g.err == nil {
+		if err := g.flush(g.batch); err != nil {
+			g.err = err
+		}
+	}
+	g.batch = g.batch[:0]
+}
+
+// rngAt derives the independent RNG for one generation scope — an entity
+// ('E'), a stub ('S'), a per-template entity count ('N'), or the case study
+// ('C') — by hashing the scope coordinates into the seed, splitmix64-style.
+// Each scope's randomness is self-contained: an entity's events do not
+// depend on how many draws its neighbours consumed, so entities can be
+// generated in isolation, skipped past, or regenerated individually and the
+// output stays bit-identical.
+func (g *generator) rngAt(kind byte, t, e, s int) *rand.Rand {
+	h := uint64(g.cfg.Seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range [4]uint64{uint64(kind), uint64(t), uint64(e), uint64(s)} {
+		h = mix64(h ^ v)
+	}
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler with full
+// avalanche, exactly what seed derivation needs.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -28,7 +28,7 @@ func batchSet(t *testing.T) (*changecube.HistorySet, changecube.FieldKey) {
 	e := c.AddEntityNamed("t", "p")
 	f := changecube.FieldKey{Entity: e, Property: changecube.PropertyID(c.Properties.Intern("x"))}
 	hs, err := changecube.NewHistorySet(c, []changecube.History{
-		{Field: f, Days: []timeline.Day{2, 9, 23}},
+		changecube.NewHistory(f, []timeline.Day{2, 9, 23}),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -184,19 +184,19 @@ func (s *Store) countFiles() int {
 // StoreStats is the point-in-time summary surfaced on /statusz and
 // /v1/ingest/stats-adjacent endpoints.
 type StoreStats struct {
-	Dir     string `json:"dir"`
-	Epochs  int    `json:"epochs"`
-	Retain  int    `json:"retain"`
-	Files   int    `json:"files"`
+	Dir         string `json:"dir"`
+	Epochs      int    `json:"epochs"`
+	Retain      int    `json:"retain"`
+	Files       int    `json:"files"`
 	LatestSeq   uint64 `json:"latest_seq,omitempty"`
 	LatestTime  string `json:"latest_time,omitempty"`
 	LatestBytes int64  `json:"latest_bytes,omitempty"`
 	// Checkpoint is the newest epoch's source checkpoint.
-	Checkpoint ingest.SourcePosition `json:"checkpoint,omitempty"`
-	Snapshots       uint64  `json:"snapshots"`
-	SnapshotErrors  uint64  `json:"snapshot_errors"`
-	LastSnapshotSec float64 `json:"last_snapshot_seconds,omitempty"`
-	LastLoadSec     float64 `json:"last_load_seconds,omitempty"`
+	Checkpoint      ingest.SourcePosition `json:"checkpoint,omitempty"`
+	Snapshots       uint64                `json:"snapshots"`
+	SnapshotErrors  uint64                `json:"snapshot_errors"`
+	LastSnapshotSec float64               `json:"last_snapshot_seconds,omitempty"`
+	LastLoadSec     float64               `json:"last_load_seconds,omitempty"`
 	// RecoveryOutcome is how this process booted: "latest", "fallback",
 	// "cold", or "resume_mismatch".
 	RecoveryOutcome string `json:"recovery_outcome,omitempty"`

@@ -16,7 +16,6 @@ import (
 	"github.com/wikistale/wikistale/internal/filter"
 	"github.com/wikistale/wikistale/internal/ingest"
 	"github.com/wikistale/wikistale/internal/obs"
-	"github.com/wikistale/wikistale/internal/timeline"
 )
 
 // snapMagic and snapVersion head every snapshot file. The version byte is
@@ -78,7 +77,7 @@ func encodeSnapshot(det *core.Detector, ordinals []int) ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(info.Page))
 		buf = binary.AppendUvarint(buf, uint64(ordinals[e]))
 	}
-	changes := cubestore.EncodeChanges(cube.Changes())
+	changes := cubestore.EncodeCubeChanges(cube)
 	buf = binary.AppendUvarint(buf, uint64(len(changes)))
 	buf = append(buf, changes...)
 
@@ -101,17 +100,10 @@ func encodeSnapshot(det *core.Detector, ordinals []int) ([]byte, error) {
 	for _, h := range hists {
 		buf = binary.AppendUvarint(buf, uint64(h.Field.Entity))
 		buf = binary.AppendUvarint(buf, uint64(h.Field.Property))
-		buf = binary.AppendUvarint(buf, uint64(len(h.Days)))
-		// Strictly increasing days: first day signed, then gaps (>= 1).
-		prev := timeline.Day(0)
-		for i, day := range h.Days {
-			if i == 0 {
-				buf = binary.AppendVarint(buf, int64(day))
-			} else {
-				buf = binary.AppendUvarint(buf, uint64(day-prev))
-			}
-			prev = day
-		}
+		buf = binary.AppendUvarint(buf, uint64(h.Len()))
+		// Strictly increasing days: first day signed, then gaps (>= 1) —
+		// the History packed representation verbatim.
+		buf = h.AppendPackedDays(buf)
 	}
 	return buf, nil
 }
@@ -225,7 +217,17 @@ func decodeSnapshot(data []byte) (*snapshotPayload, error) {
 	if err != nil {
 		return nil, err
 	}
-	histories := make([]changecube.History, 0, nhist)
+	// The on-disk day encoding is the History packed representation, so
+	// histories load without ever materializing day slices: scan each
+	// field's bytes in place (validating), then re-home all of them into
+	// one arena so the loaded epoch doesn't pin the snapshot buffer.
+	type histSpan struct {
+		field    changecube.FieldKey
+		off, end int
+		ndays    int
+	}
+	spans := make([]histSpan, 0, nhist)
+	packedTotal := 0
 	for i := 0; i < nhist; i++ {
 		entity, err := r.uvarint("history entity")
 		if err != nil {
@@ -245,36 +247,25 @@ func decodeSnapshot(data []byte) (*snapshotPayload, error) {
 		if ndays == 0 {
 			return nil, fmt.Errorf("epochstore: snapshot: history %d is empty", i)
 		}
-		days := make([]timeline.Day, 0, ndays)
-		var prev timeline.Day
-		for j := 0; j < ndays; j++ {
-			var day timeline.Day
-			if j == 0 {
-				first, err := r.varint("history first day")
-				if err != nil {
-					return nil, err
-				}
-				day = timeline.Day(first)
-			} else {
-				gap, err := r.uvarint("history day gap")
-				if err != nil {
-					return nil, err
-				}
-				if gap == 0 || gap > 1<<30 {
-					return nil, fmt.Errorf("epochstore: snapshot: history %d day gap %d", i, gap)
-				}
-				day = prev + timeline.Day(gap)
-				if day <= prev {
-					return nil, fmt.Errorf("epochstore: snapshot: history %d days overflow", i)
-				}
-			}
-			days = append(days, day)
-			prev = day
+		field := changecube.FieldKey{Entity: changecube.EntityID(entity), Property: changecube.PropertyID(property)}
+		_, consumed, err := changecube.ScanPackedDays(field, data[r.pos:], ndays)
+		if err != nil {
+			return nil, fmt.Errorf("epochstore: snapshot: history %d: %w", i, err)
 		}
-		histories = append(histories, changecube.History{
-			Field: changecube.FieldKey{Entity: changecube.EntityID(entity), Property: changecube.PropertyID(property)},
-			Days:  days,
-		})
+		spans = append(spans, histSpan{field: field, off: r.pos, end: r.pos + consumed, ndays: ndays})
+		r.pos += consumed
+		packedTotal += consumed
+	}
+	arena := make([]byte, 0, packedTotal)
+	histories := make([]changecube.History, 0, nhist)
+	for _, sp := range spans {
+		start := len(arena)
+		arena = append(arena, data[sp.off:sp.end]...)
+		h, err := changecube.NewHistoryPacked(sp.field, arena[start:len(arena):len(arena)], sp.ndays)
+		if err != nil {
+			return nil, fmt.Errorf("epochstore: snapshot: history %v: %w", sp.field, err)
+		}
+		histories = append(histories, h)
 	}
 	if r.pos != len(data) {
 		return nil, fmt.Errorf("epochstore: snapshot: %d trailing bytes", len(data)-r.pos)
@@ -316,14 +307,6 @@ func (r *byteReader) ReadByte() (byte, error) {
 
 func (r *byteReader) uvarint(what string) (uint64, error) {
 	v, err := binary.ReadUvarint(r)
-	if err != nil {
-		return 0, fmt.Errorf("epochstore: snapshot: %s: truncated", what)
-	}
-	return v, nil
-}
-
-func (r *byteReader) varint(what string) (int64, error) {
-	v, err := binary.ReadVarint(r)
 	if err != nil {
 		return 0, fmt.Errorf("epochstore: snapshot: %s: truncated", what)
 	}

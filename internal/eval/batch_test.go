@@ -116,7 +116,7 @@ func richSet(t *testing.T) *changecube.HistorySet {
 		days := [][]timeline.Day{co, co, own, sparse}
 		for i, name := range names {
 			f := changecube.FieldKey{Entity: e, Property: changecube.PropertyID(c.Properties.Intern(name))}
-			histories = append(histories, changecube.History{Field: f, Days: days[i]})
+			histories = append(histories, changecube.NewHistory(f, days[i]))
 		}
 	}
 	hs, err := changecube.NewHistorySet(c, histories)

@@ -52,8 +52,8 @@ func twoFieldSet(t *testing.T) (*changecube.HistorySet, changecube.FieldKey, cha
 		evens = append(evens, d)
 	}
 	hs, err := changecube.NewHistorySet(c, []changecube.History{
-		{Field: steady, Days: evens},
-		{Field: quiet, Days: []timeline.Day{2}},
+		changecube.NewHistory(steady, evens),
+		changecube.NewHistory(quiet, []timeline.Day{2}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -252,8 +252,8 @@ func TestEvaluateByTemplate(t *testing.T) {
 		}
 	}
 	hs, err := changecube.NewHistorySet(c, []changecube.History{
-		{Field: changecube.FieldKey{Entity: ea, Property: prop}, Days: daily},
-		{Field: changecube.FieldKey{Entity: eq, Property: prop}, Days: weekly},
+		changecube.NewHistory(changecube.FieldKey{Entity: ea, Property: prop}, daily),
+		changecube.NewHistory(changecube.FieldKey{Entity: eq, Property: prop}, weekly),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -76,7 +76,16 @@ type familyProperty struct {
 type Predictor struct {
 	rules    []Rule
 	partners map[familyProperty][]changecube.PropertyID
-	members  map[string][]changecube.EntityID
+	// members indexes the kept (>= MinMembers) families' entities.
+	members map[string][]changecube.EntityID
+	// allMembers indexes every family, single-member ones included, and
+	// familyOf caches each page's normalized family (indexed by PageID,
+	// "" = page never seen on an entity). Both exist for TrainIncremental:
+	// entity IDs and pages are append-only in the live staging lineage, so
+	// the next training extends these instead of re-normalizing every
+	// page title. FromRules leaves them nil (no member data to extend).
+	allMembers map[string][]changecube.EntityID
+	familyOf   []string
 }
 
 var _ predict.Predictor = (*Predictor)(nil)
@@ -93,34 +102,35 @@ func Train(hs *changecube.HistorySet, span timeline.Span, cfg Config) (*Predicto
 	cube := hs.Cube()
 
 	p := &Predictor{
-		partners: make(map[familyProperty][]changecube.PropertyID),
-		members:  make(map[string][]changecube.EntityID),
+		partners:   make(map[familyProperty][]changecube.PropertyID),
+		members:    make(map[string][]changecube.EntityID),
+		allMembers: make(map[string][]changecube.EntityID),
+		familyOf:   make([]string, cube.Pages.Len()),
 	}
 
-	// Group member entities per family, dropping single-page families.
-	entityFamily := make(map[changecube.EntityID]string)
-	pageFamily := make(map[changecube.PageID]string)
+	// Group member entities per family; members keeps only the families
+	// with enough pages to pool, allMembers keeps everything so a later
+	// incremental training can watch families cross the threshold.
 	for e := 0; e < cube.NumEntities(); e++ {
 		id := changecube.EntityID(e)
 		page := cube.Page(id)
-		fam, ok := pageFamily[page]
-		if !ok {
+		fam := p.familyOf[page]
+		if fam == "" {
 			fam = pagefamily.Normalize(cube.Pages.Name(int32(page)))
-			pageFamily[page] = fam
+			p.familyOf[page] = fam
 		}
-		entityFamily[id] = fam
-		p.members[fam] = append(p.members[fam], id)
+		p.allMembers[fam] = append(p.allMembers[fam], id)
 	}
-	for fam, members := range p.members {
-		if len(members) < cfg.MinMembers {
-			delete(p.members, fam)
+	for fam, members := range p.allMembers {
+		if len(members) >= cfg.MinMembers {
+			p.members[fam] = members
 		}
 	}
 
 	// Pool change days per (family, property).
 	pooled := make(map[familyProperty][]timeline.Day)
 	for _, h := range hs.Histories() {
-		fam := entityFamily[h.Field.Entity]
+		fam := p.familyOf[cube.Page(h.Field.Entity)]
 		if _, ok := p.members[fam]; !ok {
 			continue
 		}
@@ -146,30 +156,50 @@ func Train(hs *changecube.HistorySet, span timeline.Span, cfg Config) (*Predicto
 	}
 	sort.Strings(families)
 	for _, fam := range families {
-		keys := byFamily[fam]
-		sort.Slice(keys, func(i, j int) bool { return keys[i].property < keys[j].property })
-		if cfg.Correlation.MaxFieldsPerPage > 0 && len(keys) > cfg.Correlation.MaxFieldsPerPage {
-			continue
-		}
-		for x := 0; x < len(keys); x++ {
-			for y := x + 1; y < len(keys); y++ {
-				a := changecube.History{Days: pooled[keys[x]]}
-				b := changecube.History{Days: pooled[keys[y]]}
-				d := correlation.DistanceTolerant(a, b, span, cfg.Correlation.Norm, cfg.Correlation.ToleranceDays)
-				if d < cfg.Correlation.Theta {
-					p.rules = append(p.rules, Rule{
-						Family:   fam,
-						A:        keys[x].property,
-						B:        keys[y].property,
-						Distance: d,
-					})
-					p.partners[keys[x]] = append(p.partners[keys[x]], keys[y].property)
-					p.partners[keys[y]] = append(p.partners[keys[y]], keys[x].property)
-				}
+		p.rules = append(p.rules, searchFamily(fam, byFamily[fam], pooled, span, cfg)...)
+	}
+	p.indexPartners()
+	return p, nil
+}
+
+// searchFamily runs the pairwise correlation search over one family's
+// pooled per-property histories and returns its rules, ordered by (A, B).
+func searchFamily(fam string, keys []familyProperty, pooled map[familyProperty][]timeline.Day,
+	span timeline.Span, cfg Config) []Rule {
+	sort.Slice(keys, func(i, j int) bool { return keys[i].property < keys[j].property })
+	if cfg.Correlation.MaxFieldsPerPage > 0 && len(keys) > cfg.Correlation.MaxFieldsPerPage {
+		return nil
+	}
+	var rules []Rule
+	for x := 0; x < len(keys); x++ {
+		for y := x + 1; y < len(keys); y++ {
+			a := changecube.NewHistory(changecube.FieldKey{}, pooled[keys[x]])
+			b := changecube.NewHistory(changecube.FieldKey{}, pooled[keys[y]])
+			d := correlation.DistanceTolerant(a, b, span, cfg.Correlation.Norm, cfg.Correlation.ToleranceDays)
+			if d < cfg.Correlation.Theta {
+				rules = append(rules, Rule{
+					Family:   fam,
+					A:        keys[x].property,
+					B:        keys[y].property,
+					Distance: d,
+				})
 			}
 		}
 	}
-	return p, nil
+	return rules
+}
+
+// indexPartners rebuilds the partner index from p.rules. Rules are ordered
+// by (Family, A, B) — the order the family-by-family search emits them in —
+// so the per-key partner lists come out identical whether built inline
+// during the search or replayed from the rules afterwards.
+func (p *Predictor) indexPartners() {
+	for _, r := range p.rules {
+		p.partners[familyProperty{family: r.Family, property: r.A}] = append(
+			p.partners[familyProperty{family: r.Family, property: r.A}], r.B)
+		p.partners[familyProperty{family: r.Family, property: r.B}] = append(
+			p.partners[familyProperty{family: r.Family, property: r.B}], r.A)
+	}
 }
 
 func dedupDays(days []timeline.Day) []timeline.Day {
@@ -253,11 +283,8 @@ func FromRules(rules []Rule) *Predictor {
 		}
 		return a.B < b.B
 	})
+	p.indexPartners()
 	for _, r := range p.rules {
-		p.partners[familyProperty{family: r.Family, property: r.A}] = append(
-			p.partners[familyProperty{family: r.Family, property: r.A}], r.B)
-		p.partners[familyProperty{family: r.Family, property: r.B}] = append(
-			p.partners[familyProperty{family: r.Family, property: r.B}], r.A)
 		p.members[r.Family] = nil
 	}
 	return p

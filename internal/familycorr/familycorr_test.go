@@ -34,9 +34,9 @@ func seasonSeries(t *testing.T, years int) (*changecube.HistorySet, *changecube.
 			noise = append(noise, base+timeline.Day(45+g*40))
 		}
 		histories = append(histories,
-			changecube.History{Field: changecube.FieldKey{Entity: e, Property: props["roster"]}, Days: shared},
-			changecube.History{Field: changecube.FieldKey{Entity: e, Property: props["standings"]}, Days: shared},
-			changecube.History{Field: changecube.FieldKey{Entity: e, Property: props["noise"]}, Days: noise},
+			changecube.NewHistory(changecube.FieldKey{Entity: e, Property: props["roster"]}, shared),
+			changecube.NewHistory(changecube.FieldKey{Entity: e, Property: props["standings"]}, shared),
+			changecube.NewHistory(changecube.FieldKey{Entity: e, Property: props["noise"]}, noise),
 		)
 		return e
 	}
@@ -87,10 +87,10 @@ func TestRuleTransfersToNewSeasonPage(t *testing.T) {
 	fresh := cube.AddEntityNamed("infobox season", "2014-15 Handball-Bundesliga")
 	day := timeline.Day(4*365 + 100)
 	histories := append(hs.Histories(),
-		changecube.History{Field: changecube.FieldKey{Entity: fresh, Property: props["roster"]},
-			Days: []timeline.Day{day}},
-		changecube.History{Field: changecube.FieldKey{Entity: fresh, Property: props["standings"]},
-			Days: []timeline.Day{day - 40}}, // last updated a game ago
+		changecube.NewHistory(changecube.FieldKey{Entity: fresh, Property: props["roster"]},
+			[]timeline.Day{day}),
+		changecube.NewHistory(changecube.FieldKey{Entity: fresh, Property: props["standings"]},
+			[]timeline.Day{day - 40}), // last updated a game ago
 	)
 	observed, err := changecube.NewHistorySet(cube, histories)
 	if err != nil {
@@ -138,8 +138,8 @@ func TestSingleMemberFamiliesSkipped(t *testing.T) {
 	e := cube.AddEntityNamed("t", "London") // no year tokens: family of one
 	days := []timeline.Day{1, 2, 3, 4, 5}
 	hs, err := changecube.NewHistorySet(cube, []changecube.History{
-		{Field: changecube.FieldKey{Entity: e, Property: prop}, Days: days},
-		{Field: changecube.FieldKey{Entity: e, Property: prop2}, Days: days},
+		changecube.NewHistory(changecube.FieldKey{Entity: e, Property: prop}, days),
+		changecube.NewHistory(changecube.FieldKey{Entity: e, Property: prop2}, days),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -163,8 +163,8 @@ func TestMinPooledChanges(t *testing.T) {
 		e := cube.AddEntityNamed("t", fmt.Sprintf("%d Cup", 2010+year))
 		days := []timeline.Day{timeline.Day(year*365 + 10), timeline.Day(year*365 + 50)}
 		histories = append(histories,
-			changecube.History{Field: changecube.FieldKey{Entity: e, Property: a}, Days: days},
-			changecube.History{Field: changecube.FieldKey{Entity: e, Property: b}, Days: days},
+			changecube.NewHistory(changecube.FieldKey{Entity: e, Property: a}, days),
+			changecube.NewHistory(changecube.FieldKey{Entity: e, Property: b}, days),
 		)
 	}
 	hs, err := changecube.NewHistorySet(cube, histories)

@@ -206,7 +206,7 @@ func ApplyCtx(ctx context.Context, cube *changecube.Cube, cfg Config) (*changecu
 		if len(days) < cfg.MinChanges {
 			continue
 		}
-		histories = append(histories, changecube.History{Field: k, Days: days})
+		histories = append(histories, changecube.NewHistory(k, days))
 		afterMin += len(days)
 	}
 	stats.record("min changes", span, afterCD, afterMin)

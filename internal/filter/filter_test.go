@@ -131,12 +131,13 @@ func TestApplyFullPipeline(t *testing.T) {
 	// Surviving days: 1..6 (updates) and 7 (burst); create day 0,
 	// vandalism day 8 and delete day 9 are gone.
 	want := []timeline.Day{1, 2, 3, 4, 5, 6, 7}
-	if len(h.Days) != len(want) {
-		t.Fatalf("days = %v, want %v", h.Days, want)
+	days := h.Days()
+	if len(days) != len(want) {
+		t.Fatalf("days = %v, want %v", days, want)
 	}
 	for i := range want {
-		if h.Days[i] != want[i] {
-			t.Fatalf("days = %v, want %v", h.Days, want)
+		if days[i] != want[i] {
+			t.Fatalf("days = %v, want %v", days, want)
 		}
 	}
 	if len(stats.Stages) != 4 {

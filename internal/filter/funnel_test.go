@@ -58,7 +58,7 @@ func TestApplyFieldMatchesApply(t *testing.T) {
 		afterCD += len(f.Days)
 		if len(f.Days) >= cfg.MinChanges {
 			afterMin += len(f.Days)
-			histories = append(histories, changecube.History{Field: key, Days: f.Days})
+			histories = append(histories, changecube.NewHistory(key, f.Days))
 		}
 	}
 	got := [][2]int{{raw, afterBots}, {afterBots, afterDedup}, {afterDedup, afterCD}, {afterCD, afterMin}}

@@ -188,6 +188,18 @@ func TestIncrementalRetrainEquivalence(t *testing.T) {
 			t.Fatalf("step %d: correlation rules diverged (incremental stats %+v)",
 				step, inc.CorrelationRetrain())
 		}
+		if !reflect.DeepEqual(cold.AssociationRules().Rules(), inc.AssociationRules().Rules()) {
+			t.Fatalf("step %d: association rules diverged (incremental stats %+v)",
+				step, inc.AssocRetrain())
+		}
+		if !reflect.DeepEqual(cold.Seasonal(), inc.Seasonal()) {
+			t.Fatalf("step %d: seasonal predictors diverged (incremental stats %+v)",
+				step, inc.SeasonalRetrain())
+		}
+		if !reflect.DeepEqual(cold.FamilyCorrelations().Rules(), inc.FamilyCorrelations().Rules()) {
+			t.Fatalf("step %d: family rules diverged (incremental stats %+v)",
+				step, inc.FamilyRetrain())
+		}
 		end := cold.Histories().Span().End
 		for _, window := range []int{7, 30} {
 			if !reflect.DeepEqual(cold.DetectStale(end, window), inc.DetectStale(end, window)) {

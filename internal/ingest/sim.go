@@ -1,0 +1,141 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/wikistale/wikistale/internal/dataset"
+)
+
+// SimSource streams the synthetic corpus straight out of the generator: a
+// producer goroutine runs dataset.Stream and hands over one entity's
+// events per batch. No cube is ever materialized on the producer side, so
+// feeding a paper-scale corpus (tens of millions of changes) costs only
+// the consumer's memory — this is the `-source sim:scale=N` feed behind
+// the scale benchmarks.
+//
+// The generator is deterministic, so the number of batches consumed is a
+// complete resumable cursor: Seek regenerates the stream and discards
+// batches up to the checkpoint, landing on the exact event the previous
+// process would have delivered next.
+type SimSource struct {
+	cfg    dataset.Config
+	ch     chan []Event
+	result chan error
+	cancel context.CancelFunc
+
+	pos  int // batches delivered (or skipped past) so far
+	skip int // batches still to discard after a Seek
+	err  error
+}
+
+// NewSimSource returns a generator-backed feed. Generation starts lazily
+// on the first Next call, so a Seek can still reposition the stream and a
+// store-boot's listener is never blocked behind corpus generation.
+func NewSimSource(cfg dataset.Config) *SimSource {
+	return &SimSource{cfg: cfg}
+}
+
+// start launches the producer goroutine. The channel is unbuffered plus a
+// small window: generation runs ahead of the consumer by a handful of
+// entities, never by the corpus.
+func (s *SimSource) start() {
+	if s.ch != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.ch = make(chan []Event, 8)
+	s.result = make(chan error, 1)
+	go func() {
+		defer close(s.ch)
+		s.result <- dataset.Stream(s.cfg, func(evs []dataset.Event) error {
+			// The generator reuses its batch slice; the copy below is also
+			// the type conversion to the feed's event shape.
+			batch := make([]Event, len(evs))
+			for i, ev := range evs {
+				batch[i] = Event{
+					Time:     ev.Time,
+					Page:     ev.Page,
+					Template: ev.Template,
+					Infobox:  ev.Infobox,
+					Property: ev.Property,
+					Value:    ev.Value,
+					Kind:     ev.Kind,
+					Bot:      ev.Bot,
+				}
+			}
+			select {
+			case s.ch <- batch:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
+}
+
+// Next returns the next entity's events, or io.EOF when the corpus has
+// been fully generated.
+func (s *SimSource) Next(ctx context.Context) ([]Event, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	s.start()
+	for {
+		select {
+		case batch, ok := <-s.ch:
+			if !ok {
+				err := <-s.result
+				s.result <- err // keep the result readable on re-poll
+				if err != nil && !errors.Is(err, context.Canceled) {
+					s.err = err
+				} else {
+					s.err = io.EOF
+				}
+				return nil, s.err
+			}
+			if s.skip > 0 {
+				s.skip--
+				continue
+			}
+			s.pos++
+			return batch, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Position returns the resumable cursor: batches delivered so far.
+func (s *SimSource) Position() SourcePosition {
+	return SourcePosition{Kind: "sim", Batch: s.pos}
+}
+
+// Seek repositions the feed at a previously captured Position by
+// regenerating the deterministic stream and discarding everything before
+// the checkpoint. Only valid before the first Next call.
+func (s *SimSource) Seek(pos SourcePosition) error {
+	if pos.Kind != "" && pos.Kind != "sim" {
+		return fmt.Errorf("ingest: seek: position kind %q is not a sim position", pos.Kind)
+	}
+	if pos.Batch < 0 {
+		return fmt.Errorf("ingest: seek: batch %d out of range", pos.Batch)
+	}
+	if s.ch != nil {
+		return fmt.Errorf("ingest: seek: sim feed already streaming")
+	}
+	s.skip = pos.Batch
+	s.pos = pos.Batch
+	return nil
+}
+
+// Stop tears down the producer goroutine. Safe to call at any point;
+// subsequent Next calls drain whatever was already buffered and then end.
+func (s *SimSource) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+}

@@ -26,8 +26,12 @@ type pageTemplate struct {
 
 // fieldBuf is the per-field staging state: the raw chronological change
 // list plus the cached result of the per-field filter stages over it.
+// Changes are held as indexes into the staging cube's packed log (4 bytes
+// per change instead of a 40-byte struct plus value string), which is only
+// sound because the staging cube is never sorted — append-order indexes
+// stay stable for its whole life.
 type fieldBuf struct {
-	raw    []changecube.Change
+	raw    []uint32
 	funnel filter.FieldFunnel
 }
 
@@ -50,6 +54,11 @@ type Staging struct {
 	entIdx  map[entityKey]changecube.EntityID
 	ordinal map[pageTemplate]int // next free ordinal per (page, template)
 	fields  map[changecube.FieldKey]*fieldBuf
+
+	// scratch is the reusable materialization buffer refilter runs the
+	// funnel over — one allocation amortized across every refilter instead
+	// of a resident []Change per field.
+	scratch []changecube.Change
 
 	// Aggregate funnel counters, maintained by per-field delta so they
 	// always match what a batch filter.Apply over the same changes reports.
@@ -127,11 +136,21 @@ func NewStagingFromCubeAt(cube *changecube.Cube, cfg filter.Config, ordinals []i
 			st.ordinal[pt] = ord + 1
 		}
 	}
-	for key, chs := range st.cube.FieldChanges() {
-		// FieldChanges aliases cube storage; copy so later appends can
-		// insert without disturbing the cube's own change list.
-		buf := &fieldBuf{raw: append([]changecube.Change(nil), chs...)}
-		st.fields[key] = buf
+	// Sort once so within-field index order is chronological, then record
+	// per-field log indexes in a single pass. This is the staging cube's
+	// only sort ever: every index taken below stays valid afterwards.
+	st.cube.Sort()
+	st.cube.EachChange(func(i int, ch changecube.Change) bool {
+		key := changecube.FieldKey{Entity: ch.Entity, Property: ch.Property}
+		buf, ok := st.fields[key]
+		if !ok {
+			buf = &fieldBuf{}
+			st.fields[key] = buf
+		}
+		buf.raw = append(buf.raw, uint32(i))
+		return true
+	})
+	for _, buf := range st.fields {
 		st.refilter(buf)
 	}
 	// The buffer's state corresponds to pos exactly, so that is its
@@ -204,6 +223,7 @@ func (st *Staging) stage(ev Event) changecube.FieldKey {
 		Kind:     ev.Kind,
 		Bot:      ev.Bot,
 	}
+	idx := uint32(st.cube.NumChanges()) // Add appends, so this is its index
 	st.cube.Add(ch)
 	fk := changecube.FieldKey{Entity: entity, Property: propID}
 	buf, ok := st.fields[fk]
@@ -214,12 +234,12 @@ func (st *Staging) stage(ev Event) changecube.FieldKey {
 	// Insert preserving chronological order; equal timestamps keep arrival
 	// order, matching the cube's canonical stable sort within a field.
 	i := len(buf.raw)
-	for i > 0 && buf.raw[i-1].Time > ch.Time {
+	for i > 0 && st.cube.TimeAt(int(buf.raw[i-1])) > ch.Time {
 		i--
 	}
-	buf.raw = append(buf.raw, changecube.Change{})
+	buf.raw = append(buf.raw, 0)
 	copy(buf.raw[i+1:], buf.raw[i:])
-	buf.raw[i] = ch
+	buf.raw[i] = idx
 	return fk
 }
 
@@ -230,7 +250,13 @@ func (st *Staging) stage(ev Event) changecube.FieldKey {
 func (st *Staging) refilter(buf *fieldBuf) {
 	old := buf.funnel
 	oldEligible := len(old.Days) >= st.cfg.MinChanges
-	buf.funnel = filter.ApplyField(buf.raw, st.cfg)
+	st.scratch = st.scratch[:0]
+	for _, idx := range buf.raw {
+		st.scratch = append(st.scratch, st.cube.ChangeAt(int(idx)))
+	}
+	// ApplyField never retains its input (it reslices fresh and allocates
+	// Days anew), so the scratch buffer is safe to reuse next call.
+	buf.funnel = filter.ApplyField(st.scratch, st.cfg)
 	newEligible := len(buf.funnel.Days) >= st.cfg.MinChanges
 
 	st.raw += buf.funnel.Raw - old.Raw
@@ -281,7 +307,7 @@ func (st *Staging) snapshotLocked() (*changecube.HistorySet, filter.Stats, error
 	histories := make([]changecube.History, 0, st.eligible)
 	for key, buf := range st.fields {
 		if len(buf.funnel.Days) >= st.cfg.MinChanges {
-			histories = append(histories, changecube.History{Field: key, Days: buf.funnel.Days})
+			histories = append(histories, changecube.NewHistory(key, buf.funnel.Days))
 		}
 	}
 	stats := filter.Stats{Stages: []filter.StageStats{

@@ -125,7 +125,7 @@ func TestStagingWarmStartMatchesStream(t *testing.T) {
 				template: c.Templates.Name(int32(info.Template)),
 				property: c.Properties.Name(int32(h.Field.Property)),
 			}
-			m[k] += len(h.Days)
+			m[k] += h.Len()
 		}
 		return m
 	}
@@ -195,7 +195,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	changesBefore := hs.Cube().NumChanges()
 	daysBefore := make([]int, hs.Len())
 	for i, h := range hs.Histories() {
-		daysBefore[i] = len(h.Days)
+		daysBefore[i] = h.Len()
 	}
 
 	// Hammer every known field with fresh changes.
@@ -213,8 +213,8 @@ func TestSnapshotIsolation(t *testing.T) {
 		t.Fatalf("snapshot cube grew: %d -> %d", changesBefore, hs.Cube().NumChanges())
 	}
 	for i, h := range hs.Histories() {
-		if len(h.Days) != daysBefore[i] {
-			t.Fatalf("snapshot history %d grew: %d -> %d days", i, daysBefore[i], len(h.Days))
+		if h.Len() != daysBefore[i] {
+			t.Fatalf("snapshot history %d grew: %d -> %d days", i, daysBefore[i], h.Len())
 		}
 	}
 }
@@ -238,13 +238,14 @@ func TestStagingOutOfOrderAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := hs.Histories()[0]
-	for i := 1; i < len(h.Days); i++ {
-		if h.Days[i] <= h.Days[i-1] {
-			t.Fatalf("days not increasing: %v", h.Days)
+	days := h.Days()
+	for i := 1; i < len(days); i++ {
+		if days[i] <= days[i-1] {
+			t.Fatalf("days not increasing: %v", days)
 		}
 	}
-	if len(h.Days) != 4 {
-		t.Fatalf("got %d days, want 4", len(h.Days))
+	if len(days) != 4 {
+		t.Fatalf("got %d days, want 4", len(days))
 	}
 }
 

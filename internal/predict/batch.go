@@ -263,12 +263,13 @@ func (b Batch) TargetDaysBefore(i int) []timeline.Day {
 		st.prefixes = make([]int, len(windows))
 		h, ok := b.ws.observed.Get(b.target)
 		if ok {
-			st.targetDays = h.Days
-			p := sort.Search(len(h.Days), func(k int) bool {
-				return h.Days[k] >= windows[0].Start
+			days := h.Days()
+			st.targetDays = days
+			p := sort.Search(len(days), func(k int) bool {
+				return days[k] >= windows[0].Start
 			})
 			for j, w := range windows {
-				for p < len(h.Days) && h.Days[p] < w.Start {
+				for p < len(days) && days[p] < w.Start {
 					p++
 				}
 				st.prefixes[j] = p

@@ -16,8 +16,8 @@ func buildSet(t *testing.T) (*changecube.HistorySet, changecube.FieldKey, change
 	fa := changecube.FieldKey{Entity: e, Property: a}
 	fb := changecube.FieldKey{Entity: e, Property: b}
 	hs, err := changecube.NewHistorySet(c, []changecube.History{
-		{Field: fa, Days: []timeline.Day{5, 10, 15, 20}},
-		{Field: fb, Days: []timeline.Day{5, 12, 15}},
+		changecube.NewHistory(fa, []timeline.Day{5, 10, 15, 20}),
+		changecube.NewHistory(fb, []timeline.Day{5, 12, 15}),
 	})
 	if err != nil {
 		t.Fatal(err)

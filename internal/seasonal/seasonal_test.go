@@ -19,7 +19,7 @@ func buildSet(t *testing.T, fieldDays ...[]timeline.Day) (*changecube.HistorySet
 		prop := changecube.PropertyID(c.Properties.Intern(propName(i)))
 		k := changecube.FieldKey{Entity: e, Property: prop}
 		keys = append(keys, k)
-		histories = append(histories, changecube.History{Field: k, Days: days})
+		histories = append(histories, changecube.NewHistory(k, days))
 	}
 	hs, err := changecube.NewHistorySet(c, histories)
 	if err != nil {

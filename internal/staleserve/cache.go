@@ -22,6 +22,10 @@ const (
 	// hold a full dashboard's worth of keys even if they all hash
 	// together.
 	alertCacheShardCap = 8
+	// prewarmCarryKeys caps how many of the previous epoch's hottest keys
+	// a swap recomputes into the new cache. Each carried key costs one
+	// DetectStale at swap time, so this bounds swap latency, not memory.
+	prewarmCarryKeys = 4
 )
 
 // packCacheKey packs an (asOf, window) pair into the cache key.
@@ -158,6 +162,40 @@ func (c *alertCache) prewarm(key uint64, val *alertSet) {
 	sh.mu.Lock()
 	sh.insert(key, val)
 	sh.mu.Unlock()
+}
+
+// hotKeys returns up to max cached keys, hottest first. Recency is only
+// tracked per shard, so shards' MRU lists are interleaved rank by rank —
+// close enough for its one purpose: picking which observed (asOf, window)
+// combinations the next epoch should pre-warm.
+func (c *alertCache) hotKeys(max int) []uint64 {
+	perShard := make([][]uint64, alertCacheShards)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for j := len(sh.order) - 1; j >= 0; j-- {
+			perShard[i] = append(perShard[i], sh.order[j])
+		}
+		sh.mu.Unlock()
+	}
+	var keys []uint64
+	for rank := 0; len(keys) < max; rank++ {
+		found := false
+		for i := range perShard {
+			if rank >= len(perShard[i]) {
+				continue
+			}
+			found = true
+			keys = append(keys, perShard[i][rank])
+			if len(keys) == max {
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return keys
 }
 
 // touch moves key to the most-recent end, in place — no allocation on

@@ -107,8 +107,8 @@ func compileFields(histories []changecube.History, extra []changecube.FieldKey, 
 		}
 		seen[k] = struct{}{}
 		p := proto{key: k, entity: h.Field.Entity, hasHistory: true}
-		if len(h.Days) > 0 {
-			p.last = h.Days[len(h.Days)-1]
+		if last, ok := h.Last(); ok {
+			p.last = last
 			p.hasLast = true
 		}
 		protos = append(protos, p)

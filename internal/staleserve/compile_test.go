@@ -58,7 +58,7 @@ func TestCompileFieldsEmptyHistory(t *testing.T) {
 	prop := changecube.PropertyID(cube.Properties.Intern("total_goals"))
 	field := changecube.FieldKey{Entity: entity, Property: prop}
 
-	cf := compileFields([]changecube.History{{Field: field}}, nil, cube)
+	cf := compileFields([]changecube.History{changecube.NewHistory(field, nil)}, nil, cube)
 	if len(cf.entries) != 1 {
 		t.Fatalf("compiled %d entries, want 1", len(cf.entries))
 	}
@@ -103,7 +103,7 @@ func TestFieldEmptyHistoryHTTP(t *testing.T) {
 
 	ep := s.epoch()
 	h0 := ep.det.Histories().Histories()[0]
-	crafted := changecube.History{Field: h0.Field} // no Days
+	crafted := changecube.NewHistory(h0.Field, nil) // no days
 	s.ep.Store(&epoch{
 		seq:    ep.seq + 1,
 		det:    ep.det,

@@ -84,8 +84,8 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 			data.Template = ep.cube.Templates.Name(int32(ep.cube.Template(h.Field.Entity)))
 		}
 		last := "never"
-		if len(h.Days) > 0 {
-			last = h.Days[len(h.Days)-1].String()
+		if d, ok := h.Last(); ok {
+			last = d.String()
 		}
 		data.Fields = append(data.Fields, demoField{
 			Property:    ep.cube.Properties.Name(int32(h.Field.Property)),

@@ -245,8 +245,29 @@ func (s *Server) Swap(det *core.Detector) {
 	// the first staleness request after a swap (or a store boot) hits the
 	// cache instead of paying a full DetectStale. Warming happens before
 	// the epoch is published: no request ever observes the cold cache.
-	ep.cache.prewarm(packCacheKey(ep.span.End, defaultWindow),
-		newAlertSet(cube, det.DetectStale(ep.span.End, defaultWindow)))
+	defKey := packCacheKey(ep.span.End, defaultWindow)
+	ep.cache.prewarm(defKey, newAlertSet(cube, det.DetectStale(ep.span.End, defaultWindow)))
+	// Carry the previous epoch's observed-hot keys: dashboards poll the
+	// same (asOf, window) combinations on every refresh, so the keys hot
+	// before the swap are the ones about to miss after it. Keys pinned to
+	// the previous epoch's newest day follow the data forward — that is
+	// the "no asof" dashboard seen from the cache's side.
+	if prev := s.ep.Load(); prev != nil {
+		warmed := map[uint64]bool{defKey: true}
+		for _, key := range prev.cache.hotKeys(prewarmCarryKeys) {
+			asOf := timeline.Day(int32(key >> 32))
+			window := int(int32(uint32(key)))
+			if asOf == prev.span.End {
+				asOf = ep.span.End
+			}
+			k := packCacheKey(asOf, window)
+			if window <= 0 || warmed[k] {
+				continue
+			}
+			warmed[k] = true
+			ep.cache.prewarm(k, newAlertSet(cube, det.DetectStale(asOf, window)))
+		}
+	}
 	s.ep.Store(ep)
 	s.swapNanos.Store(time.Now().UnixNano())
 	s.swapsTotal.Inc()

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -125,6 +126,12 @@ func (s *Server) writeRuntimeStatus(w io.Writer) {
 		humanBytes(g(runtimestats.HeapLiveBytes)),
 		humanBytes(g(runtimestats.HeapIdleBytes)),
 		humanBytes(g(runtimestats.MemTotalBytes)))
+	// SetMemoryLimit(-1) is the documented read-only query. MaxInt64 is
+	// the runtime's "unlimited" sentinel.
+	if limit := debug.SetMemoryLimit(-1); limit < math.MaxInt64 {
+		fmt.Fprintf(w, "  mem limit:  %s (%.1f%% used by live heap)\n",
+			humanBytes(float64(limit)), 100*g(runtimestats.HeapLiveBytes)/float64(limit))
+	}
 	fmt.Fprintf(w, "  gc:         %d cycles, %.1f%% of CPU, pauses p50 %s / p99 %s / max %s\n",
 		s.reg.Counter(runtimestats.GCCycles, nil).Value(),
 		100*g(runtimestats.GCCPUFraction),
