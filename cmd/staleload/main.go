@@ -1,7 +1,8 @@
 // Command staleload drives HTTP load at a running staleserve and reports
 // serving latency. It discovers the servable keyspace from /v1/catalog,
 // aims zipf-distributed traffic at it across a mixed route profile
-// (/v1/field, /v1/explain, /v1/stale), and measures in two loop
+// (/v1/field, /v1/explain, /v1/stale, plus the /debug/quality and
+// /debug/epochdiff observability reports), and measures in two loop
 // disciplines:
 //
 //   - closed: N workers issue requests back-to-back. Measures service
@@ -49,7 +50,7 @@ func main() {
 		dur     = flag.Duration("d", 10*time.Second, "measured duration per mode")
 		warmup  = flag.Duration("warmup", 2*time.Second, "closed-loop warmup before each measured run (discarded)")
 		zipfS   = flag.Float64("zipf", 1.1, "zipf skew for page popularity (> 1; larger = more head-heavy)")
-		mixStr  = flag.String("mix", "field=60,explain=20,stale=20", "route mix as route=weight[,route=weight...]")
+		mixStr  = flag.String("mix", "field=55,explain=20,stale=20,quality=5", "route mix as route=weight[,route=weight...]")
 		limit   = flag.Int("catalog-limit", 4096, "cap on catalog fields fetched (0 = all)")
 		seed    = flag.Int64("seed", 1, "base seed for the per-worker random streams")
 		wait    = flag.Duration("wait", 30*time.Second, "how long to wait for the server to become ready")

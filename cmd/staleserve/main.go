@@ -16,6 +16,8 @@
 //	GET /statusz                            human-readable status page
 //	GET /metrics                            Prometheus text (?format=json for JSON)
 //	GET /debug/traces                       recent request/retrain traces (?route=, ?min_ns=)
+//	GET /debug/quality                      online alert-outcome scoring report (live mode)
+//	GET /debug/epochdiff                    last-N epoch diffs: rule and alert-set churn per swap
 //	GET /debug/slo                          SLO burn rates over rolling windows (JSON)
 //	GET /debug/profiles                     pprof profiles captured by burn-rate trips
 //	GET /debug/pprof/                       Go profiling endpoints
@@ -72,8 +74,10 @@ import (
 	"github.com/wikistale/wikistale/internal/filter"
 	"github.com/wikistale/wikistale/internal/ingest"
 	"github.com/wikistale/wikistale/internal/obs/olog"
+	"github.com/wikistale/wikistale/internal/obs/quality"
 	"github.com/wikistale/wikistale/internal/obs/trace"
 	"github.com/wikistale/wikistale/internal/staleserve"
+	"github.com/wikistale/wikistale/internal/timeline"
 )
 
 // tracedTrain trains under a root trace, so /debug/traces shows the
@@ -113,6 +117,8 @@ func main() {
 
 		storeDir    = flag.String("store", "", "live mode: epoch store directory — persist every trained epoch and boot from the newest valid one instead of retraining")
 		storeRetain = flag.Int("store-retain", epochstore.DefaultRetain, "live mode: epoch snapshots kept on disk")
+
+		qualityHorizon = flag.Int("quality-horizon", quality.DefaultHorizonDays, "live mode: event-time days an alert has to be confirmed by a change before it scores as expired (/debug/quality; 0 disables scoring)")
 	)
 	flag.Parse()
 
@@ -132,7 +138,7 @@ func main() {
 	}
 
 	if *live {
-		runLive(*source, *in, *addr, *drain, *follow, *retrainEvery, *retrainChanges, *retrainInc, *retrainFull, *storeDir, *storeRetain)
+		runLive(*source, *in, *addr, *drain, *follow, *retrainEvery, *retrainChanges, *retrainInc, *retrainFull, *storeDir, *storeRetain, *qualityHorizon)
 		return
 	}
 	if *storeDir != "" {
@@ -169,7 +175,7 @@ func runBatch(in, model, addr string, drain time.Duration, verbose bool) {
 // retraining), the feed resumes from the epoch's checkpoint, and every
 // later retrain persists a fresh epoch through the manager's post-swap
 // hook.
-func runLive(source, warmCube, addr string, drain time.Duration, follow bool, retrainEvery time.Duration, retrainChanges int, retrainInc bool, retrainFull int, storeDir string, storeRetain int) {
+func runLive(source, warmCube, addr string, drain time.Duration, follow bool, retrainEvery time.Duration, retrainChanges int, retrainInc bool, retrainFull int, storeDir string, storeRetain int, qualityHorizon int) {
 	cfg := core.DefaultConfig()
 
 	var es *epochstore.Store
@@ -271,6 +277,26 @@ func runLive(source, warmCube, addr string, drain time.Duration, follow bool, re
 	}
 
 	srv := staleserve.NewLive()
+
+	// Online alert-outcome scoring: wired before the first Swap so a store
+	// boot registers its alert set against the restored state (pending
+	// predictions keep their original alert days and deadlines across the
+	// restart; BeginEpoch skips already-pending keys).
+	var scorer *quality.Scorer
+	if qualityHorizon > 0 {
+		scorer = quality.New(qualityHorizon)
+		if loaded != nil && len(loaded.Quality) > 0 {
+			if err := scorer.Restore(loaded.Quality); err != nil {
+				fmt.Fprintf(os.Stderr, "live: quality state from epoch %d unusable (%v); scoring starts fresh\n",
+					loaded.Record.Seq, err)
+			}
+		}
+		srv.SetQualityScorer(scorer)
+		if es != nil {
+			es.SetQualitySource(scorer.MarshalBinary)
+		}
+	}
+
 	var st *ingest.Staging // nil when booting from the store (rebuilt in background)
 	var err error
 	switch {
@@ -343,6 +369,16 @@ func runLive(source, warmCube, addr string, drain time.Duration, follow bool, re
 			}
 		}
 		mgr := ingest.NewManager(src, st, srv.Swap, mcfg)
+		if scorer != nil {
+			// Every applied batch feeds the scorer: a change event for a
+			// pending alert within its horizon confirms it; the advancing
+			// event-time watermark expires the rest.
+			mgr.SetEventObserver(func(events []ingest.Event) {
+				for _, ev := range events {
+					scorer.Observe(ev.Page, ev.Property, int32(timeline.DayOfUnix(ev.Time)))
+				}
+			})
+		}
 		if es != nil {
 			// Persist every epoch the manager swaps in. Snapshot errors are
 			// logged and counted by the store; serving continues regardless.

@@ -124,6 +124,24 @@ func (d *Detector) Explain(field changecube.FieldKey, asOf timeline.Day, windowS
 	return ex
 }
 
+// Votes returns every Table-1 predictor's verdict on (field, window)
+// without resolving evidence to names — the cheap subset of Explain the
+// quality scorer uses to attribute each alert to the detector families
+// whose votes fired for it. Identical to Explain's Votes list: same
+// predictors, same order, same verdicts.
+func (d *Detector) Votes(field changecube.FieldKey, asOf timeline.Day, windowSize int) []Vote {
+	if windowSize <= 0 {
+		return nil
+	}
+	w := timeline.Window{Span: timeline.NewSpan(asOf-timeline.Day(windowSize), asOf)}
+	ctx := predict.NewContext(d.histories, field, w)
+	votes := make([]Vote, 0, 6)
+	for _, p := range d.Predictors() {
+		votes = append(votes, Vote{Predictor: p.Name(), Fired: p.Predict(ctx)})
+	}
+	return votes
+}
+
 // ExplainCtx is Explain wrapped in a trace child span, so /v1/explain
 // requests show the audit as one timed node of their trace.
 func (d *Detector) ExplainCtx(ctx context.Context, field changecube.FieldKey, asOf timeline.Day, windowSize int) Explanation {

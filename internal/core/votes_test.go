@@ -1,0 +1,53 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestVotesMatchExplain pins the vote-attribution shortcut quality
+// scoring uses: Detector.Votes must return exactly the vote list Explain
+// computes — same predictors, same order, same verdicts — without the
+// evidence resolution.
+func TestVotesMatchExplain(t *testing.T) {
+	det, _ := detector(t)
+	asOf := det.Histories().Span().End
+
+	for _, window := range []int{7, 30} {
+		alerts := det.DetectStale(asOf, window)
+		checked := 0
+		for _, a := range alerts {
+			if checked >= 10 {
+				break
+			}
+			checked++
+			got := det.Votes(a.Field, asOf, window)
+			want := det.Explain(a.Field, asOf, window).Votes
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("window %d, field %v: Votes %+v != Explain votes %+v", window, a.Field, got, want)
+			}
+		}
+		// An unflagged field agrees too.
+		for _, h := range det.Histories().Histories() {
+			flagged := false
+			for _, a := range alerts {
+				if a.Field == h.Field {
+					flagged = true
+					break
+				}
+			}
+			if flagged {
+				continue
+			}
+			got := det.Votes(h.Field, asOf, window)
+			want := det.Explain(h.Field, asOf, window).Votes
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("window %d, unflagged field %v: Votes %+v != Explain votes %+v", window, h.Field, got, want)
+			}
+			break
+		}
+	}
+	if got := det.Votes(det.Histories().Histories()[0].Field, asOf, 0); got != nil {
+		t.Fatalf("window 0: votes %+v, want nil", got)
+	}
+}

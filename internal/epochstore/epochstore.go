@@ -61,6 +61,10 @@ type Store struct {
 	nextSeq uint64
 	logger  *slog.Logger
 
+	// qualitySource, when set, is called at snapshot time for the quality
+	// scorer's serialized state, persisted opaquely in the v2 envelope.
+	qualitySource func() []byte
+
 	snapshots      *obs.Counter
 	snapshotErrors *obs.Counter
 	snapshotBytes  *obs.Histogram
@@ -140,6 +144,14 @@ func (s *Store) RecordRecovery(outcome string) {
 	s.mu.Lock()
 	s.lastOutcome = outcome
 	s.mu.Unlock()
+}
+
+// SetQualitySource wires the quality scorer's state serializer into the
+// snapshot path: every committed epoch carries the scorer's state at
+// snapshot time, so a restart resumes alert-outcome scoring instead of
+// forgetting every pending prediction. Call before the first Snapshot.
+func (s *Store) SetQualitySource(fn func() []byte) {
+	s.qualitySource = fn
 }
 
 // SetLogger replaces the structured logger (default slog.Default()).

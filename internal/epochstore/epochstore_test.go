@@ -412,7 +412,7 @@ func TestOpenTruncatesTornTail(t *testing.T) {
 // panic, never half-load.
 func TestSnapshotDecodeRejectsDamage(t *testing.T) {
 	det, cp, _ := trainEpoch(t)
-	payload, err := encodeSnapshot(det, cp.Ordinals)
+	payload, err := encodeSnapshot(det, cp.Ordinals, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -487,7 +487,7 @@ func FuzzEpochLogDecode(f *testing.F) {
 // which panics on out-of-range references.
 func FuzzSnapshotDecode(f *testing.F) {
 	det, cp, _ := trainEpoch(f)
-	payload, err := encodeSnapshot(det, cp.Ordinals)
+	payload, err := encodeSnapshot(det, cp.Ordinals, nil)
 	if err != nil {
 		f.Fatal(err)
 	}

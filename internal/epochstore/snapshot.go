@@ -19,10 +19,15 @@ import (
 )
 
 // snapMagic and snapVersion head every snapshot file. The version byte is
-// bumped on any incompatible payload change.
+// bumped on any incompatible payload change. Version 2 appends one
+// length-prefixed opaque section after the histories — the quality
+// scorer's serialized state — so alert-outcome scoring survives a
+// restart; version-1 snapshots still decode (with an empty quality
+// section), so a store written by the previous build boots cleanly.
 const (
-	snapMagic   = "WES1"
-	snapVersion = 1
+	snapMagic     = "WES1"
+	snapVersion   = 2
+	snapVersionV1 = 1
 )
 
 func snapName(seq uint64) string { return fmt.Sprintf("ep-%08d.snap", seq) }
@@ -34,6 +39,9 @@ type snapshotPayload struct {
 	ordinals  []int
 	stats     filter.Stats
 	histories []changecube.History
+	// quality is the opaque quality-scorer state (empty in v1 snapshots
+	// and when no scorer is wired).
+	quality []byte
 }
 
 // encodeSnapshot serializes an epoch: the detector's model JSON, the three
@@ -42,7 +50,7 @@ type snapshotPayload struct {
 // is cloned before sorting so a detector serving from it is never
 // disturbed; the canonical order makes the encoding deterministic for a
 // given corpus regardless of arrival order.
-func encodeSnapshot(det *core.Detector, ordinals []int) ([]byte, error) {
+func encodeSnapshot(det *core.Detector, ordinals []int, quality []byte) ([]byte, error) {
 	model, err := det.MarshalModel()
 	if err != nil {
 		return nil, fmt.Errorf("epochstore: marshaling model: %w", err)
@@ -105,6 +113,10 @@ func encodeSnapshot(det *core.Detector, ordinals []int) ([]byte, error) {
 		// the History packed representation verbatim.
 		buf = h.AppendPackedDays(buf)
 	}
+	// v2: the quality scorer's opaque state, length-prefixed. The store
+	// does not interpret it — the scorer's own magic/version live inside.
+	buf = binary.AppendUvarint(buf, uint64(len(quality)))
+	buf = append(buf, quality...)
 	return buf, nil
 }
 
@@ -134,8 +146,9 @@ func decodeSnapshot(data []byte) (*snapshotPayload, error) {
 	if len(data) < len(snapMagic)+1 || string(data[:len(snapMagic)]) != snapMagic {
 		return nil, fmt.Errorf("epochstore: snapshot: bad magic")
 	}
-	if v := data[len(snapMagic)]; v != snapVersion {
-		return nil, fmt.Errorf("epochstore: snapshot version %d, this build reads %d", v, snapVersion)
+	version := data[len(snapMagic)]
+	if version != snapVersion && version != snapVersionV1 {
+		return nil, fmt.Errorf("epochstore: snapshot version %d, this build reads %d", version, snapVersion)
 	}
 	r := &byteReader{data: data, pos: len(snapMagic) + 1}
 
@@ -267,6 +280,15 @@ func decodeSnapshot(data []byte) (*snapshotPayload, error) {
 		}
 		histories = append(histories, h)
 	}
+	var qualityState []byte
+	if version >= snapVersion {
+		qualityState, err = r.bytes("quality state")
+		if err != nil {
+			return nil, err
+		}
+		// Copy out of the snapshot buffer so the payload doesn't pin it.
+		qualityState = append([]byte(nil), qualityState...)
+	}
 	if r.pos != len(data) {
 		return nil, fmt.Errorf("epochstore: snapshot: %d trailing bytes", len(data)-r.pos)
 	}
@@ -286,7 +308,7 @@ func decodeSnapshot(data []byte) (*snapshotPayload, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &snapshotPayload{model: model, cube: cube, ordinals: ordinals, stats: stats, histories: histories}, nil
+	return &snapshotPayload{model: model, cube: cube, ordinals: ordinals, stats: stats, histories: histories, quality: qualityState}, nil
 }
 
 // byteReader walks a snapshot payload with bounds errors instead of
@@ -371,7 +393,11 @@ func (s *Store) Snapshot(ctx context.Context, det *core.Detector, cp ingest.Chec
 }
 
 func (s *Store) snapshot(det *core.Detector, cp ingest.Checkpoint) (Record, error) {
-	payload, err := encodeSnapshot(det, cp.Ordinals)
+	var qual []byte
+	if src := s.qualitySource; src != nil {
+		qual = src()
+	}
+	payload, err := encodeSnapshot(det, cp.Ordinals, qual)
 	if err != nil {
 		return Record{}, err
 	}
@@ -441,6 +467,10 @@ type LoadResult struct {
 	Errors []string
 	// Seconds is the wall time of the successful load.
 	Seconds float64
+	// Quality is the opaque quality-scorer state persisted with the
+	// epoch (nil for v1 snapshots or when no scorer was wired at
+	// snapshot time). cmd/staleserve restores it into the scorer.
+	Quality []byte
 
 	cfg      core.Config
 	ordinals []int
@@ -488,7 +518,7 @@ func (s *Store) LoadLatest(ctx context.Context, cfg core.Config) (*LoadResult, e
 	for i := len(records) - 1; i >= 0; i-- {
 		rec := records[i]
 		start := time.Now()
-		det, ordinals, err := s.loadRecord(rec, cfg)
+		det, ordinals, qual, err := s.loadRecord(rec, cfg)
 		if err != nil {
 			res.Errors = append(res.Errors, fmt.Sprintf("epoch %d (%s): %v", rec.Seq, rec.File, err))
 			s.logError(fmt.Sprintf("epoch %d unloadable, falling back", rec.Seq), err)
@@ -498,6 +528,7 @@ func (s *Store) LoadLatest(ctx context.Context, cfg core.Config) (*LoadResult, e
 		res.Record = rec
 		res.Detector = det
 		res.ordinals = ordinals
+		res.Quality = qual
 		res.Checkpoint = rec.Checkpoint
 		if i == len(records)-1 {
 			res.Outcome = "latest"
@@ -522,39 +553,39 @@ func (s *Store) LoadLatest(ctx context.Context, cfg core.Config) (*LoadResult, e
 // built straight from the decoded cube and the persisted histories — no
 // clone, no filter re-run — which is what keeps the boot path at
 // read-decode speed even for million-change corpora.
-func (s *Store) loadRecord(rec Record, cfg core.Config) (*core.Detector, []int, error) {
+func (s *Store) loadRecord(rec Record, cfg core.Config) (*core.Detector, []int, []byte, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, rec.File))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if int64(len(data)) != rec.Bytes {
-		return nil, nil, fmt.Errorf("%d bytes, record says %d", len(data), rec.Bytes)
+		return nil, nil, nil, fmt.Errorf("%d bytes, record says %d", len(data), rec.Bytes)
 	}
 	if crc := crc32.ChecksumIEEE(data); crc != rec.CRC32 {
-		return nil, nil, fmt.Errorf("checksum %08x, record says %08x", crc, rec.CRC32)
+		return nil, nil, nil, fmt.Errorf("checksum %08x, record says %08x", crc, rec.CRC32)
 	}
 	payload, err := decodeSnapshot(data)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	cube := payload.cube
 	if cube.Properties.Len() != rec.Properties || cube.Templates.Len() != rec.Templates ||
 		cube.Pages.Len() != rec.Pages || cube.NumEntities() != rec.Entities ||
 		cube.NumChanges() != rec.Changes {
-		return nil, nil, fmt.Errorf("decoded sizes disagree with record (%d/%d/%d/%d/%d vs %d/%d/%d/%d/%d)",
+		return nil, nil, nil, fmt.Errorf("decoded sizes disagree with record (%d/%d/%d/%d/%d vs %d/%d/%d/%d/%d)",
 			cube.Properties.Len(), cube.Templates.Len(), cube.Pages.Len(), cube.NumEntities(), cube.NumChanges(),
 			rec.Properties, rec.Templates, rec.Pages, rec.Entities, rec.Changes)
 	}
 	if len(payload.histories) != rec.Fields {
-		return nil, nil, fmt.Errorf("%d histories decoded, record says %d", len(payload.histories), rec.Fields)
+		return nil, nil, nil, fmt.Errorf("%d histories decoded, record says %d", len(payload.histories), rec.Fields)
 	}
 	hs, err := changecube.NewHistorySet(cube, payload.histories)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	det, err := core.LoadModelBytes(hs, payload.stats, cfg, payload.model)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return det, payload.ordinals, nil
+	return det, payload.ordinals, payload.quality, nil
 }

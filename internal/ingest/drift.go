@@ -1,0 +1,271 @@
+package ingest
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/wikistale/wikistale/internal/obs"
+)
+
+// DriftWatch is the feed drift monitor: per-batch counters and EWMAs for
+// event-time lag, out-of-order arrivals, new-entity and new-property
+// rates, and per-property value novelty and placeholder rates, with
+// threshold-crossing drift flags. The detector assumes the feed looks
+// like its training corpus; a replayed dump, a vandalism wave of
+// placeholder values, or a schema rollout introducing new properties all
+// violate that silently — the drift watch makes each visible on
+// /metrics and /statusz before model quality decays.
+//
+// All EWMAs are batch-weighted: one Batch() observation folds the
+// batch's rate into the running average with DriftAlpha, so the numbers
+// track "the last ~1/alpha batches" regardless of batch size skew. Safe
+// for concurrent use, though the manager calls it from its single
+// consume goroutine.
+type DriftWatch struct {
+	mu sync.Mutex
+
+	lagEWMA         float64 // seconds, event-time age of newest event at apply time
+	outOfOrderEWMA  float64 // fraction of events arriving with Time < running max
+	newEntityEWMA   float64 // new entities per event
+	newPropEWMA     float64 // new properties per event
+	noveltyEWMA     float64 // fraction of events with a value unseen for their property
+	placeholderEWMA float64 // fraction of events carrying a placeholder value
+
+	batches     uint64
+	lastTime    int64 // running max event time across batches (out-of-order baseline)
+	hasTime     bool
+	flags       map[string]bool // drift kind -> currently over threshold
+	transitions uint64
+
+	// Bounded per-property distinct-value tracking: values map holds up to
+	// maxTrackedProps properties, each remembering up to maxValuesPerProp
+	// distinct values. A full value set stops admitting (novelty saturates
+	// low, never high), a full property table stops tracking new
+	// properties — bounded memory beats exact novelty for a monitor.
+	values map[string]map[string]struct{}
+
+	gauges           map[string]*obs.Gauge
+	flagGauges       map[string]*obs.Gauge
+	transitionsTotal map[string]*obs.Counter
+}
+
+// DriftAlpha is the EWMA smoothing factor: each batch contributes ~20%,
+// so the averages track roughly the last five batches.
+const DriftAlpha = 0.2
+
+// Bounds for the per-property value tracker.
+const (
+	maxTrackedProps  = 2048
+	maxValuesPerProp = 128
+)
+
+// driftThresholds maps each drift kind to the EWMA level that raises its
+// flag. Deliberately coarse — the flags are "look here", not alerts.
+var driftThresholds = map[string]float64{
+	"lag":           600, // seconds: feed running >10 min behind event time
+	"out_of_order":  0.2,
+	"new_entity":    0.5, // half the batch introducing unseen entities
+	"new_property":  0.1,
+	"value_novelty": 0.9,
+	"placeholder":   0.2,
+}
+
+// placeholderValues is the lowercase set of values that signal "no real
+// data": the Bang staleness pipeline's placeholder awareness, applied to
+// the feed. Kept small and unambiguous.
+var placeholderValues = map[string]struct{}{
+	"":        {},
+	"tbd":     {},
+	"tba":     {},
+	"n/a":     {},
+	"na":      {},
+	"none":    {},
+	"null":    {},
+	"unknown": {},
+	"pending": {},
+	"?":       {},
+	"-":       {},
+	"--":      {},
+}
+
+// isPlaceholder reports whether a value is a known placeholder
+// (case-insensitive, surrounding space ignored).
+func isPlaceholder(v string) bool {
+	if len(v) > 16 {
+		return false
+	}
+	_, ok := placeholderValues[strings.ToLower(strings.TrimSpace(v))]
+	return ok
+}
+
+// NewDriftWatch registers the drift metrics and returns a watch.
+func NewDriftWatch() *DriftWatch {
+	reg := obs.Default
+	reg.SetHelp("wikistale_ingest_lag_ewma_seconds", "Batch-weighted EWMA of event-time lag at batch apply (seconds).")
+	reg.SetHelp("wikistale_ingest_out_of_order_ewma", "EWMA fraction of events arriving with an event time older than the newest already applied.")
+	reg.SetHelp("wikistale_ingest_new_entity_ewma", "EWMA rate of previously unseen entities per ingested event.")
+	reg.SetHelp("wikistale_ingest_new_property_ewma", "EWMA rate of previously unseen properties per ingested event.")
+	reg.SetHelp("wikistale_ingest_value_novelty_ewma", "EWMA fraction of events carrying a value not seen before for their property (bounded tracker).")
+	reg.SetHelp("wikistale_ingest_placeholder_ewma", "EWMA fraction of events carrying a placeholder value (tbd, n/a, unknown, ...).")
+	reg.SetHelp("wikistale_ingest_drift_flag", "1 when the kind's EWMA is over its drift threshold, else 0.")
+	reg.SetHelp("wikistale_ingest_drift_transitions_total", "Times the kind's drift flag flipped on.")
+	w := &DriftWatch{
+		flags:  make(map[string]bool, len(driftThresholds)),
+		values: make(map[string]map[string]struct{}),
+		gauges: map[string]*obs.Gauge{
+			"lag":           reg.Gauge("wikistale_ingest_lag_ewma_seconds", nil),
+			"out_of_order":  reg.Gauge("wikistale_ingest_out_of_order_ewma", nil),
+			"new_entity":    reg.Gauge("wikistale_ingest_new_entity_ewma", nil),
+			"new_property":  reg.Gauge("wikistale_ingest_new_property_ewma", nil),
+			"value_novelty": reg.Gauge("wikistale_ingest_value_novelty_ewma", nil),
+			"placeholder":   reg.Gauge("wikistale_ingest_placeholder_ewma", nil),
+		},
+		flagGauges:       make(map[string]*obs.Gauge, len(driftThresholds)),
+		transitionsTotal: make(map[string]*obs.Counter, len(driftThresholds)),
+	}
+	for kind := range driftThresholds {
+		w.flagGauges[kind] = reg.Gauge("wikistale_ingest_drift_flag", obs.Labels{"kind": kind})
+		w.transitionsTotal[kind] = reg.Counter("wikistale_ingest_drift_transitions_total", obs.Labels{"kind": kind})
+	}
+	return w
+}
+
+// Batch folds one applied batch into the watch. newEntities/newProps are
+// the staging dimension deltas the batch caused; now is the wall clock
+// at apply time (injectable for tests).
+func (w *DriftWatch) Batch(events []Event, newEntities, newProps int, now time.Time) {
+	if len(events) == 0 {
+		return
+	}
+	n := float64(len(events))
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	var newest int64
+	outOfOrder := 0
+	novel := 0
+	placeholders := 0
+	for _, ev := range events {
+		if ev.Time > newest {
+			newest = ev.Time
+		}
+		if w.hasTime && ev.Time < w.lastTime {
+			outOfOrder++
+		}
+		if isPlaceholder(ev.Value) {
+			placeholders++
+		}
+		if w.noteValueLocked(ev.Property, ev.Value) {
+			novel++
+		}
+	}
+	if newest > w.lastTime {
+		w.lastTime = newest
+	}
+	w.hasTime = true
+
+	lag := now.Sub(time.Unix(newest, 0)).Seconds()
+	if lag < 0 {
+		lag = 0
+	}
+	w.batches++
+	alpha := DriftAlpha
+	if w.batches == 1 {
+		alpha = 1 // seed the EWMAs with the first batch instead of decaying from zero
+	}
+	fold := func(ewma *float64, sample float64) {
+		*ewma += alpha * (sample - *ewma)
+	}
+	fold(&w.lagEWMA, lag)
+	fold(&w.outOfOrderEWMA, float64(outOfOrder)/n)
+	fold(&w.newEntityEWMA, float64(newEntities)/n)
+	fold(&w.newPropEWMA, float64(newProps)/n)
+	fold(&w.noveltyEWMA, float64(novel)/n)
+	fold(&w.placeholderEWMA, float64(placeholders)/n)
+
+	for kind, val := range map[string]float64{
+		"lag":           w.lagEWMA,
+		"out_of_order":  w.outOfOrderEWMA,
+		"new_entity":    w.newEntityEWMA,
+		"new_property":  w.newPropEWMA,
+		"value_novelty": w.noveltyEWMA,
+		"placeholder":   w.placeholderEWMA,
+	} {
+		w.gauges[kind].Set(val)
+		over := val > driftThresholds[kind]
+		if over != w.flags[kind] {
+			w.flags[kind] = over
+			if over {
+				w.transitions++
+				w.transitionsTotal[kind].Inc()
+				w.flagGauges[kind].Set(1)
+			} else {
+				w.flagGauges[kind].Set(0)
+			}
+		}
+	}
+}
+
+// noteValueLocked records a (property, value) sighting and reports
+// whether the value is novel for the property. Caller holds the mutex.
+func (w *DriftWatch) noteValueLocked(prop, value string) bool {
+	vals, ok := w.values[prop]
+	if !ok {
+		if len(w.values) >= maxTrackedProps {
+			return false // untracked property: report not-novel, never not-bounded
+		}
+		vals = make(map[string]struct{}, 4)
+		w.values[prop] = vals
+	}
+	if _, seen := vals[value]; seen {
+		return false
+	}
+	if len(vals) >= maxValuesPerProp {
+		return false // saturated: stop admitting, novelty reads low not high
+	}
+	vals[value] = struct{}{}
+	return true
+}
+
+// DriftStats is the point-in-time drift summary carried inside
+// Manager.Stats (and therefore /v1/ingest/stats and /statusz).
+type DriftStats struct {
+	LagEWMASeconds   float64 `json:"lag_ewma_seconds"`
+	OutOfOrderEWMA   float64 `json:"out_of_order_ewma"`
+	NewEntityEWMA    float64 `json:"new_entity_ewma"`
+	NewPropertyEWMA  float64 `json:"new_property_ewma"`
+	ValueNoveltyEWMA float64 `json:"value_novelty_ewma"`
+	PlaceholderEWMA  float64 `json:"placeholder_ewma"`
+	// Flags lists the drift kinds currently over threshold, sorted.
+	Flags []string `json:"flags,omitempty"`
+	// FlagTransitions counts how often any flag flipped on.
+	FlagTransitions uint64 `json:"flag_transitions,omitempty"`
+	// TrackedProperties is the bounded value-tracker occupancy.
+	TrackedProperties int `json:"tracked_properties"`
+}
+
+// Stats returns the current drift summary.
+func (w *DriftWatch) Stats() DriftStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := DriftStats{
+		LagEWMASeconds:    w.lagEWMA,
+		OutOfOrderEWMA:    w.outOfOrderEWMA,
+		NewEntityEWMA:     w.newEntityEWMA,
+		NewPropertyEWMA:   w.newPropEWMA,
+		ValueNoveltyEWMA:  w.noveltyEWMA,
+		PlaceholderEWMA:   w.placeholderEWMA,
+		FlagTransitions:   w.transitions,
+		TrackedProperties: len(w.values),
+	}
+	for kind, on := range w.flags {
+		if on {
+			s.Flags = append(s.Flags, kind)
+		}
+	}
+	sort.Strings(s.Flags)
+	return s
+}

@@ -1,0 +1,158 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func driftEvent(tm int64, prop, value string) Event {
+	return Event{Time: tm, Page: "P", Template: "T", Property: prop, Value: value, Kind: 0}
+}
+
+// TestDriftWatchSeedsAndSmooths: the first batch seeds each EWMA with its
+// raw sample; later batches fold in with DriftAlpha.
+func TestDriftWatchSeedsAndSmooths(t *testing.T) {
+	w := NewDriftWatch()
+	now := time.Unix(1000, 0)
+
+	// First batch: newest event 100s old → lag EWMA seeds at 100.
+	w.Batch([]Event{driftEvent(900, "a", "v1")}, 1, 1, now)
+	s := w.Stats()
+	if s.LagEWMASeconds != 100 {
+		t.Fatalf("seeded lag %v, want 100", s.LagEWMASeconds)
+	}
+	if s.NewEntityEWMA != 1 || s.NewPropertyEWMA != 1 {
+		t.Fatalf("seeded rates %+v", s)
+	}
+
+	// Second batch: newest event 200s old → lag folds 0.2 of the way.
+	w.Batch([]Event{driftEvent(800, "a", "v1")}, 0, 0, now)
+	s = w.Stats()
+	want := 100 + DriftAlpha*(200-100)
+	if s.LagEWMASeconds != want {
+		t.Fatalf("folded lag %v, want %v", s.LagEWMASeconds, want)
+	}
+	if got, wantRate := s.NewEntityEWMA, 1+DriftAlpha*(0-1); got != wantRate {
+		t.Fatalf("folded new-entity rate %v, want %v", got, wantRate)
+	}
+}
+
+// TestDriftWatchOutOfOrder: events older than the running max event time
+// count as out-of-order; within-batch disorder against the previous
+// batch's max does too.
+func TestDriftWatchOutOfOrder(t *testing.T) {
+	w := NewDriftWatch()
+	now := time.Unix(2000, 0)
+	w.Batch([]Event{driftEvent(1000, "a", "x")}, 0, 0, now)
+	s := w.Stats()
+	if s.OutOfOrderEWMA != 0 {
+		t.Fatalf("first batch cannot be out of order: %v", s.OutOfOrderEWMA)
+	}
+	// Both events predate the max (1000): 2/2 out of order.
+	w.Batch([]Event{driftEvent(900, "a", "x"), driftEvent(950, "a", "x")}, 0, 0, now)
+	s = w.Stats()
+	if want := 0 + DriftAlpha*(1-0); s.OutOfOrderEWMA != want {
+		t.Fatalf("out-of-order EWMA %v, want %v", s.OutOfOrderEWMA, want)
+	}
+}
+
+// TestDriftWatchPlaceholderAndNovelty: placeholder values and
+// per-property value novelty are fractions of the batch.
+func TestDriftWatchPlaceholderAndNovelty(t *testing.T) {
+	w := NewDriftWatch()
+	now := time.Unix(100, 0)
+	w.Batch([]Event{
+		driftEvent(50, "pop", "100"),
+		driftEvent(51, "pop", "100"),   // repeat value: not novel
+		driftEvent(52, "pop", " TBD "), // placeholder (case/space-insensitive), and novel
+		driftEvent(53, "area", "n/a"),  // placeholder, novel
+	}, 0, 0, now)
+	s := w.Stats()
+	if s.PlaceholderEWMA != 0.5 {
+		t.Fatalf("placeholder EWMA %v, want 0.5", s.PlaceholderEWMA)
+	}
+	if s.ValueNoveltyEWMA != 0.75 {
+		t.Fatalf("novelty EWMA %v, want 0.75", s.ValueNoveltyEWMA)
+	}
+	if s.TrackedProperties != 2 {
+		t.Fatalf("tracked %d properties, want 2", s.TrackedProperties)
+	}
+}
+
+// TestDriftWatchBoundedTracker: a saturated per-property value set stops
+// admitting values — novelty saturates low, never high — and the property
+// table itself is bounded.
+func TestDriftWatchBoundedTracker(t *testing.T) {
+	w := NewDriftWatch()
+	now := time.Unix(10, 0)
+	var evs []Event
+	for i := 0; i < maxValuesPerProp+50; i++ {
+		evs = append(evs, driftEvent(int64(i), "hot", fmt.Sprintf("v%d", i)))
+	}
+	w.Batch(evs, 0, 0, now)
+	want := float64(maxValuesPerProp) / float64(len(evs))
+	if s := w.Stats(); s.ValueNoveltyEWMA != want {
+		t.Fatalf("saturated novelty %v, want %v", s.ValueNoveltyEWMA, want)
+	}
+
+	// Property-table saturation: properties beyond the cap read not-novel.
+	w2 := NewDriftWatch()
+	evs = evs[:0]
+	for i := 0; i < maxTrackedProps+10; i++ {
+		evs = append(evs, driftEvent(int64(i), fmt.Sprintf("p%d", i), "x"))
+	}
+	w2.Batch(evs, 0, 0, now)
+	s := w2.Stats()
+	if s.TrackedProperties != maxTrackedProps {
+		t.Fatalf("tracked %d, want the cap %d", s.TrackedProperties, maxTrackedProps)
+	}
+}
+
+// TestDriftWatchFlags: crossing a threshold raises the flag and counts a
+// transition; recovering lowers it without counting.
+func TestDriftWatchFlags(t *testing.T) {
+	w := NewDriftWatch()
+	now := time.Unix(1_000_000, 0)
+	// All placeholders: EWMA seeds at 1.0, far over the 0.2 threshold.
+	w.Batch([]Event{driftEvent(999_999, "a", "tbd"), driftEvent(999_999, "a", "unknown")}, 0, 0, now)
+	s := w.Stats()
+	if !containsFlag(s.Flags, "placeholder") {
+		t.Fatalf("flags %v, want placeholder raised", s.Flags)
+	}
+	if s.FlagTransitions == 0 {
+		t.Fatal("no transition counted")
+	}
+	trans := s.FlagTransitions
+	// Clean batches decay the EWMA below threshold: flag drops, transition
+	// count stays (it counts flips to on).
+	for i := 0; i < 20; i++ {
+		w.Batch([]Event{driftEvent(999_999, "a", fmt.Sprintf("real%d", i))}, 0, 0, now)
+	}
+	s = w.Stats()
+	if containsFlag(s.Flags, "placeholder") {
+		t.Fatalf("flags %v after recovery, want placeholder lowered (EWMA %v)", s.Flags, s.PlaceholderEWMA)
+	}
+	if s.FlagTransitions != trans {
+		t.Fatalf("recovery counted a transition: %d -> %d", trans, s.FlagTransitions)
+	}
+}
+
+func containsFlag(flags []string, kind string) bool {
+	for _, f := range flags {
+		if f == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDriftWatchEmptyBatch: a zero-length batch changes nothing.
+func TestDriftWatchEmptyBatch(t *testing.T) {
+	w := NewDriftWatch()
+	w.Batch(nil, 0, 0, time.Unix(0, 0))
+	s := w.Stats()
+	if s.LagEWMASeconds != 0 || s.TrackedProperties != 0 || len(s.Flags) != 0 {
+		t.Fatalf("empty batch mutated state: %+v", s)
+	}
+}

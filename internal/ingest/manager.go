@@ -109,6 +109,8 @@ type Stats struct {
 	// SourceDone reports that the feed ended (io.EOF); the serving layer
 	// stays up on the final model.
 	SourceDone bool `json:"source_done"`
+	// Drift is the feed drift watch summary (EWMAs + raised flags).
+	Drift DriftStats `json:"drift"`
 	// RecentRetrains is the bounded history of retrain attempts, newest
 	// first.
 	RecentRetrains []RetrainRecord `json:"recent_retrains,omitempty"`
@@ -132,6 +134,15 @@ type Manager struct {
 	// (never the consume loop), so a slow disk stalls snapshots, not
 	// ingestion.
 	postSwap func(ctx context.Context, det *core.Detector, cp Checkpoint)
+
+	// eventObserver, when set, sees every applied batch after it is staged
+	// — the quality scorer's live-outcome feed. It runs on the consume
+	// goroutine, so it must be fast and must never block on the serving
+	// layer.
+	eventObserver func(events []Event)
+
+	// drift is the feed drift watch; always non-nil.
+	drift *DriftWatch
 
 	pending   atomic.Uint64 // events since the last retrain started
 	retrainMu sync.Mutex    // held for the duration of one retrain
@@ -183,6 +194,7 @@ func NewManager(src Source, st *Staging, swap func(*core.Detector), cfg Config) 
 		st:             st,
 		cfg:            cfg,
 		swap:           swap,
+		drift:          NewDriftWatch(),
 		logger:         slog.Default(),
 		eventsTotal:    reg.Counter("wikistale_ingest_events_total", nil),
 		batchesTotal:   reg.Counter("wikistale_ingest_batches_total", nil),
@@ -209,6 +221,17 @@ func (m *Manager) SetPostSwap(fn func(ctx context.Context, det *core.Detector, c
 	m.postSwap = fn
 }
 
+// SetEventObserver installs the applied-batch observer (the quality
+// scorer's live feed). Call before Run; it runs on the consume
+// goroutine after each batch is staged.
+func (m *Manager) SetEventObserver(fn func(events []Event)) {
+	m.eventObserver = fn
+}
+
+// Drift returns the feed drift watch (for tests and direct inspection;
+// its summary also rides in Stats).
+func (m *Manager) Drift() *DriftWatch { return m.drift }
+
 // Stats returns the manager's current summary.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
@@ -223,6 +246,7 @@ func (m *Manager) Stats() Stats {
 	}
 	s.Staging = m.st.Stats()
 	s.PendingChanges = m.pending.Load()
+	s.Drift = m.drift.Stats()
 	if s.LastEventTime != "" {
 		if t, err := time.Parse(time.RFC3339, s.LastEventTime); err == nil {
 			s.FeedLagSeconds = time.Since(t).Seconds()
@@ -310,6 +334,7 @@ func (m *Manager) Run(ctx context.Context) error {
 // position after the batch is recorded with it (same staging mutex), so
 // any snapshot pairs the data with the cursor that produced it.
 func (m *Manager) consume(events []Event) error {
+	entBefore, propBefore := m.st.Dims()
 	var touched int
 	var err error
 	if m.pos != nil {
@@ -320,6 +345,8 @@ func (m *Manager) consume(events []Event) error {
 	if err != nil {
 		return err
 	}
+	entAfter, propAfter := m.st.Dims()
+	m.drift.Batch(events, entAfter-entBefore, propAfter-propBefore, time.Now())
 	m.pending.Add(uint64(len(events)))
 	m.eventsTotal.Add(uint64(len(events)))
 	m.batchesTotal.Inc()
@@ -342,6 +369,9 @@ func (m *Manager) consume(events []Event) error {
 	m.logger.Debug("batch applied",
 		"events", len(events), "fields_touched", touched,
 		"pending", m.pending.Load(), "lag_seconds", lag)
+	if m.eventObserver != nil {
+		m.eventObserver(events)
+	}
 	return nil
 }
 

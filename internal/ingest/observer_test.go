@@ -1,0 +1,65 @@
+package ingest
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"github.com/wikistale/wikistale/internal/core"
+	"github.com/wikistale/wikistale/internal/dataset"
+	"github.com/wikistale/wikistale/internal/filter"
+)
+
+// TestManagerEventObserverAndDrift: the event observer sees every event
+// the manager applies, in feed order, and the drift watch folds each
+// batch — Stats().Drift comes back populated after a replay.
+func TestManagerEventObserverAndDrift(t *testing.T) {
+	cube, _, err := dataset.Generate(dataset.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStaging(filter.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &swapRecorder{}
+	m := NewManager(NewStream(cube), st, rec.swap, Config{Train: core.DefaultConfig()})
+
+	var observed atomic.Int64
+	lastTime := int64(-1)
+	ordered := true
+	m.SetEventObserver(func(events []Event) {
+		for _, ev := range events {
+			observed.Add(1)
+			// NewStream replays in canonical (day-ordered) sequence, so the
+			// observer must see monotone event times.
+			if ev.Time < lastTime {
+				ordered = false
+			}
+			lastTime = ev.Time
+		}
+	})
+	if err := m.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := observed.Load(); got != int64(cube.NumChanges()) {
+		t.Fatalf("observer saw %d events, corpus has %d", got, cube.NumChanges())
+	}
+	if !ordered {
+		t.Fatal("observer saw events out of feed order")
+	}
+
+	stats := m.Stats()
+	d := stats.Drift
+	if d.TrackedProperties == 0 {
+		t.Fatalf("drift watch tracked no properties: %+v", d)
+	}
+	// A replay of historical data always lags wall clock.
+	if d.LagEWMASeconds <= 0 {
+		t.Fatalf("lag EWMA %v, want > 0 for a historical replay", d.LagEWMASeconds)
+	}
+	// The stream is day-ordered, so nothing is out of order.
+	if d.OutOfOrderEWMA != 0 {
+		t.Fatalf("out-of-order EWMA %v for an ordered replay", d.OutOfOrderEWMA)
+	}
+}

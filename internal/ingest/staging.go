@@ -373,6 +373,16 @@ type StagingStats struct {
 	SpanEnd   string `json:"span_end,omitempty"`
 }
 
+// Dims reports the corpus dimensions — entities and distinct
+// properties — in one mutex acquisition. The drift watch reads it
+// before and after an append to turn a batch into new-entity /
+// new-property deltas.
+func (st *Staging) Dims() (entities, properties int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.cube.NumEntities(), st.cube.Properties.Len()
+}
+
 // DirtyCount reports the number of fields touched since the last
 // successful SnapshotDelta (backs the wikistale_staging_dirty_fields
 // gauge).

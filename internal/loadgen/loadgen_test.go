@@ -68,11 +68,11 @@ func TestHistZero(t *testing.T) {
 }
 
 func TestParseMix(t *testing.T) {
-	mix, err := ParseMix("field=60, explain=20,stale=20")
+	mix, err := ParseMix("field=60, explain=20,stale=15,quality=5")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mix["field"] != 60 || mix["explain"] != 20 || mix["stale"] != 20 {
+	if mix["field"] != 60 || mix["explain"] != 20 || mix["stale"] != 15 || mix["quality"] != 5 {
 		t.Fatalf("mix = %v", mix)
 	}
 	for _, bad := range []string{"", "field", "field=-1", "bogus=10", "field=0"} {
@@ -106,10 +106,11 @@ func TestPickerMixAndRoutes(t *testing.T) {
 	w := &Workload{
 		BaseURL: "http://x/",
 		Fields:  manyFields(5),
-		Mix:     map[string]int{"field": 1, "explain": 1, "stale": 1},
+		Mix:     map[string]int{"field": 1, "explain": 1, "stale": 1, "quality": 1},
 	}
 	p := w.newPicker(1)
 	seen := map[string]bool{}
+	qualityURLs := map[string]bool{}
 	for i := 0; i < 300; i++ {
 		route, u := p.next()
 		seen[route] = true
@@ -118,11 +119,19 @@ func TestPickerMixAndRoutes(t *testing.T) {
 			if !strings.HasPrefix(u, "http://x/v1/stale?window=") {
 				t.Fatalf("stale url = %s", u)
 			}
+		case "quality":
+			if u != "http://x/debug/quality" && u != "http://x/debug/epochdiff" {
+				t.Fatalf("quality url = %s", u)
+			}
+			qualityURLs[u] = true
 		default:
 			if !strings.HasPrefix(u, "http://x/v1/"+route+"?page=") {
 				t.Fatalf("%s url = %s", route, u)
 			}
 		}
+	}
+	if len(qualityURLs) != 2 {
+		t.Fatalf("quality route hit %d distinct endpoints, want both debug reports", len(qualityURLs))
 	}
 	for _, r := range routeNames {
 		if !seen[r] {

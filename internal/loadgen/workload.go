@@ -29,8 +29,9 @@ type Workload struct {
 }
 
 // routeNames are the routes a workload can exercise, in a fixed order so
-// weighted selection is deterministic for a given seed.
-var routeNames = []string{"field", "explain", "stale"}
+// weighted selection is deterministic for a given seed. "quality"
+// alternates between the two model-observability debug endpoints.
+var routeNames = []string{"field", "explain", "stale", "quality"}
 
 // staleWindows are the window=N day values the stale route cycles
 // through — repeated keys exercise the server's alert cache the way a
@@ -108,6 +109,13 @@ func (p *picker) next() (route, u string) {
 	case "stale":
 		window := staleWindows[p.rnd.Intn(len(staleWindows))]
 		return route, fmt.Sprintf("%s/v1/stale?window=%d&limit=50", base, window)
+	case "quality":
+		// Alternate the two observability reports the way a dashboard
+		// scraping both panels would.
+		if p.rnd.Intn(2) == 0 {
+			return route, base + "/debug/quality"
+		}
+		return route, base + "/debug/epochdiff"
 	default: // field, explain
 		f := p.field()
 		return route, fmt.Sprintf("%s/v1/%s?page=%s&property=%s",

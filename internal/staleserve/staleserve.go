@@ -46,6 +46,7 @@ import (
 	"github.com/wikistale/wikistale/internal/obs"
 	"github.com/wikistale/wikistale/internal/obs/olog"
 	"github.com/wikistale/wikistale/internal/obs/profilering"
+	"github.com/wikistale/wikistale/internal/obs/quality"
 	"github.com/wikistale/wikistale/internal/obs/runtimestats"
 	"github.com/wikistale/wikistale/internal/obs/slo"
 	"github.com/wikistale/wikistale/internal/obs/trace"
@@ -94,6 +95,11 @@ type epoch struct {
 	fields *compiledFields
 
 	cache *alertCache
+
+	// alerts is the default-window alert set computed at swap time (the
+	// same value pre-warmed into the cache) — the epoch-diff and quality
+	// scorer read it without recomputing DetectStale.
+	alerts *alertSet
 }
 
 // Server serves a trained detector behind an atomically swappable epoch.
@@ -141,6 +147,14 @@ type Server struct {
 	swapsTotal    *obs.Counter
 	epochGauge    *obs.Gauge
 	epochAge      *obs.Gauge
+	swapSeconds   *obs.Histogram
+	swapBytes     *obs.Gauge
+
+	// scorer is the online alert-outcome scorer (nil unless wired via
+	// SetQualityScorer); diffRing is the bounded epoch-diff history behind
+	// /debug/epochdiff (always present).
+	scorer   *quality.Scorer
+	diffRing *quality.Ring
 }
 
 // New constructs a server over a trained detector, recording metrics into
@@ -168,6 +182,7 @@ func NewLive() *Server {
 		slo:      slo.New(DefaultSLOs(), DefaultSLOWindows(), DefaultTripPolicy()),
 		profiles: profilering.New(profileRingSize, profileCooldown),
 		rtstats:  runtimestats.New(obs.Default, 10*time.Second),
+		diffRing: quality.NewRing(quality.DefaultRingCap),
 	}
 
 	s.reg.SetHelp("wikistale_http_requests_total", "HTTP requests served, by route and method.")
@@ -180,6 +195,11 @@ func NewLive() *Server {
 	s.reg.SetHelp("wikistale_detector_swaps_total", "Detector epochs installed (initial load included).")
 	s.reg.SetHelp("wikistale_detector_epoch", "Sequence number of the currently served detector epoch.")
 	s.reg.SetHelp("wikistale_epoch_age_seconds", "Seconds since the serving detector epoch was installed (computed at scrape time).")
+	s.reg.SetHelp("wikistale_swap_duration_seconds", "Wall time of one epoch swap: field-index compile, cache pre-warm, diff, scorer registration.")
+	s.reg.SetHelp("wikistale_swap_compile_bytes", "Bytes in the current epoch's compiled field-index arena (pre-rendered bodies).")
+	s.reg.SetHelp("wikistale_epoch_diff_total", "Epoch diffs computed (one per swap).")
+	s.reg.SetHelp("wikistale_epoch_diff_changes_total", "Individual model changes seen across epoch diffs, by kind.")
+	s.reg.SetHelp("wikistale_epoch_diff_last", "Change counts of the most recent epoch diff, by kind.")
 	s.inFlightGauge = s.reg.Gauge("wikistale_http_in_flight", nil)
 	s.cacheHits = s.reg.Counter("wikistale_alert_cache_hits_total", nil)
 	s.cacheMisses = s.reg.Counter("wikistale_alert_cache_misses_total", nil)
@@ -187,6 +207,8 @@ func NewLive() *Server {
 	s.swapsTotal = s.reg.Counter("wikistale_detector_swaps_total", nil)
 	s.epochGauge = s.reg.Gauge("wikistale_detector_epoch", nil)
 	s.epochAge = s.reg.Gauge("wikistale_epoch_age_seconds", nil)
+	s.swapSeconds = s.reg.Histogram("wikistale_swap_duration_seconds", obs.DurationBuckets, nil)
+	s.swapBytes = s.reg.Gauge("wikistale_swap_compile_bytes", nil)
 	registerBuildInfo(s.reg)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -202,6 +224,8 @@ func NewLive() *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/quality", s.handleQuality)
+	s.mux.HandleFunc("GET /debug/epochdiff", s.handleEpochDiff)
 	s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	s.mux.HandleFunc("GET /debug/profiles", s.handleProfiles)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -226,6 +250,7 @@ func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
 // cache. Safe to call from any goroutine — this is the callback live
 // ingestion hands to ingest.NewManager.
 func (s *Server) Swap(det *core.Detector) {
+	start := time.Now()
 	cube := det.Histories().Cube()
 	// The servable keyspace is compiled once here: observed histories
 	// plus the history-less rule consequents (association rules cover
@@ -246,13 +271,15 @@ func (s *Server) Swap(det *core.Detector) {
 	// cache instead of paying a full DetectStale. Warming happens before
 	// the epoch is published: no request ever observes the cold cache.
 	defKey := packCacheKey(ep.span.End, defaultWindow)
-	ep.cache.prewarm(defKey, newAlertSet(cube, det.DetectStale(ep.span.End, defaultWindow)))
+	ep.alerts = newAlertSet(cube, det.DetectStale(ep.span.End, defaultWindow))
+	ep.cache.prewarm(defKey, ep.alerts)
 	// Carry the previous epoch's observed-hot keys: dashboards poll the
 	// same (asOf, window) combinations on every refresh, so the keys hot
 	// before the swap are the ones about to miss after it. Keys pinned to
 	// the previous epoch's newest day follow the data forward — that is
 	// the "no asof" dashboard seen from the cache's side.
-	if prev := s.ep.Load(); prev != nil {
+	prev := s.ep.Load()
+	if prev != nil {
 		warmed := map[uint64]bool{defKey: true}
 		for _, key := range prev.cache.hotKeys(prewarmCarryKeys) {
 			asOf := timeline.Day(int32(key >> 32))
@@ -278,6 +305,10 @@ func (s *Server) Swap(det *core.Detector) {
 		slog.Int("correlation_rules", det.FieldCorrelations().NumRules()),
 		slog.Int("association_rules", det.AssociationRules().NumRules()),
 	)
+	// Model-plane bookkeeping (quality.go): swap metrics, epoch diff, and
+	// scorer registration. Runs after the epoch is published — the serving
+	// path never waits on it.
+	s.observeSwap(prev, ep, time.Since(start))
 }
 
 // SetIngestStats wires the /v1/ingest/stats payload (typically
@@ -311,6 +342,8 @@ var knownRoutes = map[string]bool{
 	"/metrics":         true,
 	"/statusz":         true,
 	"/debug/traces":    true,
+	"/debug/quality":   true,
+	"/debug/epochdiff": true,
 	"/debug/slo":       true,
 	"/debug/profiles":  true,
 }

@@ -127,10 +127,14 @@ func (s *Server) writeRuntimeStatus(w io.Writer) {
 		humanBytes(g(runtimestats.HeapIdleBytes)),
 		humanBytes(g(runtimestats.MemTotalBytes)))
 	// SetMemoryLimit(-1) is the documented read-only query. MaxInt64 is
-	// the runtime's "unlimited" sentinel.
-	if limit := debug.SetMemoryLimit(-1); limit < math.MaxInt64 {
+	// the runtime's "unlimited" sentinel; render it as such — an absent or
+	// zero-looking limit line reads as "0-byte limit" to an operator
+	// paging through at 3am.
+	if limit := debug.SetMemoryLimit(-1); limit > 0 && limit < math.MaxInt64 {
 		fmt.Fprintf(w, "  mem limit:  %s (%.1f%% used by live heap)\n",
 			humanBytes(float64(limit)), 100*g(runtimestats.HeapLiveBytes)/float64(limit))
+	} else {
+		fmt.Fprintf(w, "  mem limit:  none (-memlimit unset; GC paced by GOGC alone)\n")
 	}
 	fmt.Fprintf(w, "  gc:         %d cycles, %.1f%% of CPU, pauses p50 %s / p99 %s / max %s\n",
 		s.reg.Counter(runtimestats.GCCycles, nil).Value(),

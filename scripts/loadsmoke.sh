@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # loadsmoke.sh — boot a live staleserve on the simulated feed, drive it
 # with cmd/staleload in both loop modes, and assert the run was healthy:
-# non-zero throughput, zero errors, and latency quantiles present in the
-# JSON report. CI runs this as the "load smoke" step and uploads the
-# report; locally: `make loadsmoke`.
+# non-zero throughput, zero errors, latency quantiles present in the
+# JSON report, and well-formed /debug/quality and /debug/epochdiff
+# reports after the feed forced multiple swaps. CI runs this as the
+# "load smoke" step and uploads the report; locally: `make loadsmoke`.
 #
 # Environment knobs:
 #   DURATION   measured time per mode (default 5s)
@@ -66,6 +67,28 @@ jq -e '
 }
 curl -sf "localhost:$PORT/debug/slo" | jq -e '.objectives | length >= 2' > /dev/null || {
   echo "FAIL: /debug/slo missing objectives"
+  exit 1
+}
+
+# Model-quality observability: with -retrain-every 2s the sim feed forces
+# several epoch swaps, so the epoch-diff ring must hold at least two
+# entries (boot swap + one retrain) with consistent sequence numbers, and
+# the alert-outcome scorer must be live — a positive horizon, an advanced
+# event-time watermark, and at least one alert registered for scoring.
+curl -sf "localhost:$PORT/debug/epochdiff" | jq -e '
+  .count >= 2 and (.diffs | length) == .count and
+  ([.diffs[] | select(.to_seq <= .from_seq)] | length) == 0
+' > /dev/null || {
+  echo "FAIL: /debug/epochdiff not a well-formed multi-swap report:"
+  curl -s "localhost:$PORT/debug/epochdiff" | jq . || true
+  exit 1
+}
+curl -sf "localhost:$PORT/debug/quality" | jq -e '
+  .horizon_days > 0 and .epoch >= 2 and .watermark != null and
+  .tracked_total >= 1 and (.overall | has("confirmed") and has("expired"))
+' > /dev/null || {
+  echo "FAIL: /debug/quality not a well-formed live scoring report:"
+  curl -s "localhost:$PORT/debug/quality" | jq . || true
   exit 1
 }
 
